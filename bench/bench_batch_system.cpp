@@ -1,0 +1,81 @@
+// Resource management over MSA modules (conclusion + interactive
+// supercomputing, refs [3]): a day-in-the-life batch trace of mixed
+// community workloads plus Jupyter sessions, replayed under different
+// queueing policies.
+//
+// Reproduces, in shape:
+//   * heterogeneous jobs landing on matching modules while the queue stays
+//     dense (high utilisation);
+//   * EASY backfilling cutting mean wait without delaying reserved jobs;
+//   * interactive-priority keeping the "time-to-first-cell" of Jupyter
+//     sessions low even under batch load — the usability requirement the
+//     health case studies emphasise (Sec. IV).
+#include <cstdio>
+
+#include "core/batch.hpp"
+#include "core/module.hpp"
+
+int main() {
+  using namespace msa::core;
+  const auto deep = make_deep_est();
+  const auto trace = make_mixed_trace(/*batch_jobs=*/60,
+                                      /*interactive_sessions=*/20, 13);
+
+  std::printf("=== batch-system replay on DEEP-EST: %zu jobs ===\n\n",
+              trace.size());
+
+  struct Policy {
+    const char* label;
+    BatchOptions options;
+  };
+  BatchOptions fifo;
+  fifo.backfilling = false;
+  fifo.interactive_priority = false;
+  BatchOptions backfill = fifo;
+  backfill.backfilling = true;
+  BatchOptions interactive = fifo;
+  interactive.interactive_priority = true;
+  BatchOptions full;
+  const Policy policies[] = {
+      {"FCFS", fifo},
+      {"FCFS + backfilling", backfill},
+      {"FCFS + interactive priority", interactive},
+      {"backfilling + interactive prio", full},
+  };
+
+  std::printf("%-32s %10s %12s %14s %12s %10s %8s\n", "policy", "makespan",
+              "mean wait", "jupyter wait", "batch wait", "util", "backf.");
+  for (const auto& p : policies) {
+    const auto res = simulate_batch(trace, deep, p.options);
+    std::printf("%-32s %9.0fs %11.0fs %13.0fs %11.0fs %9.1f%% %8zu\n",
+                p.label, res.metrics.makespan_s, res.metrics.mean_wait_s,
+                res.metrics.mean_interactive_wait_s,
+                res.metrics.mean_batch_wait_s,
+                100.0 * res.metrics.utilisation,
+                res.metrics.backfilled_jobs);
+  }
+
+  // Where did the jobs land?
+  const auto res = simulate_batch(trace, deep);
+  std::printf("\n--- module occupancy (full policy) ---\n");
+  for (const auto& m : deep.modules()) {
+    int jobs = 0;
+    double node_seconds = 0.0;
+    for (const auto& o : res.outcomes) {
+      if (!o.dropped && o.module == m.name) {
+        ++jobs;
+        node_seconds += o.nodes * (o.finish_s - o.start_s);
+      }
+    }
+    std::printf("%-6s %4d jobs %14.0f node-seconds\n", m.name.c_str(), jobs,
+                node_seconds);
+  }
+  std::printf("dropped (no matching module): %zu\n",
+              res.metrics.dropped_jobs);
+
+  std::printf(
+      "\npaper shape: the scheduler keeps heterogeneous work on matching\n"
+      "modules; backfilling raises utilisation and cuts waits; interactive\n"
+      "sessions start promptly — the MSA resource-management story.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E2 — Fig. 1 (MSA + Global Collective Engine): allreduce cost across
+// message sizes, rank counts and algorithms, on the DEEP ESB fabric whose
+// GCE performs MPI reductions in FPGA hardware (paper Sec. II-A).
+//
+// Two views of the same experiment:
+//   1. the analytic collective cost model (scales to any P), and
+//   2. the comm runtime's *emergent* timing — real messages through the ring
+//      / tree / halving-doubling implementations — as a cross-check that the
+//      model and the executable algorithms agree.
+#include <cstdio>
+#include <vector>
+
+#include "comm/runtime.hpp"
+#include "simnet/collective.hpp"
+#include "simnet/fabric.hpp"
+
+namespace {
+
+using namespace msa;
+using simnet::CollectiveAlgorithm;
+
+const CollectiveAlgorithm kAlgs[] = {
+    CollectiveAlgorithm::Ring, CollectiveAlgorithm::BinomialTree,
+    CollectiveAlgorithm::Rabenseifner, CollectiveAlgorithm::GceOffload};
+
+}  // namespace
+
+int main() {
+  const auto esb = simnet::fabric_profile(simnet::FabricKind::ExtollTourmalet);
+  simnet::CollectiveModel model(esb.link);
+
+  std::printf("=== E2: collective cost on the ESB fabric (%s) ===\n\n",
+              esb.name.c_str());
+
+  // ---- analytic sweep ---------------------------------------------------------
+  std::printf("--- analytic model, P = 64 ranks, allreduce time [us] ---\n");
+  std::printf("%12s", "bytes");
+  for (auto a : kAlgs) std::printf(" %14s", std::string(to_string(a)).c_str());
+  std::printf(" %14s\n", "best");
+  for (std::uint64_t bytes = 4; bytes <= (64u << 20); bytes *= 16) {
+    std::printf("%12llu", static_cast<unsigned long long>(bytes));
+    for (auto a : kAlgs) {
+      std::printf(" %14.2f", model.allreduce(64, bytes, a) * 1e6);
+    }
+    std::printf(" %14s\n",
+                std::string(to_string(model.best_allreduce(64, bytes, true)))
+                    .c_str());
+  }
+
+  std::printf("\n--- analytic model, 1 MB payload, scaling with ranks [us] ---\n");
+  std::printf("%8s", "ranks");
+  for (auto a : kAlgs) std::printf(" %14s", std::string(to_string(a)).c_str());
+  std::printf("\n");
+  for (int ranks : {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
+    std::printf("%8d", ranks);
+    for (auto a : kAlgs) {
+      std::printf(" %14.2f", model.allreduce(ranks, 1u << 20, a) * 1e6);
+    }
+    std::printf("\n");
+  }
+
+  // ---- emergent cross-check -----------------------------------------------------
+  std::printf("\n--- emergent timing (real messages through the runtime), P = 16 ---\n");
+  std::printf("%12s %14s %14s %14s %14s\n", "bytes", "ring", "binomial-tree",
+              "rabenseifner", "gce-offload");
+  simnet::MachineConfig cfg;
+  cfg.intra_node = esb.link;
+  cfg.intra_module = esb.link;
+  cfg.federation = esb.link;
+  cfg.gce_available = true;
+  for (std::uint64_t bytes : {256ull, 1ull << 14, 1ull << 20}) {
+    std::printf("%12llu", static_cast<unsigned long long>(bytes));
+    for (auto alg : kAlgs) {
+      comm::Runtime rt(simnet::Machine::homogeneous(
+          16, 1, cfg, simnet::ComputeProfile{}));
+      rt.run([&](comm::Comm& comm) {
+        std::vector<float> data(bytes / 4, 1.0f);
+        comm.allreduce(std::span<float>(data), comm::ReduceOp::Sum, alg);
+      });
+      std::printf(" %14.2f", rt.max_sim_time() * 1e6);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\npaper shape: the GCE's in-network reduction stays nearly flat in both\n"
+      "rank count and (for small payloads) message size, beating every software\n"
+      "algorithm on its fabric — the architectural argument for Fig. 1's GCE.\n");
+  return 0;
+}

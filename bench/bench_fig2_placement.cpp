@@ -1,0 +1,72 @@
+// E3 — Fig. 2 (scalable and diverse application workloads): where does each
+// community's workload run best, and what does modularity buy at the system
+// level?
+//
+// Produces (a) the per-workload placement matrix over the DEEP-EST modules,
+// (b) the scheduled mix on the modular system vs a homogeneous CPU cluster
+// of equal node count, and (c) an energy comparison — the MSA's stated goals
+// of "minimal energy consumption, minimal time to solution".
+#include <cstdio>
+
+#include "core/module.hpp"
+#include "core/perfmodel.hpp"
+#include "core/scheduler.hpp"
+#include "core/workload.hpp"
+
+int main() {
+  using namespace msa::core;
+  const MsaSystem deep = make_deep_est();
+  const auto mix = example_workload_mix();
+
+  std::printf("=== E3: workload-to-module placement matrix (Fig. 2) ===\n\n");
+  std::printf("%-38s", "workload \\ module");
+  for (const auto& m : deep.modules()) std::printf(" %16s", m.name.c_str());
+  std::printf(" %12s\n", "best");
+  for (const auto& w : mix) {
+    std::printf("%-38s", w.name.c_str());
+    const Module* best_m = nullptr;
+    double best_t = std::numeric_limits<double>::infinity();
+    for (const auto& m : deep.modules()) {
+      const auto bp = best_placement(w, m);
+      if (bp.nodes == 0) {
+        std::printf(" %16s", "infeasible");
+        continue;
+      }
+      std::printf(" %13.1fs@%d", bp.estimate.time_s, bp.nodes);
+      if (bp.estimate.time_s < best_t) {
+        best_t = bp.estimate.time_s;
+        best_m = &m;
+      }
+    }
+    std::printf(" %12s\n", best_m ? best_m->name.c_str() : "-");
+  }
+
+  std::printf("\n--- scheduled mix: modular vs homogeneous ---\n");
+  MsaSystem homogeneous("CPU-only", msa::simnet::FabricKind::InfinibandEDR,
+                        deep.storage());
+  homogeneous.add_module({ModuleKind::Cluster, "CM-only", deep_cm_node(), 141,
+                          msa::simnet::FabricKind::InfinibandEDR, false});
+  const auto het = schedule(mix, deep);
+  const auto hom = schedule(mix, homogeneous);
+  std::printf("%-28s %12s %14s %14s\n", "system", "makespan[s]", "energy[MJ]",
+              "unschedulable");
+  std::printf("%-28s %12.1f %14.2f %14zu\n", "DEEP-EST (CM+ESB+DAM)",
+              het.makespan_s, het.total_energy_J / 1e6,
+              het.unschedulable.size());
+  std::printf("%-28s %12.1f %14.2f %14zu\n", "homogeneous CPU cluster",
+              hom.makespan_s, hom.total_energy_J / 1e6,
+              hom.unschedulable.size());
+
+  std::printf("\n--- per-job modular placements ---\n");
+  for (const auto& a : het.assignments) {
+    std::printf("  %-38s -> %-5s x%-4d (compute %.1fs, comm %.1fs, spill %.1fs)\n",
+                a.job.c_str(), a.module.c_str(), a.nodes, a.estimate.compute_s,
+                a.estimate.comm_s, a.estimate.spill_s);
+  }
+
+  std::printf(
+      "\npaper shape: each workload lands on the module matching its signature\n"
+      "(DL -> accelerated module, memory-hungry analytics -> DAM, CPU codes ->\n"
+      "CM); the homogeneous system cannot host the full mix at all.\n");
+  return 0;
+}

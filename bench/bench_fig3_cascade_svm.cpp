@@ -1,0 +1,72 @@
+// E5 — Fig. 3 (M), ref [16]: parallel and scalable SVM on the Cluster
+// Module.  Strong scaling of cascade SVM training over comm ranks, with
+// accuracy retention against the monolithic SMO solve.
+//
+// SMO is superlinear in the training-set size, so the cascade's
+// partition-train-merge tree yields superlinear wall-clock speedups — the
+// effect that made the MPI package of ref [16] worthwhile for RS imagery.
+#include <chrono>
+#include <cstdio>
+
+#include "comm/runtime.hpp"
+#include "core/machine_builder.hpp"
+#include "core/module.hpp"
+#include "data/synthetic.hpp"
+#include "ml/cascade.hpp"
+
+int main() {
+  using namespace msa;
+  using Clock = std::chrono::steady_clock;
+
+  const auto train = data::make_moons(1200, 0.12, 31);
+  const auto test = data::make_moons(500, 0.12, 32);
+  ml::SvmConfig cfg;
+  cfg.kernel = {ml::KernelKind::Rbf, 2.0};
+  cfg.C = 5.0;
+  cfg.max_iterations = 4000;
+
+  std::printf("=== E5: cascade SVM strong scaling on the Cluster Module ===\n");
+  std::printf("dataset: %zu train / %zu test (two-moons, RBF kernel)\n\n",
+              train.size(), test.size());
+
+  const auto t0 = Clock::now();
+  const auto mono = ml::train_svm(train, cfg);
+  const double mono_wall =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  const double mono_acc = mono.accuracy(test);
+  std::printf("monolithic SMO: %.2f s wall, accuracy %.3f, %zu SVs\n\n",
+              mono_wall, mono_acc, mono.num_support_vectors());
+
+  const core::MsaSystem deep = core::make_deep_est();
+  const core::Module& cm = deep.module(core::ModuleKind::Cluster);
+
+  std::printf("%6s %12s %10s %10s %10s %8s\n", "ranks", "wall[s]", "speedup",
+              "accuracy", "final SVs", "levels");
+  for (int ranks : {1, 2, 4, 8, 16}) {
+    auto shards = ml::split_problem(train, ranks);
+    comm::Runtime rt(core::build_machine(deep, cm, ranks, false));
+    double acc = 0.0;
+    std::size_t svs = 0;
+    int levels = 0;
+    const auto t1 = Clock::now();
+    rt.run([&](comm::Comm& comm) {
+      const auto result = ml::train_cascade_svm(
+          comm, shards[static_cast<std::size_t>(comm.rank())], cfg);
+      if (comm.rank() == 0) {
+        acc = result.model.accuracy(test);
+        svs = result.final_sv_count;
+        levels = result.levels;
+      }
+    });
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - t1).count();
+    std::printf("%6d %12.2f %10.2f %10.3f %10zu %8d\n", ranks, wall,
+                mono_wall / wall, acc, svs, levels);
+  }
+
+  std::printf(
+      "\npaper shape: accuracy within a point of the monolithic SVM while\n"
+      "training time drops superlinearly with ranks (SMO cost is superlinear\n"
+      "in n, and each cascade node solves a much smaller problem).\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// E11 — the NAM module (Sec. II-A, Fig. 3 T): "sharing datasets over the
+// network instead of duplicate downloads of datasets by individual research
+// group members".
+//
+// Compares per-user private staging (SSSM -> node-local NVMe copies) against
+// one shared NAM residency, across group sizes and dataset volumes.
+#include <cstdio>
+
+#include "core/module.hpp"
+#include "data/storage.hpp"
+
+int main() {
+  using namespace msa;
+  const auto sssm = core::make_deep_est().storage();
+
+  std::printf("=== E11: NAM shared dataset residency vs private copies ===\n\n");
+
+  std::printf("--- 200 GB dataset (BigEarthNet-scale), 3 epochs/user ---\n");
+  std::printf("%8s %16s %16s %18s %18s\n", "users", "private total[s]",
+              "NAM total[s]", "SSSM traffic[GB]", "copies stored[GB]");
+  for (int users : {1, 2, 4, 8, 16, 32, 64}) {
+    data::StagingScenario s;
+    s.dataset_GB = 200.0;
+    s.users = users;
+    s.epochs_per_user = 3;
+    const auto priv =
+        data::stage_private_copies(s, data::StorageTier::NodeLocalNvme, sssm);
+    const auto nam = data::stage_nam_shared(s, sssm);
+    std::printf("%8d %16.1f %16.1f %11.0f/%-6.0f %11.0f/%-6.0f\n", users,
+                priv.time_s, nam.time_s, priv.sssm_traffic_GB,
+                nam.sssm_traffic_GB, priv.copies_stored_GB,
+                nam.copies_stored_GB);
+  }
+
+  std::printf("\n--- time until data is ready (staging only), 8 users ---\n");
+  std::printf("%12s %18s %14s %10s\n", "dataset", "private stage[s]",
+              "NAM stage[s]", "ratio");
+  for (double gb : {50.0, 200.0, 1000.0, 4000.0}) {
+    data::StagingScenario s;
+    s.dataset_GB = gb;
+    s.users = 8;
+    s.epochs_per_user = 1;
+    const auto priv =
+        data::stage_private_copies(s, data::StorageTier::NodeLocalNvme, sssm);
+    const auto nam = data::stage_nam_shared(s, sssm);
+    std::printf("%9.0f GB %18.1f %14.1f %9.1fx\n", gb, priv.stage_time_s,
+                nam.stage_time_s, priv.stage_time_s / nam.stage_time_s);
+  }
+
+  std::printf(
+      "\npaper shape: the NAM removes the users-fold duplication of SSSM\n"
+      "traffic and stored copies, and data becomes ready ~users-times faster.\n"
+      "(At very large groups a single NAM's streaming bandwidth saturates —\n"
+      "total time then favours adding NAM devices, visible in the 64-user row.)\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// E1/E7 — Table I + Sec. III-B: the Data Analytics Module's case.
+//
+// (a) verifies the Table I configuration as modelled;
+// (b) prices a Spark-style HPDA aggregation pipeline on the DAM vs CPU
+//     modules across dataset sizes, showing where the DAM's 384 GB nodes,
+//     NVMe tier and V100 pay off (memory fits vs spills);
+// (c) runs a *real* aggregation through the hpda engine as a correctness
+//     anchor for the modelled pipeline.
+#include <cstdio>
+#include <numeric>
+
+#include "core/module.hpp"
+#include "data/synthetic.hpp"
+#include "hpda/dataset.hpp"
+#include "hpda/executor.hpp"
+
+int main() {
+  using namespace msa;
+  const core::MsaSystem deep = core::make_deep_est();
+  const core::MsaSystem juwels = core::make_juwels();
+  const core::Module& dam = deep.module(core::ModuleKind::DataAnalytics);
+  const core::Module& deep_cm = deep.module(core::ModuleKind::Cluster);
+  const core::Module& juwels_cm = juwels.module(core::ModuleKind::Cluster);
+
+  std::printf("=== E1: DEEP DAM (Table I) ===\n");
+  std::printf("%-28s %s\n", "node", dam.node.name.c_str());
+  std::printf("%-28s %d x %s (%d cores)\n", "CPU", dam.node.cpu_sockets,
+              dam.node.cpu.name.c_str(), dam.node.cpu.cores);
+  std::printf("%-28s %d x %s\n", "GPU", dam.node.gpus_per_node,
+              dam.node.gpu->name.c_str());
+  std::printf("%-28s %.0f GB DDR4 + %.0f GB HBM2 + %.0f GB FPGA DDR4\n",
+              "memory/node", dam.node.dram_GB, dam.node.hbm_GB,
+              dam.node.fpga_mem_GB);
+  std::printf("%-28s %.1f TB NVMe\n", "node-local storage", dam.node.nvme_TB);
+  std::printf("%-28s %d nodes -> %.1f TB DDR4 aggregate (vs paper's 32 TB NVM total)\n\n",
+              "module", dam.node_count, dam.total_dram_GB() / 1e3);
+
+  // ---- modelled aggregation pipeline across modules ---------------------------
+  std::printf("--- E7: HPDA aggregation pipeline, modelled time [s] ---\n");
+  std::printf("%12s", "dataset");
+  const struct {
+    const char* label;
+    const core::Module* module;
+    const core::StorageSpec* storage;
+    int nodes;
+  } venues[] = {
+      {"DAM x16", &dam, &deep.storage(), 16},
+      {"DEEP-CM x16", &deep_cm, &deep.storage(), 16},
+      {"JUWELS-CM x16", &juwels_cm, &juwels.storage(), 16},
+  };
+  for (const auto& v : venues) std::printf(" %18s", v.label);
+  std::printf("\n");
+  for (double dataset_GB : {100.0, 1000.0, 3000.0, 6000.0}) {
+    std::printf("%9.0f GB", dataset_GB);
+    for (const auto& v : venues) {
+      std::vector<hpda::StageCost> pipeline;
+      hpda::StageCost scan;
+      scan.input_GB = dataset_GB;
+      scan.working_set_GB = dataset_GB;  // cached for iterative queries
+      scan.flops_per_byte = 0.3;
+      hpda::StageCost shuffle = scan;
+      shuffle.wide = true;
+      shuffle.shuffle_GB = dataset_GB * 0.2;
+      pipeline.push_back(scan);
+      pipeline.push_back(shuffle);
+      const auto est =
+          hpda::estimate_pipeline(pipeline, *v.module, v.nodes, *v.storage);
+      std::printf(" %14.1f%s", est.time_s, est.spilled ? " (S)" : "    ");
+    }
+    std::printf("\n");
+  }
+  std::printf("(S) = working set spilled beyond node DRAM\n\n");
+
+  // ---- real aggregation through the engine ------------------------------------
+  std::printf("--- correctness anchor: real reduce_by_key through hpda ---\n");
+  const auto tab = data::make_tabular(20000, 6, 4, 17);
+  std::vector<std::pair<int, double>> rows;
+  rows.reserve(20000);
+  for (std::size_t i = 0; i < 20000; ++i) {
+    rows.emplace_back(tab.y[i], static_cast<double>(tab.x.at2(i, 0)));
+  }
+  auto ds = hpda::Dataset<std::pair<int, double>>::from_vector(rows, 16);
+  auto per_class = ds.reduce_by_key(
+      [](const auto& r) { return r.first; },
+      [](const auto&) { return std::size_t{1}; },
+      [](std::size_t a, std::size_t b) { return a + b; });
+  std::printf("%8s %10s\n", "class", "count");
+  std::size_t total = 0;
+  for (const auto& [k, v] : per_class.collect()) {
+    std::printf("%8d %10zu\n", k, v);
+    total += v;
+  }
+  std::printf("total %zu (expect 20000): %s\n", total,
+              total == 20000 ? "ok" : "MISMATCH");
+
+  std::printf(
+      "\npaper shape: the DAM holds multi-TB working sets in module memory\n"
+      "where CPU-module nodes spill (or cannot run at all) — the design\n"
+      "rationale of Table I's large-memory nodes for Spark-style HPDA.\n");
+  return 0;
+}

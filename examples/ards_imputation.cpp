@@ -1,0 +1,111 @@
+// Health case study (paper Sec. IV-B): ARDS time-series analysis.
+//
+// Reproduces the exact model recipe of the paper: "two GRU layers with 32
+// units each, with dropout values of 0.2 ... followed by an output layer
+// (Dense layer of size 1). Loss is calculated using the Mean Absolute Error
+// (MAE) function and the optimisation is performed using the ADAM algorithm
+// with a learning rate of 1e-4."  Compares the GRU against the 1-D CNN the
+// paper also highlights, and against a mean-imputation baseline, on
+// MIMIC-III-like synthetic ICU series with missing values.
+#include <cstdio>
+
+#include "data/synthetic.hpp"
+#include "nn/loss.hpp"
+#include "nn/models.hpp"
+#include "nn/optimizer.hpp"
+
+namespace {
+
+using msa::nn::Tensor;
+
+/// Train a regression model with the paper's recipe; returns test MAE.
+double train_and_eval(msa::nn::Sequential& model, const Tensor& x_train,
+                      const Tensor& y_train, const Tensor& x_test,
+                      const Tensor& y_test, std::size_t epochs,
+                      const char* name, double lr) {
+  msa::nn::Adam opt(lr);
+  const std::size_t n = x_train.dim(0);
+  const std::size_t batch = 16;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    double loss_sum = 0.0;
+    std::size_t steps = 0;
+    for (std::size_t at = 0; at + batch <= n; at += batch) {
+      Tensor xb({batch, x_train.dim(1), x_train.dim(2)});
+      Tensor yb({batch, 1});
+      const std::size_t stride = x_train.dim(1) * x_train.dim(2);
+      std::copy(x_train.data() + at * stride,
+                x_train.data() + (at + batch) * stride, xb.data());
+      std::copy(y_train.data() + at, y_train.data() + at + batch, yb.data());
+      model.zero_grads();
+      Tensor pred = model.forward(xb, true);
+      auto res = msa::nn::mae_loss(pred, yb);
+      model.backward(res.grad);
+      opt.step(model.params(), model.grads());
+      loss_sum += res.loss;
+      ++steps;
+    }
+    if (epoch % 4 == 3) {
+      std::printf("  [%s] epoch %zu  train MAE %.4f\n", name, epoch,
+                  loss_sum / steps);
+    }
+  }
+  Tensor pred = model.forward(x_test, false);
+  return msa::nn::mae_loss(pred, y_test).loss;
+}
+
+}  // namespace
+
+int main() {
+  using namespace msa;
+
+  data::IcuConfig cfg;
+  cfg.patients = 48;
+  cfg.series_len = 72;
+  cfg.window = 16;
+  cfg.features = 5;
+  cfg.missing_rate = 0.2;
+  const auto train_ds = data::make_icu_timeseries(cfg);
+  cfg.seed = 91;
+  const auto test_ds = data::make_icu_timeseries(cfg);
+  const std::size_t in_features = cfg.features + 1;  // + observation mask
+
+  std::printf("== ARDS time-series imputation (Sec. IV-B recipe) ==\n");
+  std::printf("windows: %zu train / %zu test, %zu features (+mask), %.0f%% missing\n",
+              train_ds.num_windows(), test_ds.num_windows(),
+              static_cast<std::size_t>(cfg.features), cfg.missing_rate * 100);
+
+  // Baseline: predict the training-set mean of the target channel.
+  double mean_target = 0.0;
+  for (std::size_t i = 0; i < train_ds.num_windows(); ++i) {
+    mean_target += train_ds.targets.at2(i, 0);
+  }
+  mean_target /= static_cast<double>(train_ds.num_windows());
+  double baseline_mae = 0.0;
+  for (std::size_t i = 0; i < test_ds.num_windows(); ++i) {
+    baseline_mae += std::fabs(test_ds.targets.at2(i, 0) - mean_target);
+  }
+  baseline_mae /= static_cast<double>(test_ds.num_windows());
+
+  tensor::Rng rng(17);
+  auto gru = nn::make_ards_gru(in_features, rng);  // 2x GRU(32), dropout 0.2
+  std::printf("GRU model parameters: %zu\n", nn::parameter_count(*gru));
+  const double gru_mae =
+      train_and_eval(*gru, train_ds.windows, train_ds.targets,
+                     test_ds.windows, test_ds.targets, 16, "GRU 2x32",
+                     /*lr=*/1e-4);  // the paper's ADAM lr for the GRU
+
+  auto cnn = nn::make_ards_cnn1d(in_features, cfg.window, rng);
+  const double cnn_mae =
+      train_and_eval(*cnn, train_ds.windows, train_ds.targets,
+                     test_ds.windows, test_ds.targets, 16, "1D-CNN",
+                     /*lr=*/1e-3);  // the CNN uses its own tuned rate
+
+  std::printf("\n%-22s %10s\n", "method", "test MAE");
+  std::printf("%-22s %10.4f\n", "mean imputation", baseline_mae);
+  std::printf("%-22s %10.4f\n", "1D-CNN", cnn_mae);
+  std::printf("%-22s %10.4f\n", "GRU 2x32 (paper)", gru_mae);
+  std::printf("\nboth sequence models beat the baseline: %s\n",
+              (gru_mae < baseline_mae && cnn_mae < baseline_mae) ? "yes"
+                                                                 : "NO");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Simulation-sciences workload on the MSA (the *other* half of Fig. 2):
+// distributed Jacobi heat diffusion with halo exchange, run on the DEEP
+// Cluster Module — the "traditional HPC application" class whose regular
+// nearest-neighbour communication the paper contrasts with the
+// allreduce-heavy DL workloads.
+#include <cstdio>
+
+#include "comm/runtime.hpp"
+#include "core/machine_builder.hpp"
+#include "core/module.hpp"
+#include "hpc/jacobi.hpp"
+
+int main() {
+  using namespace msa;
+
+  const auto deep = core::make_deep_est();
+  const auto& cm = deep.module(core::ModuleKind::Cluster);
+
+  hpc::JacobiConfig cfg;
+  cfg.rows = 96;
+  cfg.cols = 2048;  // wide rows: per-rank compute comparable to halo cost
+  cfg.tolerance = 3e-5;
+
+  std::printf("== heat diffusion (Jacobi + halo exchange) on the %s module ==\n",
+              cm.name.c_str());
+  std::printf("grid %zux%zu, hot top edge, tolerance %.0e\n\n", cfg.rows,
+              cfg.cols, cfg.tolerance);
+
+  const auto serial = hpc::solve_jacobi(cfg);
+  std::printf("serial reference: %d iterations, residual %.2e\n",
+              serial.iterations, serial.residual);
+
+  std::printf("\n%8s %12s %14s %16s\n", "ranks", "iterations",
+              "max |err|", "modelled time");
+  for (int ranks : {1, 2, 4, 8}) {
+    comm::Runtime runtime(core::build_machine(deep, cm, ranks, false));
+    double max_err = 0.0;
+    int iters = 0;
+    runtime.run([&](comm::Comm& comm) {
+      const auto res = hpc::solve_jacobi_distributed(comm, cfg);
+      if (comm.rank() == 0) {
+        iters = res.iterations;
+        for (std::size_t i = 0; i < res.grid.numel(); ++i) {
+          max_err = std::max(max_err, static_cast<double>(std::fabs(
+                                          res.grid[i] - serial.grid[i])));
+        }
+      }
+    });
+    std::printf("%8d %12d %14.2e %13.2f ms\n", ranks, iters, max_err,
+                runtime.max_sim_time() * 1e3);
+  }
+
+  // Temperature profile down the middle column (a tiny visual check).
+  std::printf("\ncentre-column temperature profile (serial):\n");
+  for (std::size_t r = 0; r < cfg.rows; r += cfg.rows / 8) {
+    const float v = serial.grid.at2(r, cfg.cols / 2);
+    std::printf("row %3zu  %6.3f  |", r, v);
+    for (int k = 0; k < static_cast<int>(v * 50); ++k) std::printf("#");
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nthe distributed solver reproduces the serial grid exactly (same\n"
+      "arithmetic through the halo exchange).  Strong scaling saturates once\n"
+      "per-rank compute shrinks to the halo+reduce latency — the classic\n"
+      "reason Fig. 2 sends low/medium-scalable codes to the Cluster Module\n"
+      "and reserves the Booster for problems big enough to keep scaling\n"
+      "(the weak-scaling invariant is covered in the test suite).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quantum module case study (paper Sec. III-C): SVM training on a quantum
+// annealer, D-Wave 2000Q vs Advantage profiles.
+//
+// The dataset exceeds the annealer's qubit budget, so — exactly as in the
+// paper's workflow (ref [11]) — subsample ensembles are trained and combined.
+// A classical SMO SVM on the full data provides the reference accuracy.
+#include <cstdio>
+
+#include "data/synthetic.hpp"
+#include "ml/svm.hpp"
+#include "quantum/qa_svm.hpp"
+
+int main() {
+  using namespace msa;
+
+  const auto train = data::make_moons(400, 0.12, 71);
+  const auto test = data::make_moons(240, 0.12, 72);
+
+  ml::SvmConfig classical_cfg;
+  classical_cfg.kernel = {ml::KernelKind::Rbf, 2.0};
+  classical_cfg.C = 5.0;
+  const auto classical = ml::train_svm(train, classical_cfg);
+  const double classical_acc = classical.accuracy(test);
+
+  std::printf("== QA-SVM on the MSA quantum module (Sec. III-C) ==\n");
+  std::printf("dataset: %zu train / %zu test (two-moons)\n", train.size(),
+              test.size());
+  std::printf("classical SMO SVM accuracy: %.3f (%zu SVs)\n\n", classical_acc,
+              classical.num_support_vectors());
+
+  quantum::QaSvmConfig qcfg;
+  qcfg.kernel = {ml::KernelKind::Rbf, 2.0};
+  qcfg.encoding_bits = 2;
+  qcfg.anneal.reads = 16;
+  qcfg.anneal.sweeps = 100;
+
+  // Scale the device budgets down so the demo runs in seconds while keeping
+  // the paper's 2000Q : Advantage qubit ratio (2048 : 5000).
+  const quantum::AnnealerProfile scaled_2000q{"2000Q (scaled 1:32)", 64, 6016,
+                                              20.0, 120.0};
+  const quantum::AnnealerProfile scaled_adv{"Advantage (scaled 1:32)", 156,
+                                            35000, 20.0, 100.0};
+
+  std::printf("%-24s %10s %10s %12s %12s\n", "device", "subsample", "members",
+              "accuracy", "anneal time");
+  for (const auto& device : {scaled_2000q, scaled_adv}) {
+    quantum::QaSvmEnsemble ensemble;
+    ensemble.fit(train, device, /*members=*/9, qcfg);
+    std::printf("%-24s %10zu %10zu %12.3f %10.1f ms\n", device.name.c_str(),
+                ensemble.subsample_size(), ensemble.size(),
+                ensemble.accuracy(test),
+                ensemble.total_anneal_time_s() * 1e3);
+  }
+
+  std::printf(
+      "\nthe Advantage profile trains on larger subsamples, closing the gap\n"
+      "to the classical SVM — the Sec. III-C evolution from 2000 to 5000 "
+      "qubits.\n");
+  return 0;
+}

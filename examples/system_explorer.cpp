@@ -1,0 +1,78 @@
+// System explorer: inspect the modelled MSA systems, fabrics and placement
+// advice from the command line (a `scontrol`/`sinfo`-flavoured tour of the
+// library's hardware catalogue).
+//
+// Usage: ./system_explorer [deep|juwels]
+#include <cstdio>
+#include <cstring>
+
+#include "core/cloud.hpp"
+#include "core/module.hpp"
+#include "core/perfmodel.hpp"
+#include "core/workload.hpp"
+#include "simnet/fabric.hpp"
+
+namespace {
+
+void print_system(const msa::core::MsaSystem& sys) {
+  std::printf("system: %s (federation: %s)\n", sys.name().c_str(),
+              std::string(msa::simnet::to_string(sys.federation())).c_str());
+  std::printf("storage: %.0f TB, %.0f/%.0f GB/s read/write\n\n",
+              sys.storage().capacity_TB, sys.storage().read_GBps,
+              sys.storage().write_GBps);
+  std::printf("%-10s %-30s %7s %9s %12s %14s\n", "module", "node", "nodes",
+              "devices", "DRAM/node", "peak (tensor)");
+  for (const auto& m : sys.modules()) {
+    std::printf("%-10s %-30s %7d %9d %9.0f GB %11.1f TF%s\n", m.name.c_str(),
+                m.node.name.c_str(), m.node_count, m.total_devices(),
+                m.node.dram_GB, m.node.peak_flops(true) / 1e12,
+                m.gce ? " +GCE" : "");
+  }
+}
+
+void print_fabrics() {
+  std::printf("\n%-28s %12s %12s\n", "fabric", "latency", "bandwidth");
+  for (const auto& f : msa::simnet::all_fabric_profiles()) {
+    std::printf("%-28s %9.2f us %9.1f GB/s\n", f.name.c_str(),
+                f.link.latency_s * 1e6, f.link.bandwidth_Bps / 1e9);
+  }
+}
+
+void print_placement_advice(const msa::core::MsaSystem& sys) {
+  std::printf("\n-- placement advice for the catalogue workloads --\n");
+  std::printf("%-38s %-10s %7s %12s %12s\n", "workload", "module", "nodes",
+              "time", "energy");
+  for (const auto& w : msa::core::example_workload_mix()) {
+    const msa::core::Module* best_m = nullptr;
+    msa::core::BestPlacement best;
+    for (const auto& m : sys.modules()) {
+      const auto bp = msa::core::best_placement(w, m);
+      if (bp.nodes == 0) continue;
+      if (!best_m || bp.estimate.time_s < best.estimate.time_s) {
+        best = bp;
+        best_m = &m;
+      }
+    }
+    if (!best_m) {
+      std::printf("%-38s %-10s\n", w.name.c_str(), "infeasible");
+      continue;
+    }
+    std::printf("%-38s %-10s %7d %10.1f s %9.2f MJ\n", w.name.c_str(),
+                best_m->name.c_str(), best.nodes, best.estimate.time_s,
+                best.estimate.energy_J / 1e6);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool juwels = argc > 1 && std::strcmp(argv[1], "juwels") == 0;
+  const auto sys =
+      juwels ? msa::core::make_juwels() : msa::core::make_deep_est();
+  print_system(sys);
+  print_fabrics();
+  print_placement_advice(sys);
+  std::printf("\n(run with '%s' for the other system)\n",
+              juwels ? "deep" : "juwels");
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "comm/comm.hpp"
+
+#include <algorithm>
+
+namespace msa::comm {
+
+void Comm::send_bytes(std::span<const std::byte> bytes, int dest, int tag,
+                      bool charge_link) {
+  if (dest < 0 || dest >= size()) throw std::out_of_range("send: bad dest");
+  Envelope env;
+  env.comm_id = comm_id_;
+  env.src = rank_;
+  env.tag = tag;
+  env.charge_link = charge_link;
+  env.send_time_s = clock().now();
+  env.payload.assign(bytes.begin(), bytes.end());
+  state_->bytes_sent[static_cast<std::size_t>(world_rank())] += bytes.size();
+  const int dest_world = members_[static_cast<std::size_t>(dest)];
+  state_->mailboxes[static_cast<std::size_t>(dest_world)].put(std::move(env));
+}
+
+Envelope Comm::recv_envelope(int src, int tag) {
+  if (src != kAnySource && (src < 0 || src >= size())) {
+    throw std::out_of_range("recv: bad src");
+  }
+  Envelope env =
+      state_->mailboxes[static_cast<std::size_t>(world_rank())].get(comm_id_,
+                                                                    src, tag);
+  if (env.charge_link) {
+    const int src_world = members_[static_cast<std::size_t>(env.src)];
+    const auto& link = machine().link_between(src_world, world_rank());
+    clock().sync_to(env.send_time_s + link.transfer_time(env.payload.size()));
+  } else {
+    clock().sync_to(env.send_time_s);
+  }
+  return env;
+}
+
+void Comm::barrier() {
+  const int P = size();
+  if (P == 1) return;
+  const int tag = next_coll_tag();
+  // Dissemination barrier: round k talks to rank +/- 2^k.
+  for (int dist = 1; dist < P; dist <<= 1) {
+    const int to = (rank_ + dist) % P;
+    const int from = (rank_ + P - dist) % P;
+    send_bytes({}, to, tag, /*charge_link=*/true);
+    (void)recv_envelope(from, tag);
+  }
+}
+
+simnet::CollectiveAlgorithm Comm::auto_allreduce_alg(
+    std::size_t n_bytes) const {
+  const auto model = machine().collective_model(members_);
+  return model.best_allreduce(size(), n_bytes, machine().gce_usable(members_));
+}
+
+void Comm::sync_clocks_and_charge(double cost) {
+  const int tag = next_coll_tag();
+  // Max-reduce the clocks to vrank 0 with uncharged messages, then broadcast
+  // the result back.  recv_envelope already syncs to the sender's timestamp,
+  // so zero-payload messages suffice.
+  const int vrank = rank_;
+  for (int child : children_of(vrank)) {
+    (void)recv_envelope(child, tag);
+  }
+  if (vrank != 0) {
+    send_bytes({}, parent_of(vrank), tag, /*charge_link=*/false);
+    (void)recv_envelope(parent_of(vrank), tag);
+  }
+  for (int child : children_of(vrank)) {
+    send_bytes({}, child, tag, /*charge_link=*/false);
+  }
+  clock().advance(cost);
+}
+
+void Comm::charge_allreduce(std::uint64_t n_bytes,
+                            std::optional<simnet::CollectiveAlgorithm> alg,
+                            double overlap_credit_s) {
+  if (size() == 1) return;
+  const auto model = machine().collective_model(members_);
+  const auto chosen = alg.value_or(model.best_allreduce(
+      size(), n_bytes, machine().gce_usable(members_)));
+  const double cost = model.allreduce(size(), n_bytes, chosen);
+  sync_clocks_and_charge(std::max(0.0, cost - overlap_credit_s));
+}
+
+Comm Comm::split(int color, int key) {
+  // Exchange (color, key) pairs, then group by color ordered by (key, rank).
+  const int pair_mine[2] = {color, key};
+  std::vector<int> pairs = allgather(std::span<const int>(pair_mine, 2));
+  struct Entry {
+    int rank;
+    int color;
+    int key;
+  };
+  std::vector<Entry> mates;
+  for (int r = 0; r < size(); ++r) {
+    const int c = pairs[static_cast<std::size_t>(2 * r)];
+    const int k = pairs[static_cast<std::size_t>(2 * r + 1)];
+    if (c == color) mates.push_back({r, c, k});
+  }
+  std::stable_sort(mates.begin(), mates.end(), [](const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.rank < b.rank;
+  });
+  std::vector<int> members;
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < mates.size(); ++i) {
+    members.push_back(members_[static_cast<std::size_t>(mates[i].rank)]);
+    if (mates[i].rank == rank_) my_new_rank = static_cast<int>(i);
+  }
+  const std::uint64_t new_id =
+      state_->child_comm_id(comm_id_, split_seq_++, color);
+  return Comm(state_, new_id, std::move(members), my_new_rank);
+}
+
+}  // namespace msa::comm

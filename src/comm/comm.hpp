@@ -1,0 +1,595 @@
+// MPI-style communicator over the thread-backed runtime.
+//
+// This is the stand-in for MPI + Horovod's transport in the paper's software
+// stack.  Real bytes move between rank threads (numerics are exact); each
+// operation also advances the rank's simulated clock according to the simnet
+// cost models, so time measurements scale to rank counts far beyond the
+// host's physical cores (the "dual clock" described in DESIGN.md).
+//
+// Collectives are implemented with the textbook algorithms (binomial trees,
+// ring reduce-scatter/allgather, recursive halving-doubling) on top of the
+// timed point-to-point layer, so the simulated critical path *emerges* from
+// the algorithm rather than being asserted.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "comm/mailbox.hpp"
+#include "simnet/clock.hpp"
+#include "simnet/collective.hpp"
+#include "simnet/machine.hpp"
+
+namespace msa::comm {
+
+/// Element-wise combine operations for reductions.
+enum class ReduceOp { Sum, Max, Min, Prod };
+
+template <typename T>
+[[nodiscard]] T apply_reduce(ReduceOp op, T a, T b) {
+  switch (op) {
+    case ReduceOp::Sum: return a + b;
+    case ReduceOp::Max: return a > b ? a : b;
+    case ReduceOp::Min: return a < b ? a : b;
+    case ReduceOp::Prod: return a * b;
+  }
+  throw std::invalid_argument("unknown reduce op");
+}
+
+namespace detail {
+
+/// Runtime-wide state shared by every Comm handle.
+struct SharedState {
+  explicit SharedState(simnet::Machine m)
+      : machine(std::move(m)),
+        mailboxes(static_cast<std::size_t>(machine.ranks())),
+        clocks(static_cast<std::size_t>(machine.ranks())) {}
+
+  simnet::Machine machine;
+  std::vector<Mailbox> mailboxes;           // indexed by world rank
+  std::vector<simnet::SimClock> clocks;     // indexed by world rank
+  std::vector<std::uint64_t> bytes_sent =   // traffic accounting per rank
+      std::vector<std::uint64_t>(static_cast<std::size_t>(machine.ranks()), 0);
+
+  // Deterministic assignment of communicator ids across threads: the first
+  // rank to ask for (parent, split_seq, color) allocates the id, the rest
+  // look it up.
+  std::mutex id_mutex;
+  std::uint64_t next_comm_id = 1;  // 0 is the world communicator
+  std::map<std::tuple<std::uint64_t, std::uint64_t, int>, std::uint64_t>
+      child_ids;
+
+  std::uint64_t child_comm_id(std::uint64_t parent, std::uint64_t seq,
+                              int color) {
+    std::lock_guard lock(id_mutex);
+    auto key = std::make_tuple(parent, seq, color);
+    auto [it, inserted] = child_ids.try_emplace(key, next_comm_id);
+    if (inserted) ++next_comm_id;
+    return it->second;
+  }
+};
+
+}  // namespace detail
+
+/// A communicator handle bound to one rank (one per rank thread).
+///
+/// SPMD discipline applies, exactly as with MPI: all ranks of a communicator
+/// must call collectives in the same order.
+class Comm {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return static_cast<int>(members_.size()); }
+  [[nodiscard]] int world_rank() const { return members_[static_cast<std::size_t>(rank_)]; }
+
+  /// ---- simulated time ----------------------------------------------------
+
+  /// Current simulated time of this rank, seconds.
+  [[nodiscard]] double sim_now() const { return clock().now(); }
+
+  /// Charge compute time for a kernel of @p flops touching @p bytes, using
+  /// this rank's roofline profile.
+  void charge_compute(double flops, double bytes) {
+    clock().advance(machine().compute(world_rank()).kernel_time(flops, bytes));
+  }
+
+  /// Charge an explicit duration (e.g. measured host time scaled to target).
+  void charge_seconds(double s) { clock().advance(s); }
+
+  [[nodiscard]] const simnet::Machine& machine() const { return state_->machine; }
+
+  /// Total payload bytes this world rank has sent so far.
+  [[nodiscard]] std::uint64_t bytes_sent() const {
+    return state_->bytes_sent[static_cast<std::size_t>(world_rank())];
+  }
+
+  /// ---- point to point ----------------------------------------------------
+
+  template <typename T>
+  void send(std::span<const T> data, int dest, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(as_bytes(data), dest, tag, /*charge_link=*/true);
+  }
+
+  template <typename T>
+  void recv(std::span<T> out, int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Envelope env = recv_envelope(src, tag);
+    if (env.payload.size() != out.size_bytes()) {
+      throw std::runtime_error("recv: size mismatch");
+    }
+    std::memcpy(out.data(), env.payload.data(), env.payload.size());
+  }
+
+  /// Receive a message of unknown size.
+  template <typename T>
+  std::vector<T> recv_any_size(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Envelope env = recv_envelope(src, tag);
+    if (env.payload.size() % sizeof(T) != 0) {
+      throw std::runtime_error("recv_any_size: payload not a multiple of T");
+    }
+    std::vector<T> out(env.payload.size() / sizeof(T));
+    std::memcpy(out.data(), env.payload.data(), env.payload.size());
+    return out;
+  }
+
+  /// ---- collectives ---------------------------------------------------
+
+  /// Dissemination barrier (log P zero-payload rounds).
+  void barrier();
+
+  /// Binomial-tree broadcast of @p data from @p root.
+  template <typename T>
+  void bcast(std::span<T> data, int root) {
+    const int vrank = virtual_rank(rank(), root);
+    const int tag = next_coll_tag();
+    // Receive from parent, then forward to children, in virtual rank space.
+    if (vrank != 0) {
+      const int parent = actual_rank(parent_of(vrank), root);
+      recv_internal(data, parent, tag);
+    }
+    for (int child : children_of(vrank)) {
+      send(std::span<const T>(data.data(), data.size()),
+           actual_rank(child, root), tag);
+    }
+  }
+
+  /// Binomial-tree reduction to @p root (in place on root; other ranks'
+  /// buffers are used as scratch and keep their local contribution).
+  template <typename T>
+  void reduce(std::span<T> data, ReduceOp op, int root) {
+    const int vrank = virtual_rank(rank(), root);
+    const int tag = next_coll_tag();
+    std::vector<T> incoming(data.size());
+    // Children first (deepest subtrees), then send partial to parent.
+    for (int child : children_of(vrank)) {
+      recv_internal(std::span<T>(incoming), actual_rank(child, root), tag);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = apply_reduce(op, data[i], incoming[i]);
+      }
+    }
+    if (vrank != 0) {
+      send(std::span<const T>(data.data(), data.size()),
+           actual_rank(parent_of(vrank), root), tag);
+    }
+  }
+
+  /// Allreduce with explicit algorithm choice; defaults to a tuned pick
+  /// (ring for large payloads, tree for tiny, GCE when the fabric has one).
+  template <typename T>
+  void allreduce(std::span<T> data, ReduceOp op,
+                 std::optional<simnet::CollectiveAlgorithm> alg = {}) {
+    if (size() == 1) return;
+    const auto chosen = alg.value_or(auto_allreduce_alg(data.size_bytes()));
+    switch (chosen) {
+      case simnet::CollectiveAlgorithm::Ring:
+        ring_allreduce(data, op);
+        return;
+      case simnet::CollectiveAlgorithm::BinomialTree:
+        reduce(data, op, 0);
+        bcast(data, 0);
+        return;
+      case simnet::CollectiveAlgorithm::Rabenseifner:
+        rabenseifner_allreduce(data, op);
+        return;
+      case simnet::CollectiveAlgorithm::GceOffload:
+        gce_allreduce(data, op);
+        return;
+    }
+    throw std::invalid_argument("unknown allreduce algorithm");
+  }
+
+  /// Ring allgather: every rank contributes @p mine, returns concatenation
+  /// ordered by rank.  All contributions must have equal size.
+  template <typename T>
+  std::vector<T> allgather(std::span<const T> mine) {
+    const int P = size();
+    const std::size_t n = mine.size();
+    std::vector<T> out(n * static_cast<std::size_t>(P));
+    std::copy(mine.begin(), mine.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(n * static_cast<std::size_t>(rank())));
+    if (P == 1) return out;
+    const int tag = next_coll_tag();
+    const int right = (rank() + 1) % P;
+    const int left = (rank() + P - 1) % P;
+    // Pass blocks around the ring P-1 times.
+    int have = rank();  // block index we most recently obtained
+    for (int step = 0; step < P - 1; ++step) {
+      std::span<const T> outgoing(out.data() + n * static_cast<std::size_t>(have), n);
+      send(outgoing, right, tag);
+      const int incoming = (have + P - 1) % P;
+      std::span<T> in_block(out.data() + n * static_cast<std::size_t>(incoming), n);
+      recv_internal(in_block, left, tag);
+      have = incoming;
+    }
+    return out;
+  }
+
+  /// Gather equal-size contributions at @p root (binomial tree).  Returns the
+  /// concatenation at root, empty vector elsewhere.
+  template <typename T>
+  std::vector<T> gather(std::span<const T> mine, int root) {
+    const int P = size();
+    const std::size_t n = mine.size();
+    const int vrank = virtual_rank(rank(), root);
+    const int tag = next_coll_tag();
+    // Each node accumulates the blocks of its whole virtual subtree, indexed
+    // by virtual rank, then forwards one packed message to its parent.
+    std::vector<T> packed(mine.begin(), mine.end());  // block vrank..subtree
+    std::vector<int> block_vranks{vrank};
+    for (int child : children_of(vrank)) {
+      auto sub = recv_any_size_internal<T>(actual_rank(child, root), tag);
+      packed.insert(packed.end(), sub.begin(), sub.end());
+      const int subtree = subtree_size(child, P);
+      for (int i = 0; i < subtree; ++i) block_vranks.push_back(child + i);
+    }
+    if (vrank != 0) {
+      send(std::span<const T>(packed), actual_rank(parent_of(vrank), root), tag);
+      return {};
+    }
+    // Root: unpack from virtual-rank order into actual-rank order.
+    std::vector<T> out(n * static_cast<std::size_t>(P));
+    for (std::size_t b = 0; b < block_vranks.size(); ++b) {
+      const int ar = actual_rank(block_vranks[b], root);
+      std::copy(packed.begin() + static_cast<std::ptrdiff_t>(b * n),
+                packed.begin() + static_cast<std::ptrdiff_t>((b + 1) * n),
+                out.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(ar) * n));
+    }
+    return out;
+  }
+
+  /// Scatter equal-size chunks from @p root.  @p all is significant at root
+  /// only and must hold size()*chunk elements.  Returns this rank's chunk.
+  template <typename T>
+  std::vector<T> scatter(std::span<const T> all, std::size_t chunk, int root) {
+    const int tag = next_coll_tag();
+    if (rank() == root) {
+      if (all.size() != chunk * static_cast<std::size_t>(size())) {
+        throw std::runtime_error("scatter: bad source size");
+      }
+      for (int r = 0; r < size(); ++r) {
+        if (r == root) continue;
+        send(std::span<const T>(all.data() + chunk * static_cast<std::size_t>(r), chunk), r, tag);
+      }
+      return std::vector<T>(all.begin() + static_cast<std::ptrdiff_t>(chunk * static_cast<std::size_t>(root)),
+                            all.begin() + static_cast<std::ptrdiff_t>(chunk * static_cast<std::size_t>(root + 1)));
+    }
+    std::vector<T> mine(chunk);
+    recv_internal(std::span<T>(mine), root, tag);
+    return mine;
+  }
+
+  /// Ring reduce-scatter: @p data holds size()*chunk elements on every rank;
+  /// on return this rank's chunk [rank*chunk, (rank+1)*chunk) holds the
+  /// element-wise reduction across all ranks (other positions are scratch).
+  /// Returns a copy of the owned chunk.
+  template <typename T>
+  std::vector<T> reduce_scatter(std::span<T> data, std::size_t chunk,
+                                ReduceOp op) {
+    const int P = size();
+    if (data.size() != chunk * static_cast<std::size_t>(P)) {
+      throw std::runtime_error("reduce_scatter: data must be size()*chunk");
+    }
+    const int tag = next_coll_tag();
+    const int right = (rank() + 1) % P;
+    const int left = (rank() + P - 1) % P;
+    std::vector<T> incoming(chunk);
+    auto chunk_span = [&](int c) {
+      const int cc = ((c % P) + P) % P;
+      return std::span<T>(data.data() + chunk * static_cast<std::size_t>(cc),
+                          chunk);
+    };
+    // Chunk c starts at rank c+1 and walks the ring accumulating local
+    // contributions, arriving complete at rank c on the final step.
+    for (int step = 0; step < P - 1; ++step) {
+      auto out_chunk = chunk_span(rank() - step - 1);
+      auto in_chunk = chunk_span(rank() - step - 2);
+      send(std::span<const T>(out_chunk.data(), out_chunk.size()), right, tag);
+      std::span<T> in_buf(incoming.data(), chunk);
+      recv_internal(in_buf, left, tag);
+      for (std::size_t i = 0; i < chunk; ++i) {
+        in_chunk[i] = apply_reduce(op, in_chunk[i], in_buf[i]);
+      }
+    }
+    auto mine = chunk_span(rank());
+    return std::vector<T>(mine.begin(), mine.end());
+  }
+
+  /// Pairwise-exchange all-to-all: @p data holds size() blocks of @p chunk
+  /// elements (block r destined for rank r).  Returns the gathered blocks
+  /// ordered by source rank.
+  template <typename T>
+  std::vector<T> alltoall(std::span<const T> data, std::size_t chunk) {
+    const int P = size();
+    if (data.size() != chunk * static_cast<std::size_t>(P)) {
+      throw std::runtime_error("alltoall: data must be size()*chunk");
+    }
+    const int tag = next_coll_tag();
+    std::vector<T> out(data.size());
+    // Own block copies locally.
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(chunk * static_cast<std::size_t>(rank())),
+              data.begin() + static_cast<std::ptrdiff_t>(chunk * static_cast<std::size_t>(rank() + 1)),
+              out.begin() + static_cast<std::ptrdiff_t>(chunk * static_cast<std::size_t>(rank())));
+    // Pairwise exchange: at step s, swap with rank ^ s is only valid for
+    // power-of-two; use the general (rank + s) pattern instead.
+    for (int step = 1; step < P; ++step) {
+      const int to = (rank() + step) % P;
+      const int from = (rank() + P - step) % P;
+      send(std::span<const T>(
+               data.data() + chunk * static_cast<std::size_t>(to), chunk),
+           to, tag);
+      std::span<T> in(out.data() + chunk * static_cast<std::size_t>(from),
+                      chunk);
+      recv_internal(in, from, tag);
+    }
+    return out;
+  }
+
+  /// Advance every rank's clock as if an allreduce of @p n_bytes happened,
+  /// without moving that payload.  Used by performance-model benches to
+  /// price full-scale workloads (e.g. ResNet-50's 102 MB gradients) while
+  /// the numerics run on a scaled stand-in (see DESIGN.md, dual clock).
+  /// @p overlap_credit_s models Horovod's overlap of communication with the
+  /// backward pass: only the exposed remainder is charged.
+  void charge_allreduce(std::uint64_t n_bytes,
+                        std::optional<simnet::CollectiveAlgorithm> alg = {},
+                        double overlap_credit_s = 0.0);
+
+  /// Split into sub-communicators by @p color; ranks ordered by (key, rank).
+  [[nodiscard]] Comm split(int color, int key);
+
+  /// Duplicate this communicator (fresh tag space).
+  [[nodiscard]] Comm dup() { return split(0, rank()); }
+
+ private:
+  friend class Runtime;
+
+  Comm(std::shared_ptr<detail::SharedState> state, std::uint64_t comm_id,
+       std::vector<int> members, int rank)
+      : state_(std::move(state)),
+        comm_id_(comm_id),
+        members_(std::move(members)),
+        rank_(rank) {}
+
+  [[nodiscard]] simnet::SimClock& clock() const {
+    return state_->clocks[static_cast<std::size_t>(world_rank())];
+  }
+
+  template <typename T>
+  static std::span<const std::byte> as_bytes(std::span<const T> s) {
+    return {reinterpret_cast<const std::byte*>(s.data()), s.size_bytes()};
+  }
+
+  void send_bytes(std::span<const std::byte> bytes, int dest, int tag,
+                  bool charge_link);
+  Envelope recv_envelope(int src, int tag);
+
+  template <typename T>
+  void recv_internal(std::span<T> out, int src, int tag) {
+    recv(out, src, tag);
+  }
+
+  template <typename T>
+  std::vector<T> recv_any_size_internal(int src, int tag) {
+    return recv_any_size<T>(src, tag);
+  }
+
+  /// Fresh tag for one collective call; negative space, advances per call.
+  int next_coll_tag() {
+    // User tags are >= 0.  Collective tags cycle through a large negative
+    // range; 2^29 concurrent outstanding collectives would be needed to
+    // collide.
+    coll_seq_ = (coll_seq_ + 1) & 0x1FFFFFFF;
+    return -1 - coll_seq_;
+  }
+
+  [[nodiscard]] simnet::CollectiveAlgorithm auto_allreduce_alg(
+      std::size_t n_bytes) const;
+
+  // ---- binomial tree helpers in "virtual rank" space (root -> vrank 0) ----
+  [[nodiscard]] int virtual_rank(int r, int root) const {
+    return (r - root + size()) % size();
+  }
+  [[nodiscard]] int actual_rank(int vrank, int root) const {
+    return (vrank + root) % size();
+  }
+  [[nodiscard]] static int parent_of(int vrank) {
+    // Clear the lowest set bit.
+    return vrank & (vrank - 1);
+  }
+  [[nodiscard]] std::vector<int> children_of(int vrank) const {
+    // Children are vrank + 2^k for growing k while below lowest set bit of
+    // vrank (or any power of two for vrank 0), bounded by size().
+    std::vector<int> kids;
+    for (int bit = 1; vrank + bit < size(); bit <<= 1) {
+      if (vrank != 0 && (vrank & bit) != 0) break;
+      if ((vrank & (bit - 1)) != 0) break;
+      kids.push_back(vrank + bit);
+    }
+    // Order children so deeper subtrees are received last (better overlap).
+    return kids;
+  }
+  [[nodiscard]] static int subtree_size(int vrank, int P) {
+    // Size of the binomial subtree rooted at vrank within P ranks.
+    int span = vrank == 0 ? P : (vrank & -vrank);
+    return std::min(span, P - vrank);
+  }
+
+  template <typename T>
+  void ring_allreduce(std::span<T> data, ReduceOp op);
+
+  template <typename T>
+  void rabenseifner_allreduce(std::span<T> data, ReduceOp op);
+
+  template <typename T>
+  void gce_allreduce(std::span<T> data, ReduceOp op);
+
+  /// Max-synchronise all clocks in this communicator without charging link
+  /// time, then advance everyone by @p cost (used for offloaded collectives).
+  void sync_clocks_and_charge(double cost);
+
+  std::shared_ptr<detail::SharedState> state_;
+  std::uint64_t comm_id_;
+  std::vector<int> members_;  // comm rank -> world rank
+  int rank_;
+  int coll_seq_ = 0;
+  std::uint64_t split_seq_ = 0;
+};
+
+// ---- template implementations ----------------------------------------------
+
+template <typename T>
+void Comm::ring_allreduce(std::span<T> data, ReduceOp op) {
+  const int P = size();
+  const std::size_t n = data.size();
+  const int tag = next_coll_tag();
+  const int right = (rank() + 1) % P;
+  const int left = (rank() + P - 1) % P;
+  // Partition into P chunks (last chunks may be smaller/empty).
+  auto chunk_begin = [&](int c) {
+    const std::size_t base = n / static_cast<std::size_t>(P);
+    const std::size_t rem = n % static_cast<std::size_t>(P);
+    const auto uc = static_cast<std::size_t>(c);
+    return base * uc + std::min(uc, rem);
+  };
+  auto chunk_span = [&](int c) {
+    const int cc = ((c % P) + P) % P;
+    return std::span<T>(data.data() + chunk_begin(cc),
+                        chunk_begin(cc + 1) - chunk_begin(cc));
+  };
+  std::vector<T> incoming(n / static_cast<std::size_t>(P) + 1);
+  // Phase 1: reduce-scatter.  After step s, rank r owns the full reduction of
+  // chunk (r - s) (mod P) progressively.
+  for (int step = 0; step < P - 1; ++step) {
+    auto out_chunk = chunk_span(rank() - step);
+    auto in_chunk = chunk_span(rank() - step - 1);
+    send(std::span<const T>(out_chunk.data(), out_chunk.size()), right, tag);
+    std::span<T> in_buf(incoming.data(), in_chunk.size());
+    recv_internal(in_buf, left, tag);
+    for (std::size_t i = 0; i < in_chunk.size(); ++i) {
+      in_chunk[i] = apply_reduce(op, in_chunk[i], in_buf[i]);
+    }
+  }
+  // Phase 2: allgather of the reduced chunks.
+  for (int step = 0; step < P - 1; ++step) {
+    auto out_chunk = chunk_span(rank() + 1 - step);
+    auto in_chunk = chunk_span(rank() - step);
+    send(std::span<const T>(out_chunk.data(), out_chunk.size()), right, tag);
+    std::span<T> in_buf(in_chunk.data(), in_chunk.size());
+    recv_internal(in_buf, left, tag);
+  }
+}
+
+template <typename T>
+void Comm::rabenseifner_allreduce(std::span<T> data, ReduceOp op) {
+  // Recursive halving/doubling; requires a power-of-two rank count and a
+  // payload divisible by it (so windows halve evenly), otherwise falls back
+  // to the ring, which keeps numerics identical.
+  const int P = size();
+  if ((P & (P - 1)) != 0 || data.empty() ||
+      data.size() % static_cast<std::size_t>(P) != 0) {
+    ring_allreduce(data, op);
+    return;
+  }
+  const int tag = next_coll_tag();
+  const std::size_t n = data.size();
+  std::vector<T> incoming(n);
+  // Recursive halving reduce-scatter.
+  std::size_t lo = 0, hi = n;  // my active window
+  for (int dist = P / 2; dist >= 1; dist /= 2) {
+    const int partner = rank() ^ dist;
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const bool keep_low = (rank() & dist) == 0;
+    const std::size_t send_lo = keep_low ? mid : lo;
+    const std::size_t send_hi = keep_low ? hi : mid;
+    send(std::span<const T>(data.data() + send_lo, send_hi - send_lo), partner,
+         tag);
+    const std::size_t keep_lo = keep_low ? lo : mid;
+    const std::size_t keep_hi = keep_low ? mid : hi;
+    std::span<T> in_buf(incoming.data(), keep_hi - keep_lo);
+    recv_internal(in_buf, partner, tag);
+    for (std::size_t i = 0; i < in_buf.size(); ++i) {
+      data[keep_lo + i] = apply_reduce(op, data[keep_lo + i], in_buf[i]);
+    }
+    lo = keep_lo;
+    hi = keep_hi;
+  }
+  // Recursive doubling allgather (reverse the halving).
+  for (int dist = 1; dist < P; dist *= 2) {
+    const int partner = rank() ^ dist;
+    const std::size_t width = hi - lo;
+    send(std::span<const T>(data.data() + lo, width), partner, tag);
+    // Partner's window mirrors ours at this level.
+    const bool i_am_low = (rank() & dist) == 0;
+    const std::size_t other_lo = i_am_low ? hi : lo - width;
+    std::span<T> in_buf(data.data() + other_lo, width);
+    recv_internal(in_buf, partner, tag);
+    lo = std::min(lo, other_lo);
+    hi = lo + 2 * width;
+  }
+}
+
+template <typename T>
+void Comm::gce_allreduce(std::span<T> data, ReduceOp op) {
+  // Data path: software tree reduce + bcast with *no* link charges (the FPGA
+  // does this in-network); time path: max-sync + analytic GCE cost.
+  const int tag = next_coll_tag();
+  const int vrank = rank();  // root 0
+  std::vector<T> incoming(data.size());
+  for (int child : children_of(vrank)) {
+    Envelope env = recv_envelope(child, tag);
+    std::memcpy(incoming.data(), env.payload.data(), env.payload.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = apply_reduce(op, data[i], incoming[i]);
+    }
+  }
+  if (vrank != 0) {
+    send_bytes(as_bytes(std::span<const T>(data.data(), data.size())),
+               parent_of(vrank), tag, /*charge_link=*/false);
+  }
+  // Broadcast back, still uncharged.
+  if (vrank != 0) {
+    Envelope env = recv_envelope(parent_of(vrank), tag);
+    std::memcpy(data.data(), env.payload.data(), env.payload.size());
+  }
+  for (int child : children_of(vrank)) {
+    send_bytes(as_bytes(std::span<const T>(data.data(), data.size())), child,
+               tag, /*charge_link=*/false);
+  }
+  // Charge the hardware-offload cost model.
+  std::vector<int> world_members(members_);
+  const auto model = machine().collective_model(world_members);
+  sync_clocks_and_charge(model.allreduce(
+      size(), data.size_bytes(), simnet::CollectiveAlgorithm::GceOffload));
+}
+
+}  // namespace msa::comm

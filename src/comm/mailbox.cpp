@@ -1,0 +1,32 @@
+#include "comm/mailbox.hpp"
+
+namespace msa::comm {
+
+void Mailbox::put(Envelope env) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(env));
+  }
+  cv_.notify_all();
+}
+
+Envelope Mailbox::get(std::uint64_t comm_id, int src, int tag) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, comm_id, src, tag)) {
+        Envelope env = std::move(*it);
+        queue_.erase(it);
+        return env;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace msa::comm

@@ -1,0 +1,55 @@
+// Per-rank mailboxes for the thread-backed message-passing runtime.
+//
+// Every world rank owns one Mailbox.  Messages are matched MPI-style on
+// (communicator id, source rank, tag); recv blocks until a match arrives.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace msa::comm {
+
+/// Wildcard source for recv matching (MPI_ANY_SOURCE).
+inline constexpr int kAnySource = -1;
+
+/// A message in flight.  Payload bytes are owned; timestamps implement the
+/// dual-clock model (see simnet::SimClock).
+struct Envelope {
+  std::uint64_t comm_id = 0;  ///< communicator the message belongs to
+  int src = 0;                ///< source rank *within that communicator*
+  int tag = 0;                ///< user or internal tag
+  bool charge_link = true;    ///< false for internal clock-sync messages
+  double send_time_s = 0.0;   ///< sender's simulated clock at send
+  std::vector<std::byte> payload;
+};
+
+/// Thread-safe matching queue.  One per world rank.
+class Mailbox {
+ public:
+  /// Deposit a message (called from the sender's thread).
+  void put(Envelope env);
+
+  /// Block until a message matching (comm_id, src, tag) is available and
+  /// return it.  src may be kAnySource.
+  Envelope get(std::uint64_t comm_id, int src, int tag);
+
+  /// Number of queued messages (for tests / diagnostics).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  [[nodiscard]] bool matches(const Envelope& e, std::uint64_t comm_id, int src,
+                             int tag) const {
+    return e.comm_id == comm_id && e.tag == tag &&
+           (src == kAnySource || e.src == src);
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+};
+
+}  // namespace msa::comm

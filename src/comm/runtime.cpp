@@ -1,0 +1,57 @@
+#include "comm/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace msa::comm {
+
+Runtime::Runtime(simnet::Machine machine)
+    : state_(std::make_shared<detail::SharedState>(std::move(machine))) {}
+
+void Runtime::run(const std::function<void(Comm&)>& fn) {
+  const int P = ranks();
+  for (auto& c : state_->clocks) c.reset();
+  for (auto& b : state_->bytes_sent) b = 0;
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  std::vector<int> world_members(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) world_members[static_cast<std::size_t>(r)] = r;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(state_, /*comm_id=*/0, world_members, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<double> Runtime::sim_times() const {
+  std::vector<double> out;
+  out.reserve(state_->clocks.size());
+  for (const auto& c : state_->clocks) out.push_back(c.now());
+  return out;
+}
+
+double Runtime::max_sim_time() const {
+  double best = 0.0;
+  for (const auto& c : state_->clocks) best = std::max(best, c.now());
+  return best;
+}
+
+std::vector<std::uint64_t> Runtime::bytes_sent() const {
+  return state_->bytes_sent;
+}
+
+}  // namespace msa::comm

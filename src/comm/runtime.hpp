@@ -1,0 +1,48 @@
+// Runtime: spawns one std::thread per simulated rank and runs an SPMD
+// function, exactly like `mpirun -np P ./program`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "simnet/machine.hpp"
+
+namespace msa::comm {
+
+/// Owns the shared mailboxes/clocks and launches SPMD regions.
+///
+/// Usage:
+///   Runtime rt(Machine::homogeneous(8, 4, cfg, gpu));
+///   rt.run([](Comm& comm) { ... });
+///   double t = rt.max_sim_time();
+class Runtime {
+ public:
+  explicit Runtime(simnet::Machine machine);
+
+  /// Run @p fn on every rank concurrently; returns when all ranks finish.
+  /// Clocks reset at entry.  The first exception thrown by any rank is
+  /// rethrown here after all threads have joined.
+  void run(const std::function<void(Comm&)>& fn);
+
+  /// Simulated completion time of each rank after the last run().
+  [[nodiscard]] std::vector<double> sim_times() const;
+
+  /// Makespan: slowest rank's simulated completion time.
+  [[nodiscard]] double max_sim_time() const;
+
+  /// Payload bytes sent per world rank during the last run().
+  [[nodiscard]] std::vector<std::uint64_t> bytes_sent() const;
+
+  [[nodiscard]] int ranks() const { return state_->machine.ranks(); }
+  [[nodiscard]] const simnet::Machine& machine() const {
+    return state_->machine;
+  }
+
+ private:
+  std::shared_ptr<detail::SharedState> state_;
+};
+
+}  // namespace msa::comm

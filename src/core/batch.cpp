@@ -1,0 +1,190 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/timeline.hpp"
+#include "tensor/rng.hpp"
+
+namespace msa::core {
+
+namespace {
+
+struct Placement {
+  int module = -1;
+  int nodes = 0;
+  double duration = 0.0;
+};
+
+/// Pick the job's (module, nodes, duration) given its constraints.
+/// Interactive jobs minimise *duration on few nodes* (start latency is
+/// handled by queueing policy); batch jobs minimise duration.
+Placement plan_job(const BatchJob& job, const MsaSystem& system,
+                   bool tensor_cores) {
+  Placement best;
+  double best_time = std::numeric_limits<double>::infinity();
+  for (std::size_t mi = 0; mi < system.modules().size(); ++mi) {
+    const Module& m = system.modules()[mi];
+    if (job.required_module && m.kind != *job.required_module) continue;
+    std::vector<int> candidates;
+    if (job.requested_nodes > 0) {
+      candidates.push_back(std::min(job.requested_nodes, m.node_count));
+    } else {
+      for (int n = 1; n <= m.node_count; n *= 2) candidates.push_back(n);
+      candidates.push_back(std::min(job.workload.max_nodes, m.node_count));
+    }
+    for (int n : candidates) {
+      const auto est = estimate_placement(job.workload, m, n, tensor_cores);
+      if (!est.feasible) continue;
+      if (est.time_s < best_time) {
+        best_time = est.time_s;
+        best = {static_cast<int>(mi), n, est.time_s};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+BatchResult simulate_batch(const std::vector<BatchJob>& jobs,
+                           const MsaSystem& system,
+                           const BatchOptions& options) {
+  BatchResult result;
+
+  std::vector<ModuleTimeline> timelines;
+  for (const auto& m : system.modules()) timelines.emplace_back(m.node_count);
+  // The last *scheduled* start per module: without backfilling, FCFS means a
+  // later arrival may not start before an earlier queued job on the module.
+  std::vector<double> fcfs_floor(system.modules().size(), 0.0);
+
+  // Process in arrival order (stable for ties).
+  std::vector<const BatchJob*> order;
+  for (const auto& j : jobs) order.push_back(&j);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const BatchJob* a, const BatchJob* b) {
+                     return a->arrival_s < b->arrival_s;
+                   });
+
+  double busy_node_seconds = 0.0;
+  for (const BatchJob* job : order) {
+    const Placement plan = plan_job(*job, system, options.tensor_cores);
+    BatchOutcome out;
+    out.name = job->name;
+    out.arrival_s = job->arrival_s;
+    if (plan.module < 0) {
+      out.dropped = true;
+      result.metrics.dropped_jobs++;
+      result.outcomes.push_back(std::move(out));
+      continue;
+    }
+    auto& timeline = timelines[static_cast<std::size_t>(plan.module)];
+    const bool may_backfill =
+        options.backfilling ||
+        (options.interactive_priority && job->interactive);
+    double not_before = job->arrival_s;
+    if (!may_backfill) {
+      not_before = std::max(
+          not_before, fcfs_floor[static_cast<std::size_t>(plan.module)]);
+    }
+    const double start =
+        timeline.earliest_start(plan.nodes, plan.duration, not_before);
+    timeline.reserve(start, plan.duration, plan.nodes);
+    out.module = system.modules()[static_cast<std::size_t>(plan.module)].name;
+    out.nodes = plan.nodes;
+    out.start_s = start;
+    out.finish_s = start + plan.duration;
+    out.backfilled =
+        start < fcfs_floor[static_cast<std::size_t>(plan.module)];
+    if (out.backfilled) result.metrics.backfilled_jobs++;
+    fcfs_floor[static_cast<std::size_t>(plan.module)] =
+        std::max(fcfs_floor[static_cast<std::size_t>(plan.module)], start);
+    busy_node_seconds += plan.nodes * plan.duration;
+    result.metrics.makespan_s = std::max(result.metrics.makespan_s,
+                                         out.finish_s);
+    result.outcomes.push_back(std::move(out));
+  }
+
+  // Aggregate metrics.
+  double wait_sum = 0.0, iwait_sum = 0.0, bwait_sum = 0.0;
+  std::size_t n = 0, ni = 0, nb = 0;
+  for (std::size_t k = 0; k < result.outcomes.size(); ++k) {
+    const auto& o = result.outcomes[k];
+    if (o.dropped) continue;
+    wait_sum += o.wait_s();
+    ++n;
+    // Match outcome back to the job for the interactive flag.
+    const bool interactive = order[k]->interactive;
+    if (interactive) {
+      iwait_sum += o.wait_s();
+      ++ni;
+    } else {
+      bwait_sum += o.wait_s();
+      ++nb;
+    }
+  }
+  if (n) result.metrics.mean_wait_s = wait_sum / static_cast<double>(n);
+  if (ni) {
+    result.metrics.mean_interactive_wait_s = iwait_sum / static_cast<double>(ni);
+  }
+  if (nb) result.metrics.mean_batch_wait_s = bwait_sum / static_cast<double>(nb);
+  int total_nodes = 0;
+  for (const auto& m : system.modules()) total_nodes += m.node_count;
+  if (result.metrics.makespan_s > 0.0) {
+    result.metrics.utilisation =
+        busy_node_seconds / (total_nodes * result.metrics.makespan_s);
+  }
+  return result;
+}
+
+std::vector<BatchJob> make_mixed_trace(int batch_jobs,
+                                       int interactive_sessions,
+                                       std::uint64_t seed) {
+  tensor::Rng rng(seed);
+  std::vector<BatchJob> jobs;
+  const Workload batch_catalog[] = {wl_cfd_simulation(), wl_resnet_training(),
+                                    wl_svm_training(), wl_spark_analytics(),
+                                    wl_timeseries_gru()};
+  for (int i = 0; i < batch_jobs; ++i) {
+    BatchJob j;
+    const auto& base = batch_catalog[rng.uniform_index(5)];
+    j.workload = base;
+    j.workload.total_flops *= rng.uniform(0.2, 1.0);  // varied job sizes
+    j.name = "batch-" + std::to_string(i) + " (" + base.name + ")";
+    j.arrival_s = rng.uniform(0.0, 1500.0);
+    if (base.pattern == CommPattern::MapReduce) {
+      // Memory-hungry analytics belongs on the DAM — and leaves a few nodes
+      // free so interactive sessions can coexist when allowed to.
+      j.required_module = ModuleKind::DataAnalytics;
+      j.requested_nodes = 12;
+      j.workload.memory_per_node_GB = 200.0;
+      // Iterative queries stream the cached working set many times, so these
+      // occupy the DAM for real stretches (that is what makes interactive
+      // priority matter on a contended module).
+      j.workload.working_set_GB = 2400.0 * rng.uniform(40.0, 120.0);
+    }
+    jobs.push_back(std::move(j));
+  }
+  for (int i = 0; i < interactive_sessions; ++i) {
+    BatchJob j;
+    Workload w;
+    w.name = "jupyter";
+    w.total_flops = 5e13 * rng.uniform(0.5, 2.0);
+    w.working_set_GB = 2.0;
+    w.memory_per_node_GB = 64.0;  // big-memory notebooks -> the DAM
+    w.serial_fraction = 0.5;      // a human in the loop
+    w.pattern = CommPattern::None;
+    w.device = DevicePreference::CpuOnly;
+    w.max_nodes = 1;
+    j.workload = w;
+    j.name = "jupyter-" + std::to_string(i);
+    j.arrival_s = rng.uniform(0.0, 1500.0);
+    j.interactive = true;
+    j.requested_nodes = 1;
+    j.required_module = ModuleKind::DataAnalytics;
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+}  // namespace msa::core

@@ -1,0 +1,72 @@
+// Commercial-cloud venue models (paper Sec. III-B, "Conceptual
+// Interoperability with Commercial Clouds").
+//
+// The paper's concrete cost argument: "working with commercial clouds is
+// still challenging when using cutting-edge GPU types ... AWS EC2 24 USD per
+// hour rate for V100, i.e., p3.16xlarge.  Our RESNET-50 studies ... using
+// 128 GPUs for many hours, hence, we need to use still the cost-free HPC
+// computational time grants"; plus the Google Colaboratory limitation of
+// unconnected, randomly-assigned GPUs.  These profiles quantify exactly that
+// comparison.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/hardware.hpp"
+#include "core/module.hpp"
+#include "simnet/fabric.hpp"
+
+namespace msa::core {
+
+/// A rentable cloud instance type.
+struct CloudInstance {
+  std::string name;
+  GpuSpec gpu;
+  int gpus = 8;
+  double usd_per_hour = 24.48;
+  simnet::LinkModel inter_instance;  ///< network between instances
+  simnet::LinkModel intra_instance;  ///< NVLink within the instance
+  bool can_cluster = true;  ///< false for Colab-style free single GPUs
+};
+
+/// AWS p3.16xlarge: 8x V100, 25 Gb/s networking (the paper's "24 USD/hour").
+[[nodiscard]] CloudInstance aws_p3_16xlarge();
+/// AWS p4d.24xlarge: 8x A100, 400 Gb/s EFA.
+[[nodiscard]] CloudInstance aws_p4d_24xlarge();
+/// Google Colaboratory free tier: one arbitrary GPU, no interconnect.
+[[nodiscard]] CloudInstance colab_free();
+
+/// A distributed DL training job in the closed-form model used for venue
+/// comparisons.
+struct DlJob {
+  double fwd_flops_per_image = 3.9e9;  ///< ResNet-50 class
+  int per_gpu_batch = 64;
+  double grad_bytes = 102.4e6;  ///< fp32 gradients per step
+  /// BigEarthNet (590,326 patches) x 100 epochs, the scale of the paper's
+  /// Sedona et al. studies.
+  double total_images = 590'326.0 * 100;
+};
+
+/// Venue-agnostic estimate of data-parallel training wall time (hours):
+/// per-step = compute + exposed hierarchical ring allreduce.
+struct VenueEstimate {
+  double hours = 0.0;
+  double usd = 0.0;          ///< 0 for HPC grants
+  double step_time_s = 0.0;
+  bool feasible = true;
+  std::string note;
+};
+
+/// Train @p job on @p total_gpus GPUs spread over cloud instances.
+[[nodiscard]] VenueEstimate estimate_cloud_training(const CloudInstance& inst,
+                                                    int total_gpus,
+                                                    const DlJob& job);
+
+/// Same job on an MSA GPU module (grant-funded: cost reported as energy).
+[[nodiscard]] VenueEstimate estimate_hpc_training(const Module& module,
+                                                  int total_gpus,
+                                                  const DlJob& job,
+                                                  double eur_per_MWh = 250.0);
+
+}  // namespace msa::core

@@ -1,0 +1,146 @@
+#include "core/hardware.hpp"
+
+namespace msa::core {
+
+namespace {
+// Sustained fraction of peak for dense ML kernels; GPUs sustain a higher
+// fraction on GEMM-heavy work than CPUs do.
+constexpr double kGpuEfficiency = 0.60;
+constexpr double kCpuEfficiency = 0.35;
+}  // namespace
+
+simnet::ComputeProfile GpuSpec::compute_profile(bool tensor_cores) const {
+  simnet::ComputeProfile p;
+  p.name = name + (tensor_cores ? "/tc" : "/fp32");
+  p.peak_flops = (tensor_cores && tensor_tflops > 0.0 ? tensor_tflops
+                                                      : fp32_tflops) *
+                 1e12;
+  p.mem_bandwidth_Bps = mem_bw_GBps * 1e9;
+  p.efficiency = kGpuEfficiency;
+  p.power_watts = power_W;
+  return p;
+}
+
+simnet::ComputeProfile CpuSpec::compute_profile() const {
+  simnet::ComputeProfile p;
+  p.name = name;
+  p.peak_flops = peak_gflops() * 1e9;
+  p.mem_bandwidth_Bps = mem_bw_GBps * 1e9;
+  p.efficiency = kCpuEfficiency;
+  p.power_watts = power_W;
+  return p;
+}
+
+double NodeSpec::busy_W() const {
+  double w = idle_W + cpu_sockets * cpu.power_W;
+  if (gpu) w += gpus_per_node * gpu->power_W;
+  if (has_fpga) w += 75.0;  // Stratix10 board power
+  return w;
+}
+
+double NodeSpec::peak_flops(bool tensor_cores) const {
+  double f = cpu_sockets * cpu.peak_gflops() * 1e9;
+  if (gpu) {
+    const double g = tensor_cores && gpu->tensor_tflops > 0.0
+                         ? gpu->tensor_tflops
+                         : gpu->fp32_tflops;
+    f += gpus_per_node * g * 1e12;
+  }
+  return f;
+}
+
+simnet::ComputeProfile NodeSpec::device_profile(bool tensor_cores) const {
+  if (gpu && gpus_per_node > 0) return gpu->compute_profile(tensor_cores);
+  return cpu.compute_profile();
+}
+
+GpuSpec v100() {
+  return {"NVIDIA V100 SXM2", /*fp32*/ 15.7, /*tensor*/ 125.0 / 2,  // FP16 TC, derated for training mix
+          /*mem*/ 32.0, /*bw*/ 900.0, /*nvlink*/ 300.0, /*power*/ 300.0};
+}
+
+GpuSpec a100() {
+  return {"NVIDIA A100 SXM4", /*fp32*/ 19.5, /*tensor*/ 312.0 / 2,  // TF32/FP16 mix
+          /*mem*/ 40.0, /*bw*/ 1555.0, /*nvlink*/ 600.0, /*power*/ 400.0};
+}
+
+CpuSpec xeon_skylake_8168() {
+  return {"Xeon Platinum 8168", 24, 2.7, 32.0, 128.0, 205.0};
+}
+
+CpuSpec xeon_cascade_lake() {
+  return {"Xeon Cascade Lake 6230", 20, 2.1, 32.0, 140.0, 125.0};
+}
+
+CpuSpec epyc_rome_7402() {
+  return {"EPYC 7402 Rome", 24, 2.8, 16.0, 190.0, 180.0};
+}
+
+CpuSpec manycore_esb_cpu() {
+  // Sec. II-A: "each of the many CPU cores offers only moderate performance".
+  return {"many-core ESB CPU", 64, 1.4, 16.0, 220.0, 215.0};
+}
+
+NodeSpec deep_dam_node() {
+  NodeSpec n;
+  n.name = "DEEP DAM node (Table I)";
+  n.cpu = xeon_cascade_lake();
+  n.cpu_sockets = 2;
+  n.gpu = v100();
+  n.gpus_per_node = 1;
+  n.dram_GB = 384.0;
+  n.hbm_GB = 32.0;
+  n.nvme_TB = 3.0;  // 2x 1.5 TB NVMe SSD
+  n.fpga_mem_GB = 32.0;
+  n.has_fpga = true;
+  n.idle_W = 150.0;
+  return n;
+}
+
+NodeSpec deep_cm_node() {
+  NodeSpec n;
+  n.name = "DEEP CM node";
+  n.cpu = xeon_skylake_8168();
+  n.cpu_sockets = 2;
+  n.dram_GB = 192.0;
+  n.idle_W = 120.0;
+  return n;
+}
+
+NodeSpec deep_esb_node() {
+  NodeSpec n;
+  n.name = "DEEP ESB node";
+  n.cpu = manycore_esb_cpu();
+  n.cpu_sockets = 1;
+  n.gpu = v100();
+  n.gpus_per_node = 1;
+  n.dram_GB = 48.0;
+  n.hbm_GB = 32.0;
+  n.idle_W = 100.0;
+  return n;
+}
+
+NodeSpec juwels_cluster_node() {
+  NodeSpec n;
+  n.name = "JUWELS Cluster node";
+  n.cpu = xeon_skylake_8168();
+  n.cpu_sockets = 2;
+  n.dram_GB = 96.0;
+  n.idle_W = 120.0;
+  return n;
+}
+
+NodeSpec juwels_booster_node() {
+  NodeSpec n;
+  n.name = "JUWELS Booster node";
+  n.cpu = epyc_rome_7402();
+  n.cpu_sockets = 2;
+  n.gpu = a100();
+  n.gpus_per_node = 4;
+  n.dram_GB = 512.0;
+  n.hbm_GB = 160.0;
+  n.idle_W = 200.0;
+  return n;
+}
+
+}  // namespace msa::core

@@ -1,0 +1,98 @@
+// Hardware catalogue for the MSA systems described in the paper.
+//
+// Every number here is traceable: Table I of the paper (DEEP DAM), the JUWELS
+// Cluster/Booster configuration quoted in Sec. II-B, and vendor datasheets
+// for the V100 / A100 / Xeon parts.  These specs parameterise the simnet
+// roofline + network models, which is how performance results are produced
+// on hardware we do not have (see DESIGN.md substitution table).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "simnet/machine.hpp"
+
+namespace msa::core {
+
+/// GPU accelerator specification.
+struct GpuSpec {
+  std::string name;
+  double fp32_tflops = 0.0;    ///< peak FP32
+  double tensor_tflops = 0.0;  ///< peak with tensor cores (TF32/FP16 train)
+  double mem_GB = 0.0;         ///< HBM capacity
+  double mem_bw_GBps = 0.0;    ///< HBM bandwidth
+  double nvlink_GBps = 0.0;    ///< aggregate NVLink bandwidth
+  double power_W = 300.0;
+
+  /// Roofline compute profile; @p tensor_cores selects the tensor-core peak
+  /// (the paper notes A100 tensor cores make training "significantly faster").
+  [[nodiscard]] simnet::ComputeProfile compute_profile(
+      bool tensor_cores) const;
+};
+
+/// CPU socket specification.
+struct CpuSpec {
+  std::string name;
+  int cores = 1;
+  double ghz = 2.0;
+  double flops_per_cycle = 16.0;  ///< per core (AVX-512 FMA = 32 SP)
+  double mem_bw_GBps = 100.0;
+  double power_W = 150.0;
+
+  [[nodiscard]] double peak_gflops() const {
+    return cores * ghz * flops_per_cycle;
+  }
+  [[nodiscard]] simnet::ComputeProfile compute_profile() const;
+};
+
+/// One node of an MSA module.
+struct NodeSpec {
+  std::string name;
+  CpuSpec cpu;
+  int cpu_sockets = 2;
+  std::optional<GpuSpec> gpu;
+  int gpus_per_node = 0;
+  double dram_GB = 192.0;
+  double hbm_GB = 0.0;       ///< sum of GPU memory
+  double nvme_TB = 0.0;      ///< node-local NVMe (DEEP DAM: 2x 1.5 TB)
+  double fpga_mem_GB = 0.0;  ///< FPGA-attached DDR (DEEP DAM: 32 GB)
+  bool has_fpga = false;
+  double idle_W = 120.0;
+
+  /// Total board power when fully busy.
+  [[nodiscard]] double busy_W() const;
+  /// Aggregate FP32 flop/s (all sockets + all GPUs).
+  [[nodiscard]] double peak_flops(bool tensor_cores = false) const;
+  /// Fastest single execution resource (1 GPU if present, else 1 socket).
+  [[nodiscard]] simnet::ComputeProfile device_profile(
+      bool tensor_cores = false) const;
+};
+
+// ---- catalogue ---------------------------------------------------------------
+
+/// NVIDIA V100 SXM2 (DEEP DAM, JUWELS Cluster GPU partition).
+[[nodiscard]] GpuSpec v100();
+/// NVIDIA A100 SXM4 (JUWELS Booster).
+[[nodiscard]] GpuSpec a100();
+/// Intel Xeon Platinum 8168 "Skylake" (JUWELS Cluster).
+[[nodiscard]] CpuSpec xeon_skylake_8168();
+/// Intel Xeon "Cascade Lake" (DEEP DAM, Table I).
+[[nodiscard]] CpuSpec xeon_cascade_lake();
+/// AMD EPYC 7402 "Rome" (JUWELS Booster host CPU).
+[[nodiscard]] CpuSpec epyc_rome_7402();
+/// Many-core moderate-performance CPU (DEEP ESB character, cf. Sec. II-A).
+[[nodiscard]] CpuSpec manycore_esb_cpu();
+
+/// DEEP DAM node exactly per Table I: 2x Cascade Lake, 1x V100, 1x Stratix10,
+/// 384 GB DDR4 + 32 GB FPGA DDR4 + 32 GB HBM2, 2x 1.5 TB NVMe.
+[[nodiscard]] NodeSpec deep_dam_node();
+/// DEEP Cluster Module node: dual-socket Xeon, no accelerator.
+[[nodiscard]] NodeSpec deep_cm_node();
+/// DEEP ESB node: many-core + 1 V100, GCE-capable fabric.
+[[nodiscard]] NodeSpec deep_esb_node();
+/// JUWELS Cluster node: dual Xeon 8168, 96 GB.
+[[nodiscard]] NodeSpec juwels_cluster_node();
+/// JUWELS Booster node: dual EPYC + 4x A100.
+[[nodiscard]] NodeSpec juwels_booster_node();
+
+}  // namespace msa::core

@@ -1,0 +1,70 @@
+#include "core/machine_builder.hpp"
+
+#include <stdexcept>
+
+namespace msa::core {
+
+namespace {
+
+simnet::LinkModel intra_node_link(const Module& m) {
+  if (m.node.gpu && m.node.gpus_per_node > 1) {
+    // GPUs in one node talk over NVLink.
+    const auto kind = m.node.gpu->nvlink_GBps >= 500.0
+                          ? simnet::FabricKind::NVLink3
+                          : simnet::FabricKind::NVLink2;
+    return simnet::fabric_profile(kind).link;
+  }
+  // Same-node processes share memory: model as a very fast low-latency link.
+  return simnet::LinkModel{0.2e-6, 40e9, 0.05e-6};
+}
+
+}  // namespace
+
+simnet::Machine build_machine(
+    const MsaSystem& system,
+    const std::vector<ModuleAllocation>& allocations) {
+  if (allocations.empty()) {
+    throw std::invalid_argument("build_machine: no allocations");
+  }
+  simnet::MachineConfig config;
+  // Link hierarchy: take the *first* allocation's module as the reference for
+  // intra-node/intra-module links (mixed-module machines use the federation
+  // for cross-module traffic anyway).
+  const Module& primary = *allocations.front().module;
+  config.intra_node = intra_node_link(primary);
+  config.intra_module = simnet::fabric_profile(primary.fabric).link;
+  config.federation = simnet::fabric_profile(system.federation()).link;
+  config.gce_available = primary.gce;
+
+  std::vector<simnet::RankLocation> placement;
+  std::vector<simnet::ComputeProfile> compute;
+  int module_index = 0;
+  for (const auto& alloc : allocations) {
+    if (alloc.module == nullptr || alloc.ranks <= 0) {
+      throw std::invalid_argument("build_machine: bad allocation");
+    }
+    const Module& m = *alloc.module;
+    const int per_node =
+        m.node.gpus_per_node > 0 ? m.node.gpus_per_node : m.node.cpu_sockets;
+    const int max_ranks = m.node_count * per_node;
+    if (alloc.ranks > max_ranks) {
+      throw std::invalid_argument("build_machine: module " + m.name +
+                                  " has only " + std::to_string(max_ranks) +
+                                  " devices");
+    }
+    const auto profile = m.node.device_profile(alloc.tensor_cores);
+    for (int r = 0; r < alloc.ranks; ++r) {
+      placement.push_back({module_index, r / per_node, r % per_node});
+      compute.push_back(profile);
+    }
+    ++module_index;
+  }
+  return simnet::Machine(config, std::move(placement), std::move(compute));
+}
+
+simnet::Machine build_machine(const MsaSystem& system, const Module& module,
+                              int ranks, bool tensor_cores) {
+  return build_machine(system, {{&module, ranks, tensor_cores}});
+}
+
+}  // namespace msa::core

@@ -1,0 +1,33 @@
+// Builds simnet::Machine instances (for the comm runtime) from MSA modules.
+//
+// This is the glue that lets the *same* distributed-training code run "on"
+// the JUWELS Booster, the DEEP ESB, or a commodity cloud profile: ranks are
+// laid out over the module's devices and the link hierarchy is taken from
+// the module and federation fabrics.
+#pragma once
+
+#include <vector>
+
+#include "core/module.hpp"
+#include "simnet/machine.hpp"
+
+namespace msa::core {
+
+/// Ranks requested from one module.
+struct ModuleAllocation {
+  const Module* module = nullptr;
+  int ranks = 0;                 ///< devices to use (GPUs, or sockets if none)
+  bool tensor_cores = true;
+};
+
+/// Machine spanning one or more modules of @p system.  Rank order follows the
+/// allocation order; device placement packs nodes densely.
+[[nodiscard]] simnet::Machine build_machine(
+    const MsaSystem& system, const std::vector<ModuleAllocation>& allocations);
+
+/// Convenience: @p ranks GPU/CPU devices on a single module.
+[[nodiscard]] simnet::Machine build_machine(const MsaSystem& system,
+                                            const Module& module, int ranks,
+                                            bool tensor_cores = true);
+
+}  // namespace msa::core

@@ -1,0 +1,66 @@
+#include "core/module.hpp"
+
+namespace msa::core {
+
+std::string_view to_string(ModuleKind k) {
+  switch (k) {
+    case ModuleKind::Cluster: return "Cluster (CM)";
+    case ModuleKind::Booster: return "Booster";
+    case ModuleKind::ExtremeScaleBooster: return "Extreme Scale Booster (ESB)";
+    case ModuleKind::DataAnalytics: return "Data Analytics (DAM)";
+    case ModuleKind::ScalableStorage: return "Scalable Storage (SSSM)";
+    case ModuleKind::NetworkAttachedMemory: return "Network Attached Memory (NAM)";
+    case ModuleKind::Quantum: return "Quantum (QM)";
+  }
+  return "?";
+}
+
+const Module& MsaSystem::module(ModuleKind kind) const {
+  for (const auto& m : modules_) {
+    if (m.kind == kind) return m;
+  }
+  throw std::out_of_range(std::string("no module of kind ") +
+                          std::string(to_string(kind)) + " in " + name_);
+}
+
+bool MsaSystem::has_module(ModuleKind kind) const {
+  for (const auto& m : modules_) {
+    if (m.kind == kind) return true;
+  }
+  return false;
+}
+
+const Module& MsaSystem::module_by_name(const std::string& name) const {
+  for (const auto& m : modules_) {
+    if (m.name == name) return m;
+  }
+  throw std::out_of_range("no module named " + name + " in " + name_);
+}
+
+MsaSystem make_deep_est() {
+  MsaSystem sys("DEEP-EST", simnet::FabricKind::ExtollTourmalet,
+                StorageSpec{/*capacity*/ 500.0, /*read*/ 20.0, /*write*/ 15.0,
+                            /*latency*/ 2e-3});
+  Module cm{ModuleKind::Cluster, "CM", deep_cm_node(), 50,
+            simnet::FabricKind::InfinibandEDR, false};
+  Module esb{ModuleKind::ExtremeScaleBooster, "ESB", deep_esb_node(), 75,
+             simnet::FabricKind::ExtollTourmalet, /*gce=*/true};
+  Module dam{ModuleKind::DataAnalytics, "DAM", deep_dam_node(), 16,
+             simnet::FabricKind::ExtollTourmalet, false};
+  sys.add_module(cm).add_module(esb).add_module(dam);
+  return sys;
+}
+
+MsaSystem make_juwels() {
+  MsaSystem sys("JUWELS", simnet::FabricKind::InfinibandHDR,
+                StorageSpec{/*capacity*/ 14000.0, /*read*/ 250.0,
+                            /*write*/ 200.0, /*latency*/ 1.5e-3});
+  Module cluster{ModuleKind::Cluster, "Cluster", juwels_cluster_node(), 2583,
+                 simnet::FabricKind::InfinibandEDR, false};
+  Module booster{ModuleKind::Booster, "Booster", juwels_booster_node(), 936,
+                 simnet::FabricKind::InfinibandHDR, false};
+  sys.add_module(cluster).add_module(booster);
+  return sys;
+}
+
+}  // namespace msa::core

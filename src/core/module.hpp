@@ -1,0 +1,93 @@
+// MSA modules and whole-system descriptions (paper Fig. 1 and Sec. II-B).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/hardware.hpp"
+#include "simnet/fabric.hpp"
+
+namespace msa::core {
+
+/// The module kinds of Fig. 1.
+enum class ModuleKind {
+  Cluster,               ///< CM: fast multi-core CPUs, general purpose
+  Booster,               ///< highly scalable GPU module (JUWELS Booster)
+  ExtremeScaleBooster,   ///< ESB: many-core + GCE fabric (DEEP)
+  DataAnalytics,         ///< DAM: GPUs/FPGA + very large memory
+  ScalableStorage,       ///< SSSM: parallel file system
+  NetworkAttachedMemory, ///< NAM: shared dataset residency (prototype)
+  Quantum,               ///< QM: quantum annealer (JUNIQ)
+};
+
+[[nodiscard]] std::string_view to_string(ModuleKind k);
+
+/// One module: homogeneous nodes behind a module-specific interconnect.
+struct Module {
+  ModuleKind kind = ModuleKind::Cluster;
+  std::string name;
+  NodeSpec node;
+  int node_count = 1;
+  simnet::FabricKind fabric = simnet::FabricKind::InfinibandEDR;
+  bool gce = false;  ///< fabric has a Global Collective Engine
+
+  [[nodiscard]] int total_devices() const {
+    const int per_node =
+        node.gpus_per_node > 0 ? node.gpus_per_node : node.cpu_sockets;
+    return node_count * per_node;
+  }
+  [[nodiscard]] double total_dram_GB() const {
+    return node_count * node.dram_GB;
+  }
+  [[nodiscard]] double peak_flops(bool tensor_cores = false) const {
+    return node_count * node.peak_flops(tensor_cores);
+  }
+};
+
+/// Storage tier parameters of the SSSM / NAM modules.
+struct StorageSpec {
+  double capacity_TB = 1000.0;
+  double read_GBps = 100.0;   ///< aggregate parallel-FS read bandwidth
+  double write_GBps = 80.0;
+  double latency_s = 2e-3;
+};
+
+/// A full modular system: modules + federation network + storage.
+class MsaSystem {
+ public:
+  MsaSystem(std::string name, simnet::FabricKind federation,
+            StorageSpec storage)
+      : name_(std::move(name)), federation_(federation), storage_(storage) {}
+
+  MsaSystem& add_module(Module m) {
+    modules_.push_back(std::move(m));
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Module>& modules() const { return modules_; }
+  [[nodiscard]] simnet::FabricKind federation() const { return federation_; }
+  [[nodiscard]] const StorageSpec& storage() const { return storage_; }
+
+  /// First module of @p kind; throws if absent.
+  [[nodiscard]] const Module& module(ModuleKind kind) const;
+  [[nodiscard]] bool has_module(ModuleKind kind) const;
+  [[nodiscard]] const Module& module_by_name(const std::string& name) const;
+
+ private:
+  std::string name_;
+  simnet::FabricKind federation_;
+  StorageSpec storage_;
+  std::vector<Module> modules_;
+};
+
+/// The DEEP(-EST) prototype system: CM + ESB (GCE) + DAM (16 nodes, Table I)
+/// + SSSM, federated over EXTOLL.
+[[nodiscard]] MsaSystem make_deep_est();
+
+/// JUWELS: Cluster (2,583 nodes) + Booster (936 nodes x 4 A100 = 3,744 GPUs)
+/// + parallel storage, InfiniBand federation (Sec. II-B).
+[[nodiscard]] MsaSystem make_juwels();
+
+}  // namespace msa::core

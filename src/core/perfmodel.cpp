@@ -1,0 +1,138 @@
+#include "core/perfmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simnet/collective.hpp"
+
+namespace msa::core {
+
+namespace {
+
+// A CPU-only workload cannot use the node's accelerators: its rate and
+// efficiency come from the sockets alone.  GPU-capable workloads use the
+// whole node at GPU-class sustained efficiency.
+bool uses_gpu(const Workload& w, const Module& m) {
+  return m.node.gpus_per_node > 0 && w.device != DevicePreference::CpuOnly;
+}
+
+double node_flops(const Workload& w, const Module& m, bool tensor_cores) {
+  if (uses_gpu(w, m)) return m.node.peak_flops(tensor_cores) * 0.60;
+  return m.node.cpu_sockets * m.node.cpu.peak_gflops() * 1e9 * 0.35;
+}
+
+double node_mem_bw_Bps(const Workload& w, const Module& m) {
+  double bw = m.node.cpu_sockets * m.node.cpu.mem_bw_GBps * 1e9;
+  if (uses_gpu(w, m)) {
+    bw += m.node.gpus_per_node * m.node.gpu->mem_bw_GBps * 1e9;
+  }
+  return bw;
+}
+
+double comm_time(const Workload& w, const Module& m, int nodes) {
+  if (nodes <= 1 || w.pattern == CommPattern::None) return 0.0;
+  const auto& fabric = simnet::fabric_profile(m.fabric);
+  simnet::CollectiveModel model(fabric.link);
+  const auto bytes = static_cast<std::uint64_t>(w.comm_bytes_per_step);
+  double per_step = 0.0;
+  switch (w.pattern) {
+    case CommPattern::None:
+      break;
+    case CommPattern::Halo:
+      // Nearest-neighbour exchange: constant in node count.
+      per_step = fabric.link.transfer_time(bytes);
+      break;
+    case CommPattern::AllReduce: {
+      const auto alg = model.best_allreduce(nodes, bytes, m.gce);
+      per_step = model.allreduce(nodes, bytes, alg);
+      break;
+    }
+    case CommPattern::MapReduce:
+      // Shuffle: every node exchanges 1/N of its payload with each peer.
+      per_step = model.alltoall(
+          nodes, std::max<std::uint64_t>(1, bytes / static_cast<unsigned>(nodes)));
+      break;
+  }
+  return per_step * w.steps;
+}
+
+}  // namespace
+
+PlacementEstimate estimate_placement(const Workload& w, const Module& m,
+                                     int nodes, bool tensor_cores) {
+  PlacementEstimate e;
+  if (nodes < 1 || nodes > m.node_count) {
+    e.note = "node count outside module size";
+    return e;
+  }
+  if (nodes > w.max_nodes) {
+    e.note = "workload parallelism bound exceeded";
+    return e;
+  }
+  if (w.device == DevicePreference::GpuOnly && m.node.gpus_per_node == 0) {
+    e.note = "workload requires GPUs; module has none";
+    return e;
+  }
+  if (m.kind == ModuleKind::ScalableStorage || m.kind == ModuleKind::Quantum ||
+      m.kind == ModuleKind::NetworkAttachedMemory) {
+    e.note = "module is not a compute module";
+    return e;
+  }
+
+  const double node_capacity_GB = m.node.dram_GB + m.node.hbm_GB;
+  const double needed_GB = w.memory_per_node_GB;
+  double spill_s = 0.0;
+  if (needed_GB > node_capacity_GB) {
+    if (m.node.nvme_TB <= 0.0) {
+      e.note = "working set exceeds node memory and no NVMe tier";
+      return e;
+    }
+    // Spill the deficit to NVMe once per coupled step (conservative):
+    // NVMe sustained ~ 3 GB/s per device.
+    const double deficit_B = (needed_GB - node_capacity_GB) * 1e9;
+    const double nvme_bw = 3e9 * 2;
+    spill_s = static_cast<double>(std::max(1, w.steps)) * deficit_B / nvme_bw;
+  }
+
+  // Roofline per pass over the whole machine slice.
+  auto pass_time = [&](int n) {
+    const double r = node_flops(w, m, tensor_cores) * n;
+    const double mr = node_mem_bw_Bps(w, m) * n;
+    return std::max(w.total_flops / r, w.working_set_GB * 1e9 / mr);
+  };
+  const double t1 = pass_time(1);
+  const double tN = pass_time(nodes);
+  const double compute_s =
+      w.serial_fraction * t1 + (1.0 - w.serial_fraction) * tN;
+
+  const double comm_s = comm_time(w, m, nodes);
+
+  e.feasible = true;
+  e.compute_s = compute_s;
+  e.comm_s = comm_s;
+  e.spill_s = spill_s;
+  e.time_s = compute_s + comm_s + spill_s;
+  e.energy_J = nodes * m.node.busy_W() * e.time_s;
+  return e;
+}
+
+BestPlacement best_placement(const Workload& w, const Module& m,
+                             double energy_weight) {
+  BestPlacement best;
+  double best_score = std::numeric_limits<double>::infinity();
+  auto consider = [&](int n) {
+    const auto est = estimate_placement(w, m, n);
+    if (!est.feasible) return;
+    const double score = est.time_s + energy_weight * est.energy_J;
+    if (score < best_score) {
+      best_score = score;
+      best = {n, est};
+    }
+  };
+  for (int n = 1; n <= m.node_count; n *= 2) consider(n);
+  consider(m.node_count);
+  consider(std::min(w.max_nodes, m.node_count));
+  return best;
+}
+
+}  // namespace msa::core

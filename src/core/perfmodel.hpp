@@ -1,0 +1,43 @@
+// Analytic placement model: what does workload W cost on N nodes of module M?
+//
+// Combines the roofline compute model, Amdahl scaling, the simnet collective
+// cost models for the workload's communication pattern, and a spill penalty
+// when the footprint exceeds node memory (the DAM-vs-CM effect of Table I).
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "core/module.hpp"
+#include "core/workload.hpp"
+
+namespace msa::core {
+
+/// Result of evaluating one (workload, module, nodes) placement.
+struct PlacementEstimate {
+  bool feasible = false;
+  double time_s = std::numeric_limits<double>::infinity();
+  double energy_J = std::numeric_limits<double>::infinity();
+  double compute_s = 0.0;  ///< compute component of time
+  double comm_s = 0.0;     ///< communication component of time
+  double spill_s = 0.0;    ///< memory-spill component of time
+  std::string note;        ///< reason when infeasible
+};
+
+/// Evaluate @p workload on @p nodes nodes of @p module.
+/// @p tensor_cores enables the tensor-core peak for GPU modules (DL training).
+[[nodiscard]] PlacementEstimate estimate_placement(const Workload& workload,
+                                                   const Module& module,
+                                                   int nodes,
+                                                   bool tensor_cores = true);
+
+/// Best node count on this module (scans powers of two and the module limit).
+struct BestPlacement {
+  int nodes = 0;
+  PlacementEstimate estimate;
+};
+[[nodiscard]] BestPlacement best_placement(const Workload& workload,
+                                           const Module& module,
+                                           double energy_weight = 0.0);
+
+}  // namespace msa::core

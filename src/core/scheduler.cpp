@@ -1,0 +1,167 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "core/timeline.hpp"
+
+namespace msa::core {
+
+const Assignment& ScheduleResult::assignment_for(const std::string& job) const {
+  for (const auto& a : assignments) {
+    if (a.job == job) return a;
+  }
+  throw std::out_of_range("no assignment for job " + job);
+}
+
+
+ScheduleResult schedule(const std::vector<Workload>& jobs,
+                        const MsaSystem& system,
+                        const SchedulerOptions& options) {
+  ScheduleResult result;
+
+  std::vector<ModuleTimeline> timelines;
+  timelines.reserve(system.modules().size());
+  for (const auto& m : system.modules()) {
+    timelines.emplace_back(m.node_count);
+  }
+
+  // Longest-job-first ordering by best achievable runtime anywhere.
+  std::vector<const Workload*> order;
+  for (const auto& j : jobs) order.push_back(&j);
+  auto best_anywhere = [&](const Workload& w) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& m : system.modules()) {
+      const auto bp = best_placement(w, m, options.energy_weight);
+      if (bp.nodes > 0) best = std::min(best, bp.estimate.time_s);
+    }
+    return best;
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](const Workload* a, const Workload* b) {
+                     return best_anywhere(*a) > best_anywhere(*b);
+                   });
+
+  for (const Workload* job : order) {
+    double best_score = std::numeric_limits<double>::infinity();
+    Assignment best;
+    int best_module = -1;
+
+    for (std::size_t mi = 0; mi < system.modules().size(); ++mi) {
+      const Module& m = system.modules()[mi];
+      // Scan candidate node counts (powers of two + caps).
+      std::vector<int> candidates;
+      for (int n = 1; n <= m.node_count; n *= 2) candidates.push_back(n);
+      candidates.push_back(m.node_count);
+      candidates.push_back(std::min(job->max_nodes, m.node_count));
+      for (int n : candidates) {
+        const auto est =
+            estimate_placement(*job, m, n, options.tensor_cores);
+        if (!est.feasible) continue;
+        const double start = timelines[mi].earliest_start(n, est.time_s);
+        const double finish = start + est.time_s;
+        const double score = finish + options.energy_weight * est.energy_J;
+        if (score < best_score) {
+          best_score = score;
+          best = {job->name, m.name, n, start, finish, est.energy_J, est};
+          best_module = static_cast<int>(mi);
+        }
+      }
+    }
+
+    if (best_module < 0) {
+      result.unschedulable.push_back(job->name);
+      continue;
+    }
+    timelines[static_cast<std::size_t>(best_module)].reserve(
+        best.start_s, best.finish_s - best.start_s, best.nodes);
+    result.makespan_s = std::max(result.makespan_s, best.finish_s);
+    result.total_energy_J += best.energy_J;
+    result.assignments.push_back(std::move(best));
+  }
+
+  return result;
+}
+
+WorkflowScheduleResult schedule_workflows(
+    const std::vector<Workflow>& workflows, const MsaSystem& system,
+    const SchedulerOptions& options) {
+  WorkflowScheduleResult result;
+
+  std::vector<ModuleTimeline> timelines;
+  timelines.reserve(system.modules().size());
+  for (const auto& m : system.modules()) {
+    timelines.emplace_back(m.node_count);
+  }
+
+  for (const auto& wf : workflows) {
+    double ready = 0.0;  // phase i starts after phase i-1 finishes
+    bool failed = false;
+    std::vector<Assignment> phase_assignments;
+    std::vector<std::pair<int, Assignment>> reservations;
+
+    for (std::size_t pi = 0; pi < wf.phases.size(); ++pi) {
+      const auto& phase = wf.phases[pi];
+      double best_score = std::numeric_limits<double>::infinity();
+      Assignment best;
+      int best_module = -1;
+      for (std::size_t mi = 0; mi < system.modules().size(); ++mi) {
+        const Module& m = system.modules()[mi];
+        if (phase.required_module && m.kind != *phase.required_module) {
+          continue;
+        }
+        std::vector<int> candidates;
+        for (int n = 1; n <= m.node_count; n *= 2) candidates.push_back(n);
+        candidates.push_back(m.node_count);
+        candidates.push_back(std::min(phase.workload.max_nodes, m.node_count));
+        for (int n : candidates) {
+          const auto est =
+              estimate_placement(phase.workload, m, n, options.tensor_cores);
+          if (!est.feasible) continue;
+          double start = timelines[mi].earliest_start(n, est.time_s);
+          start = std::max(start, ready);
+          // Re-check availability at the dependency-shifted start.
+          if (timelines[mi].earliest_start(n, est.time_s) > start) continue;
+          const double finish = start + est.time_s;
+          const double score = finish + options.energy_weight * est.energy_J;
+          if (score < best_score) {
+            best_score = score;
+            best = {wf.name + "/" + phase.workload.name, m.name, n, start,
+                    finish, est.energy_J, est};
+            best_module = static_cast<int>(mi);
+          }
+        }
+      }
+      if (best_module < 0) {
+        failed = true;
+        break;
+      }
+      timelines[static_cast<std::size_t>(best_module)].reserve(
+          best.start_s, best.finish_s - best.start_s, best.nodes);
+      ready = best.finish_s;
+      reservations.emplace_back(best_module, best);
+      phase_assignments.push_back(std::move(best));
+    }
+
+    if (failed) {
+      // Roll back the reservations of the earlier phases (negative-node
+      // reservation re-adds the capacity).
+      for (const auto& [mi, a] : reservations) {
+        timelines[static_cast<std::size_t>(mi)].reserve(
+            a.start_s, a.finish_s - a.start_s, -a.nodes);
+      }
+      result.unschedulable.push_back(wf.name);
+      continue;
+    }
+    for (auto& a : phase_assignments) {
+      result.makespan_s = std::max(result.makespan_s, a.finish_s);
+      result.total_energy_J += a.energy_J;
+      result.assignments.push_back(std::move(a));
+    }
+  }
+  return result;
+}
+
+}  // namespace msa::core

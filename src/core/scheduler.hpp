@@ -1,0 +1,86 @@
+// Heterogeneous job scheduler over MSA modules.
+//
+// Implements the conclusion's claim: "scheduling heterogeneous workloads onto
+// matching combinations of MSA module resources".  A greedy earliest-finish
+// list scheduler assigns each job a (module, node-count) allocation using the
+// analytic placement model; modules track per-node availability so jobs
+// co-execute when capacity allows.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/module.hpp"
+#include "core/perfmodel.hpp"
+#include "core/workload.hpp"
+
+namespace msa::core {
+
+/// One scheduled job.
+struct Assignment {
+  std::string job;
+  std::string module;
+  int nodes = 0;
+  double start_s = 0.0;
+  double finish_s = 0.0;
+  double energy_J = 0.0;
+  PlacementEstimate estimate;
+};
+
+/// Outcome of scheduling a job mix.
+struct ScheduleResult {
+  std::vector<Assignment> assignments;
+  double makespan_s = 0.0;
+  double total_energy_J = 0.0;
+  std::vector<std::string> unschedulable;  ///< jobs no module could host
+
+  [[nodiscard]] const Assignment& assignment_for(const std::string& job) const;
+};
+
+/// Scheduling objective: minimise finish time, optionally trading energy.
+struct SchedulerOptions {
+  double energy_weight = 0.0;  ///< J weight added to seconds in the objective
+  bool tensor_cores = true;    ///< allow tensor-core peak on GPU modules
+};
+
+/// Greedy earliest-finish list scheduler.
+///
+/// Jobs are sorted by descending best-case runtime (longest first), then each
+/// is placed on the (module, nodes, start-time) triple minimising the
+/// objective given current module availability.
+[[nodiscard]] ScheduleResult schedule(const std::vector<Workload>& jobs,
+                                      const MsaSystem& system,
+                                      const SchedulerOptions& options = {});
+
+/// One phase of a multi-module workflow.
+struct WorkflowPhase {
+  Workload workload;
+  /// Pin the phase to a module kind (e.g. training on the Booster,
+  /// inference on the ESB — the Sec. II-A usage pattern); unset = any.
+  std::optional<ModuleKind> required_module;
+};
+
+/// An ordered pipeline of phases with data dependencies between them.
+struct Workflow {
+  std::string name;
+  std::vector<WorkflowPhase> phases;
+};
+
+/// Result of scheduling workflows: per-phase assignments preserving order.
+struct WorkflowScheduleResult {
+  std::vector<Assignment> assignments;  ///< job name = "workflow/phase-i"
+  double makespan_s = 0.0;
+  double total_energy_J = 0.0;
+  std::vector<std::string> unschedulable;
+};
+
+/// Schedules each workflow's phases in order: phase i starts no earlier
+/// than phase i-1 finishes, on the module minimising the objective (subject
+/// to required_module pins).  This realises the conclusion's "scheduling
+/// heterogeneous workloads onto matching *combinations* of MSA modules".
+[[nodiscard]] WorkflowScheduleResult schedule_workflows(
+    const std::vector<Workflow>& workflows, const MsaSystem& system,
+    const SchedulerOptions& options = {});
+
+}  // namespace msa::core

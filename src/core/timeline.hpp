@@ -1,0 +1,70 @@
+// Availability timeline of one module: time-indexed free-node tracking used
+// by both the static scheduler and the batch-system simulator.
+#pragma once
+
+#include <limits>
+#include <map>
+
+namespace msa::core {
+
+/// Exact piecewise-constant availability profile.  Kept simple (linear
+/// scans) — the mixes we schedule are hundreds of jobs, not millions.
+class ModuleTimeline {
+ public:
+  explicit ModuleTimeline(int nodes) : capacity_(nodes) {
+    free_[0.0] = nodes;
+  }
+
+  [[nodiscard]] int capacity() const { return capacity_; }
+
+  /// Earliest start >= @p not_before at which @p nodes are simultaneously
+  /// free for @p duration.
+  [[nodiscard]] double earliest_start(int nodes, double duration,
+                                      double not_before = 0.0) const {
+    if (nodes > capacity_) return std::numeric_limits<double>::infinity();
+    if (min_free_over(not_before, not_before + duration) >= nodes) {
+      return not_before;
+    }
+    for (const auto& [t, _] : free_) {
+      if (t < not_before) continue;
+      if (min_free_over(t, t + duration) >= nodes) return t;
+    }
+    return std::max(not_before, free_.rbegin()->first);
+  }
+
+  /// Reserve (or, with negative @p nodes, release) capacity.
+  void reserve(double start, double duration, int nodes) {
+    touch(start);
+    touch(start + duration);
+    for (auto it = free_.lower_bound(start);
+         it != free_.end() && it->first < start + duration; ++it) {
+      it->second -= nodes;
+    }
+  }
+
+ private:
+  void touch(double t) {
+    auto it = free_.upper_bound(t);
+    if (it == free_.begin()) {
+      free_.emplace(t, capacity_);
+      return;
+    }
+    --it;
+    if (it->first != t) free_.emplace(t, it->second);
+  }
+
+  [[nodiscard]] int min_free_over(double a, double b) const {
+    int mn = capacity_;
+    auto it = free_.upper_bound(a);
+    if (it != free_.begin()) --it;
+    for (; it != free_.end() && it->first < b; ++it) {
+      if (it->first + 1e-12 < b) mn = std::min(mn, it->second);
+    }
+    return mn;
+  }
+
+  int capacity_;
+  std::map<double, int> free_;  // time -> free nodes from that time onward
+};
+
+}  // namespace msa::core

@@ -1,0 +1,103 @@
+#include "core/workload.hpp"
+
+namespace msa::core {
+
+std::string_view to_string(CommPattern p) {
+  switch (p) {
+    case CommPattern::None: return "none";
+    case CommPattern::Halo: return "halo";
+    case CommPattern::AllReduce: return "allreduce";
+    case CommPattern::MapReduce: return "mapreduce";
+  }
+  return "?";
+}
+
+Workload wl_cfd_simulation() {
+  Workload w;
+  w.name = "CFD simulation (halo exchange)";
+  w.total_flops = 5e16;
+  w.working_set_GB = 40.0;
+  w.memory_per_node_GB = 4.0;
+  w.serial_fraction = 0.002;
+  w.pattern = CommPattern::Halo;
+  w.comm_bytes_per_step = 8e6;
+  w.steps = 2000;
+  w.device = DevicePreference::GpuPreferred;
+  return w;
+}
+
+Workload wl_resnet_training() {
+  Workload w;
+  w.name = "ResNet-50 distributed training";
+  w.total_flops = 1.2e18;  // ~BigEarthNet epoch volume x epochs
+  w.working_set_GB = 60.0;
+  w.memory_per_node_GB = 24.0;
+  w.serial_fraction = 0.001;
+  w.pattern = CommPattern::AllReduce;
+  w.comm_bytes_per_step = 102e6;  // ResNet-50 gradient size (25.6M params fp32)
+  w.steps = 40000;                // optimizer steps
+  w.device = DevicePreference::GpuOnly;
+  return w;
+}
+
+Workload wl_dl_inference() {
+  Workload w;
+  w.name = "DL inference scale-out";
+  w.total_flops = 4e15;
+  w.working_set_GB = 100.0;
+  w.memory_per_node_GB = 6.0;
+  w.serial_fraction = 0.0;
+  w.pattern = CommPattern::None;
+  w.device = DevicePreference::GpuPreferred;
+  return w;
+}
+
+Workload wl_spark_analytics() {
+  Workload w;
+  w.name = "Spark HPDA aggregation";
+  w.total_flops = 9e11;          // ~0.3 flops/byte: memory bound
+  w.working_set_GB = 3000.0;     // needs the DAM's big memory
+  w.memory_per_node_GB = 200.0;
+  w.serial_fraction = 0.01;
+  w.pattern = CommPattern::MapReduce;
+  w.comm_bytes_per_step = 2e9;   // shuffle volume per node
+  w.steps = 12;
+  w.device = DevicePreference::CpuOnly;
+  w.max_nodes = 64;
+  return w;
+}
+
+Workload wl_svm_training() {
+  Workload w;
+  w.name = "Cascade SVM training";
+  w.total_flops = 8e14;
+  w.working_set_GB = 5.0;
+  w.memory_per_node_GB = 3.0;
+  w.serial_fraction = 0.03;  // final merge level is serial
+  w.pattern = CommPattern::None;
+  w.device = DevicePreference::CpuOnly;
+  w.max_nodes = 256;
+  return w;
+}
+
+Workload wl_timeseries_gru() {
+  Workload w;
+  w.name = "GRU time-series training";
+  w.total_flops = 3e14;
+  w.working_set_GB = 2.0;
+  w.memory_per_node_GB = 4.0;
+  w.serial_fraction = 0.02;  // sequential dependency limits batch parallelism
+  w.pattern = CommPattern::AllReduce;
+  w.comm_bytes_per_step = 5e5;
+  w.steps = 20000;
+  w.device = DevicePreference::GpuPreferred;
+  w.max_nodes = 16;
+  return w;
+}
+
+std::vector<Workload> example_workload_mix() {
+  return {wl_cfd_simulation(),  wl_resnet_training(), wl_dl_inference(),
+          wl_spark_analytics(), wl_svm_training(),    wl_timeseries_gru()};
+}
+
+}  // namespace msa::core

@@ -1,0 +1,63 @@
+// Workload descriptors for the heterogeneous application mixes of Fig. 2.
+//
+// A Workload is the minimal analytic signature a scheduler needs: how much
+// arithmetic, how memory-hungry, how well it scales (Amdahl serial fraction),
+// and what communication pattern couples its tasks.  The catalogue at the
+// bottom encodes the paper's example communities (simulation sciences, DL
+// training, HPDA, quantum-assisted optimisation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msa::core {
+
+/// Inter-task coupling patterns; decides how comm cost scales with nodes.
+enum class CommPattern {
+  None,       ///< embarrassingly parallel (inference scale-out)
+  Halo,       ///< nearest-neighbour exchange (stencils / CFD)
+  AllReduce,  ///< global gradient reduction (data-parallel DL training)
+  MapReduce,  ///< shuffle-heavy analytics (Spark-style HPDA)
+};
+
+[[nodiscard]] std::string_view to_string(CommPattern p);
+
+/// Device classes a workload can meaningfully use.
+enum class DevicePreference {
+  CpuOnly,     ///< no accelerator code path
+  GpuPreferred,///< runs anywhere, much faster on GPUs
+  GpuOnly,     ///< DL training kernels
+};
+
+/// Analytic application signature.
+struct Workload {
+  std::string name;
+  double total_flops = 1e15;         ///< arithmetic to retire
+  double working_set_GB = 10.0;      ///< bytes streamed per full pass
+  double memory_per_node_GB = 8.0;   ///< resident footprint per node
+  double serial_fraction = 0.0;      ///< Amdahl non-parallelisable fraction
+  CommPattern pattern = CommPattern::None;
+  double comm_bytes_per_step = 0.0;  ///< payload per coupling step per node
+  int steps = 1;                     ///< number of coupled iterations
+  DevicePreference device = DevicePreference::CpuOnly;
+  int max_nodes = 1 << 20;           ///< intrinsic parallelism bound
+
+  /// Arithmetic intensity (flops per byte of working set).
+  [[nodiscard]] double intensity() const {
+    return total_flops / (working_set_GB * 1e9);
+  }
+};
+
+/// The Fig. 2 style mix: one representative per community the paper names.
+[[nodiscard]] std::vector<Workload> example_workload_mix();
+
+/// Individual catalogued workloads (also used by the placement bench).
+[[nodiscard]] Workload wl_cfd_simulation();        ///< regular halo, scalable
+[[nodiscard]] Workload wl_resnet_training();       ///< allreduce-heavy DL
+[[nodiscard]] Workload wl_dl_inference();          ///< embarrassingly parallel
+[[nodiscard]] Workload wl_spark_analytics();       ///< memory-hungry mapreduce
+[[nodiscard]] Workload wl_svm_training();          ///< CPU cascade SVM
+[[nodiscard]] Workload wl_timeseries_gru();        ///< small DL, sequence model
+
+}  // namespace msa::core

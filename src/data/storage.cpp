@@ -1,0 +1,82 @@
+#include "data/storage.hpp"
+
+#include <stdexcept>
+
+namespace msa::data {
+
+std::string_view to_string(StorageTier tier) {
+  switch (tier) {
+    case StorageTier::NodeLocalNvme: return "node-local NVMe";
+    case StorageTier::ParallelFs: return "parallel FS (SSSM)";
+    case StorageTier::NetworkMemory: return "network-attached memory (NAM)";
+    case StorageTier::DramCache: return "DRAM cache";
+  }
+  return "?";
+}
+
+TierSpec tier_spec(StorageTier tier, const core::StorageSpec& sssm) {
+  switch (tier) {
+    case StorageTier::NodeLocalNvme:
+      return {6.0, 3.0, 1e-4};  // 2x NVMe striped
+    case StorageTier::ParallelFs:
+      return {sssm.read_GBps, sssm.write_GBps, sssm.latency_s};
+    case StorageTier::NetworkMemory:
+      return {40.0, 35.0, 3e-6};  // RDMA to NAM over EXTOLL
+    case StorageTier::DramCache:
+      return {150.0, 150.0, 1e-7};
+  }
+  throw std::invalid_argument("unknown tier");
+}
+
+namespace {
+// Per-user NIC bandwidth when streaming from the NAM over the federation.
+constexpr double kNicGBps = 12.5;  // 100 Gb/s EXTOLL/IB link
+}  // namespace
+
+StagingCost stage_private_copies(const StagingScenario& s,
+                                 StorageTier private_tier,
+                                 const core::StorageSpec& sssm) {
+  const TierSpec src = tier_spec(StorageTier::ParallelFs, sssm);
+  const TierSpec dst = tier_spec(private_tier, sssm);
+  StagingCost c;
+  // Every user pulls a full copy through the shared FS — the duplicate
+  // downloads the NAM exists to eliminate.  Users split the FS bandwidth.
+  c.sssm_traffic_GB = s.dataset_GB * s.users;
+  c.copies_stored_GB = s.dataset_GB * s.users;
+  const double shared_read = c.sssm_traffic_GB / src.read_GBps;
+  const double local_write = s.dataset_GB / dst.write_GBps;  // in parallel
+  c.stage_time_s = shared_read + local_write;
+  const double epoch_reads =
+      s.epochs_per_user * s.dataset_GB / dst.read_GBps;  // per user, parallel
+  c.time_s = c.stage_time_s + epoch_reads;
+  return c;
+}
+
+StagingCost stage_nam_shared(const StagingScenario& s,
+                             const core::StorageSpec& sssm) {
+  const TierSpec src = tier_spec(StorageTier::ParallelFs, sssm);
+  const TierSpec nam = tier_spec(StorageTier::NetworkMemory, sssm);
+  StagingCost c;
+  // One staging into the NAM; one resident copy; one pass of FS traffic.
+  c.sssm_traffic_GB = s.dataset_GB;
+  c.copies_stored_GB = s.dataset_GB;
+  c.stage_time_s = s.dataset_GB / src.read_GBps;
+  // Epoch streaming: each user limited by its NIC or its share of the NAM.
+  const double per_user_bw =
+      std::min(kNicGBps, nam.read_GBps / std::max(1, s.users));
+  c.time_s = c.stage_time_s + s.epochs_per_user * s.dataset_GB / per_user_bw;
+  return c;
+}
+
+double stage_time_private_copies(const StagingScenario& s,
+                                 StorageTier private_tier,
+                                 const core::StorageSpec& sssm) {
+  return stage_private_copies(s, private_tier, sssm).time_s;
+}
+
+double stage_time_nam_shared(const StagingScenario& s,
+                             const core::StorageSpec& sssm) {
+  return stage_nam_shared(s, sssm).time_s;
+}
+
+}  // namespace msa::data

@@ -1,0 +1,70 @@
+// Storage-tier and dataset-staging models: SSSM (parallel file system) and
+// the NAM (Network Attached Memory) prototype of paper Sec. II-A.
+//
+// The NAM's selling point (ref [12]): research groups share one in-network
+// copy of a dataset instead of each user staging a private copy to node-local
+// storage.  stage_time() quantifies exactly that trade.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/module.hpp"
+
+namespace msa::data {
+
+/// Where a dataset lives / is staged to.
+enum class StorageTier {
+  NodeLocalNvme,   ///< DEEP DAM: 2x 1.5 TB NVMe per node
+  ParallelFs,      ///< SSSM Lustre/GPFS
+  NetworkMemory,   ///< NAM: RDMA-attached memory, shared residency
+  DramCache,       ///< node DRAM (fastest, smallest)
+};
+
+[[nodiscard]] std::string_view to_string(StorageTier tier);
+
+/// Bandwidth/latency of a tier (aggregate for parallel FS, per-node for
+/// local tiers).
+struct TierSpec {
+  double read_GBps = 1.0;
+  double write_GBps = 1.0;
+  double latency_s = 1e-4;
+};
+
+[[nodiscard]] TierSpec tier_spec(StorageTier tier,
+                                 const core::StorageSpec& sssm);
+
+/// One dataset staging scenario.
+struct StagingScenario {
+  double dataset_GB = 100.0;
+  int users = 8;             ///< group members who need the data
+  int epochs_per_user = 3;   ///< full passes over the data per user
+};
+
+/// Cost breakdown of a staging strategy.
+struct StagingCost {
+  double time_s = 0.0;            ///< wall time until all users finish
+  double stage_time_s = 0.0;      ///< time until data is ready for everyone
+  double sssm_traffic_GB = 0.0;   ///< bytes pulled through the shared FS
+  double copies_stored_GB = 0.0;  ///< duplicated capacity consumed
+};
+
+/// Every user stages a private copy from the SSSM to @p private_tier, then
+/// streams their epochs locally.
+[[nodiscard]] StagingCost stage_private_copies(const StagingScenario& s,
+                                               StorageTier private_tier,
+                                               const core::StorageSpec& sssm);
+
+/// One shared NAM residency: a single staging from the SSSM; users stream
+/// epochs over RDMA, limited by min(per-user NIC, their share of the NAM).
+[[nodiscard]] StagingCost stage_nam_shared(const StagingScenario& s,
+                                           const core::StorageSpec& sssm);
+
+/// Backwards-convenient wrappers returning total time.
+[[nodiscard]] double stage_time_private_copies(const StagingScenario& s,
+                                               StorageTier private_tier,
+                                               const core::StorageSpec& sssm);
+[[nodiscard]] double stage_time_nam_shared(const StagingScenario& s,
+                                           const core::StorageSpec& sssm);
+
+}  // namespace msa::data

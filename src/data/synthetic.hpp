@@ -1,0 +1,108 @@
+// Synthetic dataset generators standing in for the paper's datasets
+// (see the substitution table in DESIGN.md):
+//   * BigEarthNet (Sentinel-2 multispectral patches, ref [19])
+//   * COVIDx chest X-rays (ref [25])
+//   * MIMIC-III ICU multivariate time series (ref [31])
+// plus classic blobs/moons used by the SVM and annealer studies.
+//
+// Each generator produces class-conditional structure that the corresponding
+// model family can actually learn, so end-to-end training dynamics (accuracy
+// climbing, data-parallel equivalence, imputation error ordering) are
+// exercised for real.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/svm.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace msa::data {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+/// A labeled image-classification dataset (NCHW).
+struct ImageDataset {
+  Tensor images;                      ///< (N, C, H, W)
+  std::vector<std::int32_t> labels;   ///< (N)
+  std::size_t num_classes = 0;
+
+  [[nodiscard]] std::size_t size() const { return labels.size(); }
+  /// Copy rows @p indices into a batch tensor + label vector.
+  [[nodiscard]] std::pair<Tensor, std::vector<std::int32_t>> batch(
+      const std::vector<std::size_t>& indices) const;
+};
+
+/// BigEarthNet-like multispectral land-cover patches.
+///
+/// Classes are defined by band signatures (e.g. vegetation high in NIR) with
+/// per-patch illumination, spatial low-frequency texture, and pixel noise —
+/// enough structure that a small CNN reaches high accuracy while a linear
+/// model cannot trivially saturate.
+struct MultispectralConfig {
+  std::size_t samples = 512;
+  std::size_t bands = 4;      ///< e.g. B,G,R,NIR
+  std::size_t patch = 16;     ///< patch side length
+  std::size_t classes = 5;    ///< land-cover classes
+  float noise = 0.25f;
+  std::uint64_t seed = 2021;
+};
+[[nodiscard]] ImageDataset make_multispectral(const MultispectralConfig& cfg);
+
+/// COVIDx-like single-channel chest X-rays, 3 classes:
+/// 0 = normal, 1 = bacterial pneumonia (focal bright patch),
+/// 2 = COVID-19 (bilateral diffuse ground-glass texture), per ref [25].
+struct CxrConfig {
+  std::size_t samples = 384;
+  std::size_t size = 24;  ///< image side
+  float noise = 0.15f;
+  std::uint64_t seed = 19;
+};
+[[nodiscard]] ImageDataset make_cxr(const CxrConfig& cfg);
+
+/// MIMIC-III-like ICU vital-sign time series with missing values.
+///
+/// Channels are coupled AR(1) processes around physiological set-points with
+/// circadian modulation; channel 0 (the imputation target, a P/F-ratio-like
+/// oxygenation index) is driven by the others, so a sequence model can beat
+/// mean imputation by a wide margin.
+struct IcuConfig {
+  std::size_t patients = 64;
+  std::size_t series_len = 96;    ///< time steps per patient
+  std::size_t features = 6;       ///< vital-sign channels
+  std::size_t window = 24;        ///< model input window length
+  double missing_rate = 0.15;     ///< MCAR missingness on inputs
+  std::uint64_t seed = 3;
+};
+
+/// A windowed imputation task: predict target (next value of channel 0)
+/// from the preceding window with missing entries zero-filled + mask channel.
+struct IcuDataset {
+  Tensor windows;   ///< (N, window, features + 1) — last channel is the mask
+  Tensor targets;   ///< (N, 1)
+  std::size_t num_windows() const { return targets.dim(0); }
+};
+[[nodiscard]] IcuDataset make_icu_timeseries(const IcuConfig& cfg);
+
+/// Two-class Gaussian blobs (linearly separable-ish), labels in {-1, +1}.
+[[nodiscard]] ml::SvmProblem make_blobs(std::size_t n, double separation,
+                                        std::uint64_t seed = 5);
+
+/// Two interleaved half-moons (needs a non-linear kernel).
+[[nodiscard]] ml::SvmProblem make_moons(std::size_t n, double noise,
+                                        std::uint64_t seed = 6);
+
+/// Tabular regression-style features for HPDA/forest demos: y depends on
+/// thresholded feature interactions.
+struct TabularDataset {
+  Tensor x;
+  std::vector<std::int32_t> y;
+  std::size_t num_classes = 0;
+};
+[[nodiscard]] TabularDataset make_tabular(std::size_t n, std::size_t d,
+                                          std::size_t classes,
+                                          std::uint64_t seed = 8);
+
+}  // namespace msa::data

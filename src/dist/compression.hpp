@@ -1,0 +1,43 @@
+// IEEE-754 binary16 ("half") software emulation for gradient compression.
+//
+// Horovod's fp16 compression halves allreduce wire traffic; the paper's
+// 96/128-GPU runs rely on such bandwidth optimisations.  Half is trivially
+// copyable and has the arithmetic needed by comm::apply_reduce, so
+// comm.allreduce<Half>() works directly, moving 2 bytes per element.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace msa::dist {
+
+/// Convert FP32 -> FP16 bits with round-to-nearest-even and proper
+/// inf/nan/subnormal handling.
+[[nodiscard]] std::uint16_t float_to_half_bits(float f);
+
+/// Convert FP16 bits -> FP32.
+[[nodiscard]] float half_bits_to_float(std::uint16_t h);
+
+/// Arithmetic FP16 value type (sums performed in FP32, stored as FP16 —
+/// matching GPU half-precision accumulate-then-round semantics per hop).
+struct Half {
+  std::uint16_t bits = 0;
+
+  Half() = default;
+  explicit Half(float f) : bits(float_to_half_bits(f)) {}
+
+  [[nodiscard]] float to_float() const { return half_bits_to_float(bits); }
+
+  friend Half operator+(Half a, Half b) {
+    return Half(a.to_float() + b.to_float());
+  }
+  friend Half operator*(Half a, Half b) {
+    return Half(a.to_float() * b.to_float());
+  }
+  friend bool operator<(Half a, Half b) { return a.to_float() < b.to_float(); }
+  friend bool operator>(Half a, Half b) { return a.to_float() > b.to_float(); }
+};
+
+static_assert(sizeof(Half) == 2);
+
+}  // namespace msa::dist

@@ -1,0 +1,158 @@
+#include "dist/distributed.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "dist/compression.hpp"
+#include "tensor/rng.hpp"
+
+namespace msa::dist {
+
+void broadcast_parameters(comm::Comm& comm, nn::Layer& model, int root) {
+  for (nn::Tensor* p : model.params()) {
+    comm.bcast(p->flat(), root);
+  }
+}
+
+namespace {
+
+/// Visits gradient tensors grouped into flat buckets of at most bucket_bytes,
+/// calling reduce_fn(flat_span) per bucket and scattering results back.
+void bucketed_allreduce(comm::Comm& comm, const std::vector<nn::Tensor*>& grads,
+                        const AllreduceOptions& options) {
+  const std::size_t bucket_elems =
+      std::max<std::size_t>(1, options.bucket_bytes / sizeof(float));
+  std::vector<float> bucket;
+  bucket.reserve(bucket_elems);
+  struct Chunk {
+    nn::Tensor* tensor;
+    std::size_t offset;  // into the tensor
+    std::size_t count;
+  };
+  std::vector<Chunk> members;
+
+  const float inv_world = 1.0f / static_cast<float>(comm.size());
+
+  auto flush = [&] {
+    if (bucket.empty()) return;
+    if (options.fp16_compression) {
+      std::vector<Half> half(bucket.size());
+      for (std::size_t i = 0; i < bucket.size(); ++i) half[i] = Half(bucket[i]);
+      comm.allreduce(std::span<Half>(half), comm::ReduceOp::Sum,
+                     options.algorithm);
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        bucket[i] = half[i].to_float();
+      }
+    } else {
+      comm.allreduce(std::span<float>(bucket), comm::ReduceOp::Sum,
+                     options.algorithm);
+    }
+    // Scatter the averaged values back into the member tensors.
+    std::size_t pos = 0;
+    for (const Chunk& c : members) {
+      float* dst = c.tensor->data() + c.offset;
+      for (std::size_t i = 0; i < c.count; ++i) {
+        dst[i] = bucket[pos + i] * inv_world;
+      }
+      pos += c.count;
+    }
+    bucket.clear();
+    members.clear();
+  };
+
+  for (nn::Tensor* g : grads) {
+    std::size_t offset = 0;
+    while (offset < g->numel()) {
+      if (bucket.size() == bucket_elems) flush();
+      const std::size_t take =
+          std::min(g->numel() - offset, bucket_elems - bucket.size());
+      members.push_back({g, offset, take});
+      bucket.insert(bucket.end(), g->data() + offset,
+                    g->data() + offset + take);
+      offset += take;
+    }
+  }
+  flush();
+}
+
+}  // namespace
+
+void allreduce_gradients(comm::Comm& comm, nn::Layer& model,
+                         const AllreduceOptions& options) {
+  if (comm.size() == 1) return;
+  auto grads = model.grads();
+  bucketed_allreduce(comm, grads, options);
+}
+
+ShardedSampler::ShardedSampler(std::size_t dataset_size, int rank, int world,
+                               std::uint64_t seed)
+    : dataset_size_(dataset_size),
+      rank_(rank),
+      world_(world),
+      seed_(seed),
+      per_rank_(dataset_size / static_cast<std::size_t>(world)) {}
+
+std::vector<std::size_t> ShardedSampler::epoch_indices(
+    std::size_t epoch) const {
+  // Same permutation on all ranks (common seed + epoch), then strided shard.
+  std::vector<std::size_t> perm(dataset_size_);
+  std::iota(perm.begin(), perm.end(), 0);
+  tensor::Rng rng(seed_ + 0x51ED2701u * (epoch + 1));
+  for (std::size_t i = dataset_size_; i > 1; --i) {
+    const std::size_t j = rng.uniform_index(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  std::vector<std::size_t> mine;
+  mine.reserve(per_rank_);
+  for (std::size_t k = 0; k < per_rank_; ++k) {
+    mine.push_back(perm[k * static_cast<std::size_t>(world_) +
+                        static_cast<std::size_t>(rank_)]);
+  }
+  return mine;
+}
+
+DistributedTrainer::DistributedTrainer(comm::Comm& comm, nn::Layer& model,
+                                       nn::Optimizer& opt,
+                                       AllreduceOptions options)
+    : comm_(comm), model_(model), opt_(opt), options_(options) {}
+
+void DistributedTrainer::reduce_and_apply() {
+  // Gradients are per-microbatch means, so the cross-rank average equals the
+  // gradient of the global batch; size()==1 needs no reduction at all.
+  allreduce_gradients(comm_, model_, options_);
+  opt_.step(model_.params(), model_.grads());
+}
+
+StepResult DistributedTrainer::step_classification(
+    const nn::Tensor& x, const std::vector<std::int32_t>& labels) {
+  model_.zero_grads();
+  nn::Tensor logits = model_.forward(x, /*training=*/true);
+  auto res = nn::softmax_cross_entropy(logits, labels);
+  model_.backward(res.grad);
+  // Charge simulated device time: forward + 2x backward.
+  const double fwd_flops = model_.forward_flops();
+  comm_.charge_compute(3.0 * fwd_flops, 0.0);
+  reduce_and_apply();
+  return {res.loss, nn::accuracy(logits, labels)};
+}
+
+StepResult DistributedTrainer::step_regression(const nn::Tensor& x,
+                                               const nn::Tensor& target,
+                                               bool use_mae) {
+  model_.zero_grads();
+  nn::Tensor pred = model_.forward(x, /*training=*/true);
+  auto res = use_mae ? nn::mae_loss(pred, target) : nn::mse_loss(pred, target);
+  model_.backward(res.grad);
+  comm_.charge_compute(3.0 * model_.forward_flops(), 0.0);
+  reduce_and_apply();
+  return {res.loss, 0.0};
+}
+
+double DistributedTrainer::average_metric(double value) {
+  std::array<double, 1> v = {value};
+  comm_.allreduce(std::span<double>(v), comm::ReduceOp::Sum);
+  return v[0] / comm_.size();
+}
+
+}  // namespace msa::dist

@@ -1,0 +1,98 @@
+// Horovod-style data-parallel training primitives (the "distributed DL
+// training tools such as Horovod" of paper Sec. III-A, Fig. 3 N).
+//
+// The three pillars, exactly as in Horovod:
+//   1. broadcast_parameters      — all replicas start identical (bcast from 0)
+//   2. allreduce_gradients       — average grads each step, with tensor
+//                                  fusion (bucketing) and optional fp16
+//                                  compression
+//   3. ShardedSampler            — disjoint per-rank data shards, reshuffled
+//                                  each epoch with a common seed
+// plus a DistributedTrainer that ties them to the nn:: layer stack and
+// charges simulated compute time for the roofline model of the host device.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "nn/layer.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace msa::dist {
+
+/// Options for gradient reduction.
+struct AllreduceOptions {
+  std::size_t bucket_bytes = 4u << 20;  ///< Horovod-style tensor fusion size
+  bool fp16_compression = false;        ///< halve wire traffic via binary16
+  std::optional<simnet::CollectiveAlgorithm> algorithm;  ///< force algorithm
+};
+
+/// Broadcast every parameter tensor of @p model from @p root, so all
+/// replicas start from identical weights (Horovod broadcast_variables).
+void broadcast_parameters(comm::Comm& comm, nn::Layer& model, int root = 0);
+
+/// Sum-and-average all gradient tensors of @p model across ranks.
+/// Gradients are packed into buckets of at most bucket_bytes and allreduced
+/// bucket-by-bucket (tensor fusion), then scaled by 1/size.
+void allreduce_gradients(comm::Comm& comm, nn::Layer& model,
+                         const AllreduceOptions& options = {});
+
+/// Deterministic epoch-shuffled shard of [0, dataset_size) for one rank.
+/// All ranks use the same seed, so shards are disjoint and cover the set
+/// (up to equal-size truncation, as in practice with drop_last).
+class ShardedSampler {
+ public:
+  ShardedSampler(std::size_t dataset_size, int rank, int world,
+                 std::uint64_t seed = 42);
+
+  /// Indices owned by this rank for @p epoch; size() entries.
+  [[nodiscard]] std::vector<std::size_t> epoch_indices(std::size_t epoch) const;
+
+  /// Samples per rank per epoch (dataset_size / world, truncated).
+  [[nodiscard]] std::size_t size() const { return per_rank_; }
+
+ private:
+  std::size_t dataset_size_;
+  int rank_, world_;
+  std::uint64_t seed_;
+  std::size_t per_rank_;
+};
+
+/// Result of one distributed optimisation step.
+struct StepResult {
+  float loss = 0.0f;       ///< this rank's microbatch loss
+  double accuracy = 0.0;   ///< classification only
+};
+
+/// Data-parallel trainer wrapping a model replica on one rank.
+class DistributedTrainer {
+ public:
+  DistributedTrainer(comm::Comm& comm, nn::Layer& model, nn::Optimizer& opt,
+                     AllreduceOptions options = {});
+
+  /// Classification step on this rank's microbatch.  Forward, backward,
+  /// gradient allreduce, optimizer step; charges simulated compute time for
+  /// forward+backward (2x forward flops for backward, the standard model).
+  StepResult step_classification(const nn::Tensor& x,
+                                 const std::vector<std::int32_t>& labels);
+
+  /// Regression step (MAE when @p use_mae, else MSE) — the ARDS recipe.
+  StepResult step_regression(const nn::Tensor& x, const nn::Tensor& target,
+                             bool use_mae = true);
+
+  /// Average of a scalar across ranks (for loss/metric reporting).
+  [[nodiscard]] double average_metric(double value);
+
+ private:
+  void reduce_and_apply();
+
+  comm::Comm& comm_;
+  nn::Layer& model_;
+  nn::Optimizer& opt_;
+  AllreduceOptions options_;
+};
+
+}  // namespace msa::dist

@@ -1,0 +1,154 @@
+#include "dist/pipeline.hpp"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace msa::dist {
+
+namespace {
+constexpr int kActTag = 801;   // activations flowing forward
+constexpr int kGradTag = 802;  // gradients flowing backward
+constexpr int kLossTag = 803;  // scalar loss broadcast
+}  // namespace
+
+PipelineStage::PipelineStage(comm::Comm& comm,
+                             std::unique_ptr<nn::Sequential> stage,
+                             std::unique_ptr<nn::Optimizer> optimizer)
+    : comm_(comm), stage_(std::move(stage)), optimizer_(std::move(optimizer)) {
+  if (!stage_) throw std::invalid_argument("PipelineStage: null stage");
+}
+
+void PipelineStage::send_tensor(const nn::Tensor& t, int dest, int tag) {
+  // Header: ndim + dims as floats (exact for the sizes we use), then data.
+  std::vector<float> packed;
+  packed.push_back(static_cast<float>(t.ndim()));
+  for (std::size_t d = 0; d < t.ndim(); ++d) {
+    packed.push_back(static_cast<float>(t.dim(d)));
+  }
+  packed.insert(packed.end(), t.data(), t.data() + t.numel());
+  comm_.send(std::span<const float>(packed), dest, tag);
+}
+
+nn::Tensor PipelineStage::recv_tensor(int src, int tag) {
+  const auto packed = comm_.recv_any_size<float>(src, tag);
+  const auto ndim = static_cast<std::size_t>(packed[0]);
+  nn::Shape shape;
+  std::size_t numel = 1;
+  for (std::size_t d = 0; d < ndim; ++d) {
+    shape.push_back(static_cast<std::size_t>(packed[1 + d]));
+    numel *= shape.back();
+  }
+  nn::Tensor t(shape);
+  std::memcpy(t.data(), packed.data() + 1 + ndim, numel * sizeof(float));
+  return t;
+}
+
+float PipelineStage::step_classification(
+    const std::vector<nn::Tensor>& micro_inputs,
+    const std::vector<std::vector<std::int32_t>>& micro_labels) {
+  if (micro_inputs.size() != micro_labels.size() || micro_inputs.empty()) {
+    throw std::invalid_argument("pipeline step: bad microbatch lists");
+  }
+  stage_->zero_grads();
+  const int prev = comm_.rank() - 1;
+  const int next = comm_.rank() + 1;
+  double loss_sum = 0.0;
+
+  // Gradients accumulate across microbatches (layer contract), so one
+  // optimizer step at the end equals gradient-accumulated training.
+  for (std::size_t m = 0; m < micro_inputs.size(); ++m) {
+    nn::Tensor act = is_first() ? micro_inputs[m]
+                                : recv_tensor(prev, kActTag);
+    nn::Tensor out = stage_->forward(act, /*training=*/true);
+    nn::Tensor grad_in;
+    if (is_last()) {
+      auto res = nn::softmax_cross_entropy(out, micro_labels[m]);
+      // Scale so the accumulated gradient is the mean over microbatches.
+      res.grad.scale_(1.0f / static_cast<float>(micro_inputs.size()));
+      loss_sum += res.loss;
+      grad_in = std::move(res.grad);
+    } else {
+      send_tensor(out, next, kActTag);
+      grad_in = recv_tensor(next, kGradTag);
+    }
+    nn::Tensor grad_out = stage_->backward(grad_in);
+    if (!is_first()) {
+      send_tensor(grad_out, prev, kGradTag);
+    }
+  }
+  optimizer_->step(stage_->params(), stage_->grads());
+
+  // Broadcast the mean loss from the last stage.
+  float loss = static_cast<float>(loss_sum / micro_inputs.size());
+  std::array<float, 1> buf = {loss};
+  if (comm_.size() > 1) {
+    if (is_last()) {
+      for (int r = 0; r < comm_.size() - 1; ++r) {
+        comm_.send(std::span<const float>(buf), r, kLossTag);
+      }
+    } else {
+      comm_.recv(std::span<float>(buf), comm_.size() - 1, kLossTag);
+    }
+  }
+  return buf[0];
+}
+
+nn::Tensor PipelineStage::forward_inference(const nn::Tensor& x) {
+  nn::Tensor act = is_first() ? x : recv_tensor(comm_.rank() - 1, kActTag);
+  nn::Tensor out = stage_->forward(act, /*training=*/false);
+  if (!is_last()) {
+    send_tensor(out, comm_.rank() + 1, kActTag);
+    return {};
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<nn::Sequential>> partition_model(
+    std::unique_ptr<nn::Sequential> model, int parts) {
+  if (parts <= 0) throw std::invalid_argument("partition_model: parts <= 0");
+  // Greedy split by cumulative parameter count: each stage takes layers
+  // until it holds >= remaining_params / remaining_parts.
+  const std::size_t n_layers = model->size();
+  std::vector<std::size_t> layer_params(n_layers);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    layer_params[i] = 0;
+    for (auto* p : model->layer(i).params()) layer_params[i] += p->numel();
+    total += layer_params[i];
+  }
+
+  std::vector<std::unique_ptr<nn::Sequential>> stages;
+  // Sequential does not expose layer extraction; rebuild by *moving* the
+  // whole container is not possible either, so we re-wrap: Sequential
+  // releases nothing.  Instead, partition by index and move layers via a
+  // release API — added below as a friend-free approach: we reconstruct via
+  // take_layers().
+  std::size_t at = 0;
+  std::size_t remaining = total;
+  for (int part = 0; part < parts; ++part) {
+    auto stage = std::make_unique<nn::Sequential>();
+    const int remaining_parts = parts - part;
+    const std::size_t target = remaining / static_cast<std::size_t>(remaining_parts);
+    std::size_t acc = 0;
+    while (at < n_layers) {
+      // Leave at least one layer per remaining stage.
+      const std::size_t layers_left = n_layers - at;
+      if (layers_left <= static_cast<std::size_t>(remaining_parts - 1)) break;
+      stage->add(model->release_layer(at));
+      acc += layer_params[at];
+      ++at;
+      if (part + 1 < parts && acc >= target && acc > 0) break;
+    }
+    remaining -= acc;
+    stages.push_back(std::move(stage));
+  }
+  // Any leftover layers go to the last stage.
+  while (at < n_layers) {
+    stages.back()->add(model->release_layer(at));
+    ++at;
+  }
+  return stages;
+}
+
+}  // namespace msa::dist

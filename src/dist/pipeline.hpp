@@ -1,0 +1,65 @@
+// Pipeline (model) parallelism: the complementary axis to Horovod-style data
+// parallelism, as popularised by DeepSpeed (paper Sec. III-A) for models
+// whose parameters exceed one device's memory.
+//
+// The model is partitioned into consecutive stages, one per rank.  A global
+// batch is split into microbatches; activations flow forward through the
+// stage chain and gradients flow back, with parameter gradients accumulated
+// across microbatches before the (purely local) optimizer step.  The update
+// is mathematically identical to single-process training with gradient
+// accumulation over the same microbatches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "nn/layer.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace msa::dist {
+
+/// One rank's stage of a pipeline-parallel model.
+class PipelineStage {
+ public:
+  /// @p stage is this rank's sub-network.  Stages execute in rank order:
+  /// rank 0 holds the input stage, rank size()-1 the head + loss.
+  PipelineStage(comm::Comm& comm, std::unique_ptr<nn::Sequential> stage,
+                std::unique_ptr<nn::Optimizer> optimizer);
+
+  /// One training step over @p microbatches (classification).
+  /// Every rank passes the *full* list of microbatch inputs/labels; only the
+  /// first stage consumes the inputs and only the last stage the labels.
+  /// Returns the mean loss (valid on the last rank, broadcast to all).
+  float step_classification(
+      const std::vector<nn::Tensor>& micro_inputs,
+      const std::vector<std::vector<std::int32_t>>& micro_labels);
+
+  /// Inference over one batch: feeds forward through all stages and returns
+  /// logits on the *last* rank (empty tensor elsewhere).
+  nn::Tensor forward_inference(const nn::Tensor& x);
+
+  [[nodiscard]] nn::Sequential& stage() { return *stage_; }
+  [[nodiscard]] bool is_first() const { return comm_.rank() == 0; }
+  [[nodiscard]] bool is_last() const {
+    return comm_.rank() == comm_.size() - 1;
+  }
+
+ private:
+  /// Send a tensor with its shape header.
+  void send_tensor(const nn::Tensor& t, int dest, int tag);
+  nn::Tensor recv_tensor(int src, int tag);
+
+  comm::Comm& comm_;
+  std::unique_ptr<nn::Sequential> stage_;
+  std::unique_ptr<nn::Optimizer> optimizer_;
+};
+
+/// Partition a Sequential into @p parts stages of roughly equal parameter
+/// count (greedy by cumulative parameters).  Consumes the input network.
+[[nodiscard]] std::vector<std::unique_ptr<nn::Sequential>> partition_model(
+    std::unique_ptr<nn::Sequential> model, int parts);
+
+}  // namespace msa::dist

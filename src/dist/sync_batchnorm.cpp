@@ -1,0 +1,124 @@
+#include "dist/sync_batchnorm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace msa::dist {
+
+using nn::Tensor;
+
+SyncBatchNorm2D::SyncBatchNorm2D(std::size_t channels, comm::Comm& comm,
+                                 float momentum, float eps)
+    : channels_(channels),
+      comm_(comm),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(Tensor::ones({channels})),
+      beta_(Tensor::zeros({channels})),
+      ggamma_(Tensor::zeros({channels})),
+      gbeta_(Tensor::zeros({channels})),
+      running_mean_(Tensor::zeros({channels})),
+      running_var_(Tensor::ones({channels})) {}
+
+Tensor SyncBatchNorm2D::forward(const Tensor& x, bool training) {
+  if (x.ndim() != 4 || x.dim(1) != channels_) {
+    throw std::invalid_argument("SyncBatchNorm2D: bad input " + x.shape_str());
+  }
+  in_shape_ = x.shape();
+  const std::size_t B = x.dim(0), C = channels_, HW = x.dim(2) * x.dim(3);
+  Tensor y(x.shape());
+  xhat_ = Tensor(x.shape());
+  inv_std_.assign(C, 0.0f);
+
+  std::vector<double> stats(2 * C + 1, 0.0);  // [sum_c..., sumsq_c..., count]
+  if (training) {
+    for (std::size_t c = 0; c < C; ++c) {
+      double s = 0.0, s2 = 0.0;
+      for (std::size_t b = 0; b < B; ++b) {
+        const float* plane = x.data() + (b * C + c) * HW;
+        for (std::size_t i = 0; i < HW; ++i) {
+          s += plane[i];
+          s2 += static_cast<double>(plane[i]) * plane[i];
+        }
+      }
+      stats[c] = s;
+      stats[C + c] = s2;
+    }
+    stats[2 * C] = static_cast<double>(B * HW);
+    // Global statistics: one small allreduce across the replicas.
+    comm_.allreduce(std::span<double>(stats), comm::ReduceOp::Sum);
+    global_count_ = static_cast<std::size_t>(stats[2 * C]);
+  }
+
+  for (std::size_t c = 0; c < C; ++c) {
+    float mean, var;
+    if (training) {
+      const double n = stats[2 * C];
+      mean = static_cast<float>(stats[c] / n);
+      var = static_cast<float>(stats[C + c] / n -
+                               (stats[c] / n) * (stats[c] / n));
+      if (var < 0.0f) var = 0.0f;  // numerical floor
+      running_mean_[c] =
+          (1.0f - momentum_) * running_mean_[c] + momentum_ * mean;
+      running_var_[c] = (1.0f - momentum_) * running_var_[c] + momentum_ * var;
+    } else {
+      mean = running_mean_[c];
+      var = running_var_[c];
+    }
+    const float inv_std = 1.0f / std::sqrt(var + eps_);
+    inv_std_[c] = inv_std;
+    for (std::size_t b = 0; b < B; ++b) {
+      const float* in_plane = x.data() + (b * C + c) * HW;
+      float* xh_plane = xhat_.data() + (b * C + c) * HW;
+      float* out_plane = y.data() + (b * C + c) * HW;
+      for (std::size_t i = 0; i < HW; ++i) {
+        xh_plane[i] = (in_plane[i] - mean) * inv_std;
+        out_plane[i] = gamma_[c] * xh_plane[i] + beta_[c];
+      }
+    }
+  }
+  return y;
+}
+
+Tensor SyncBatchNorm2D::backward(const Tensor& grad_out) {
+  const std::size_t B = in_shape_[0], C = channels_,
+                    HW = in_shape_[2] * in_shape_[3];
+  Tensor gx(in_shape_);
+
+  // Local reduction terms, then one allreduce makes them global.
+  std::vector<double> terms(2 * C, 0.0);  // [sum_g..., sum_g_xhat...]
+  for (std::size_t c = 0; c < C; ++c) {
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (std::size_t b = 0; b < B; ++b) {
+      const float* g_plane = grad_out.data() + (b * C + c) * HW;
+      const float* xh_plane = xhat_.data() + (b * C + c) * HW;
+      for (std::size_t i = 0; i < HW; ++i) {
+        sum_g += g_plane[i];
+        sum_gx += static_cast<double>(g_plane[i]) * xh_plane[i];
+      }
+    }
+    terms[c] = sum_g;
+    terms[C + c] = sum_gx;
+  }
+  comm_.allreduce(std::span<double>(terms), comm::ReduceOp::Sum);
+
+  const auto n = static_cast<float>(global_count_);
+  for (std::size_t c = 0; c < C; ++c) {
+    const auto sum_g = static_cast<float>(terms[c]);
+    const auto sum_gx = static_cast<float>(terms[C + c]);
+    ggamma_[c] += sum_gx;  // gamma/beta grads are global (replicated layer)
+    gbeta_[c] += sum_g;
+    const float k = gamma_[c] * inv_std_[c] / n;
+    for (std::size_t b = 0; b < B; ++b) {
+      const float* g_plane = grad_out.data() + (b * C + c) * HW;
+      const float* xh_plane = xhat_.data() + (b * C + c) * HW;
+      float* gx_plane = gx.data() + (b * C + c) * HW;
+      for (std::size_t i = 0; i < HW; ++i) {
+        gx_plane[i] = k * (n * g_plane[i] - sum_g - xh_plane[i] * sum_gx);
+      }
+    }
+  }
+  return gx;
+}
+
+}  // namespace msa::dist

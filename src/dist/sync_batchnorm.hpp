@@ -1,0 +1,45 @@
+// Synchronised BatchNorm for data-parallel training.
+//
+// With small per-GPU microbatches (exactly the large-scale regime of the
+// paper's 96/128-GPU runs), per-replica batch statistics become noisy and
+// accuracy degrades; synchronised BN computes the statistics over the
+// *global* batch via two small allreduces per layer, keeping the distributed
+// model's semantics identical to a single large-batch model.
+#pragma once
+
+#include "comm/comm.hpp"
+#include "nn/layer.hpp"
+
+namespace msa::dist {
+
+/// BatchNorm over (B_global, H, W) per channel.  Forward allreduces the
+/// per-channel sums/squares; backward allreduces the per-channel gradient
+/// reduction terms, so gradients match single-process BN on the
+/// concatenated batch exactly.
+class SyncBatchNorm2D : public nn::Layer {
+ public:
+  SyncBatchNorm2D(std::size_t channels, comm::Comm& comm,
+                  float momentum = 0.1f, float eps = 1e-5f);
+
+  nn::Tensor forward(const nn::Tensor& x, bool training) override;
+  nn::Tensor backward(const nn::Tensor& grad_out) override;
+  std::vector<nn::Tensor*> params() override { return {&gamma_, &beta_}; }
+  std::vector<nn::Tensor*> grads() override { return {&ggamma_, &gbeta_}; }
+  [[nodiscard]] std::string name() const override { return "SyncBatchNorm2D"; }
+
+  [[nodiscard]] const nn::Tensor& running_mean() const { return running_mean_; }
+  [[nodiscard]] const nn::Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::size_t channels_;
+  comm::Comm& comm_;
+  float momentum_, eps_;
+  nn::Tensor gamma_, beta_, ggamma_, gbeta_;
+  nn::Tensor running_mean_, running_var_;
+  nn::Tensor xhat_;
+  std::vector<float> inv_std_;
+  std::size_t global_count_ = 0;  // B_global * H * W per channel
+  nn::Shape in_shape_;
+};
+
+}  // namespace msa::dist

@@ -1,0 +1,86 @@
+#include "dist/zero.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace msa::dist {
+
+ZeroOptimizer::ZeroOptimizer(comm::Comm& comm,
+                             std::unique_ptr<nn::Optimizer> inner)
+    : comm_(comm), inner_(std::move(inner)) {
+  if (!inner_) throw std::invalid_argument("ZeroOptimizer: null inner");
+}
+
+void ZeroOptimizer::initialise(const std::vector<nn::Tensor*>& params) {
+  total_ = 0;
+  for (const nn::Tensor* p : params) total_ += p->numel();
+  const auto P = static_cast<std::size_t>(comm_.size());
+  padded_ = (total_ + P - 1) / P * P;
+  shard_elems_ = padded_ / P;
+  param_shard_ = nn::Tensor({shard_elems_});
+  grad_shard_ = nn::Tensor({shard_elems_});
+  flat_.assign(padded_, 0.0f);
+  initialised_ = true;
+}
+
+void ZeroOptimizer::step(const std::vector<nn::Tensor*>& params,
+                         const std::vector<nn::Tensor*>& grads) {
+  if (params.size() != grads.size()) {
+    throw std::invalid_argument("ZeroOptimizer::step: list size mismatch");
+  }
+  if (!initialised_) initialise(params);
+
+  const auto P = static_cast<std::size_t>(comm_.size());
+  const float inv_world = 1.0f / static_cast<float>(P);
+  const std::size_t my_lo = shard_elems_ * static_cast<std::size_t>(comm_.rank());
+
+  // 1. Flatten gradients and reduce-scatter: my shard receives the sum.
+  std::size_t at = 0;
+  for (const nn::Tensor* g : grads) {
+    std::copy(g->data(), g->data() + g->numel(), flat_.begin() + static_cast<std::ptrdiff_t>(at));
+    at += g->numel();
+  }
+  std::fill(flat_.begin() + static_cast<std::ptrdiff_t>(total_), flat_.end(), 0.0f);
+  const auto reduced = comm_.size() > 1
+                           ? comm_.reduce_scatter(std::span<float>(flat_),
+                                                  shard_elems_,
+                                                  comm::ReduceOp::Sum)
+                           : std::vector<float>(flat_.begin(),
+                                                flat_.begin() + static_cast<std::ptrdiff_t>(shard_elems_));
+  for (std::size_t i = 0; i < shard_elems_; ++i) {
+    grad_shard_[i] = reduced[i] * inv_world;
+  }
+
+  // 2. Load my parameter slice and run the inner update rule on it.
+  at = 0;
+  for (const nn::Tensor* p : params) {
+    const std::size_t lo = at, hi = at + p->numel();
+    const std::size_t s = std::max(lo, my_lo);
+    const std::size_t e = std::min(hi, my_lo + shard_elems_);
+    for (std::size_t i = s; i < e; ++i) {
+      param_shard_[i - my_lo] = (*p)[i - lo];
+    }
+    at = hi;
+  }
+  std::vector<nn::Tensor*> ps = {&param_shard_};
+  std::vector<nn::Tensor*> gs = {&grad_shard_};
+  inner_->step(ps, gs);
+
+  // 3. Allgather the updated shards and scatter back into the tensors.
+  std::vector<float> gathered;
+  if (comm_.size() > 1) {
+    gathered = comm_.allgather(
+        std::span<const float>(param_shard_.data(), shard_elems_));
+  } else {
+    gathered.assign(param_shard_.data(), param_shard_.data() + shard_elems_);
+  }
+  at = 0;
+  for (nn::Tensor* p : params) {
+    std::copy(gathered.begin() + static_cast<std::ptrdiff_t>(at),
+              gathered.begin() + static_cast<std::ptrdiff_t>(at + p->numel()),
+              p->data());
+    at += p->numel();
+  }
+}
+
+}  // namespace msa::dist

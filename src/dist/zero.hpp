@@ -1,0 +1,61 @@
+// ZeRO stage-1 optimizer state sharding (the key memory optimisation of
+// DeepSpeed, which the paper names alongside Horovod in Sec. III-A).
+//
+// Instead of every data-parallel replica holding full optimizer state
+// (Adam's m/v are 2x the model size), each rank owns 1/P of the flattened
+// parameter space:
+//   1. gradients are ring reduce-scattered (each rank receives the summed
+//      gradient of *its* shard only — half the allreduce traffic),
+//   2. the inner optimizer updates just the local shard (state memory 1/P),
+//   3. updated parameter shards are ring-allgathered back to every replica.
+// The update is element-wise, so the result is bit-identical to a full
+// allreduce + full optimizer step modulo summation order.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "nn/optimizer.hpp"
+
+namespace msa::dist {
+
+class ZeroOptimizer {
+ public:
+  /// @p inner performs the actual update rule on this rank's shard.
+  ZeroOptimizer(comm::Comm& comm, std::unique_ptr<nn::Optimizer> inner);
+
+  /// One sharded update step.  Parameter/gradient lists must be stable
+  /// across calls (the flattening layout is fixed on first use).
+  void step(const std::vector<nn::Tensor*>& params,
+            const std::vector<nn::Tensor*>& grads);
+
+  /// Elements of the parameter space this rank's optimizer state covers.
+  [[nodiscard]] std::size_t shard_elements() const { return shard_elems_; }
+  /// Total (padded) flattened size.
+  [[nodiscard]] std::size_t padded_elements() const { return padded_; }
+
+  /// Optimizer-state memory per rank relative to unsharded data parallelism
+  /// (1/P for element-wise optimizers).
+  [[nodiscard]] double state_memory_fraction() const {
+    return static_cast<double>(shard_elems_) / static_cast<double>(padded_);
+  }
+
+  void set_lr(double lr) { inner_->set_lr(lr); }
+  [[nodiscard]] double lr() const { return inner_->lr(); }
+
+ private:
+  void initialise(const std::vector<nn::Tensor*>& params);
+
+  comm::Comm& comm_;
+  std::unique_ptr<nn::Optimizer> inner_;
+  std::size_t total_ = 0;        // true element count
+  std::size_t padded_ = 0;       // padded to a multiple of comm.size()
+  std::size_t shard_elems_ = 0;  // padded_ / P
+  nn::Tensor param_shard_;       // this rank's parameter slice
+  nn::Tensor grad_shard_;        // this rank's reduced gradient slice
+  std::vector<float> flat_;      // scratch: flattened grads / gathered params
+  bool initialised_ = false;
+};
+
+}  // namespace msa::dist

@@ -1,0 +1,49 @@
+// Distributed Jacobi heat-diffusion solver — the "traditional HPC
+// application" representative of Fig. 2's simulation-sciences workloads
+// ("iterative methods ... very high numbers of floating-point operations
+// across iterations", halo-exchange communication pattern).
+//
+// 2-D Laplace/heat equation on a rectangular grid with Dirichlet boundary
+// conditions, 1-D row-block domain decomposition over the comm runtime:
+// each iteration exchanges one halo row with each neighbour and allreduces
+// the residual.  The distributed solution is bit-equivalent to the serial
+// sweep (same arithmetic, same order within each row).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "tensor/tensor.hpp"
+
+namespace msa::hpc {
+
+using tensor::Tensor;
+
+struct JacobiConfig {
+  std::size_t rows = 64;          ///< interior rows (global)
+  std::size_t cols = 64;          ///< interior cols
+  double tolerance = 1e-6;        ///< max-residual stopping criterion
+  int max_iterations = 10000;
+  /// Boundary condition: value at (row, col) on the domain border.
+  /// Defaults to "hot top edge" (1 on row -1, 0 elsewhere).
+  std::function<float(std::ptrdiff_t, std::ptrdiff_t)> boundary;
+};
+
+struct JacobiResult {
+  Tensor grid;        ///< interior solution; on rank 0: (rows, cols), global
+  double residual = 0.0;
+  int iterations = 0;
+};
+
+/// Serial reference solver.
+[[nodiscard]] JacobiResult solve_jacobi(const JacobiConfig& config);
+
+/// Distributed solver over all ranks of @p comm (row-block decomposition,
+/// halo exchange + residual allreduce per iteration).  Rank 0's result holds
+/// the gathered global grid; other ranks return their local block.
+[[nodiscard]] JacobiResult solve_jacobi_distributed(comm::Comm& comm,
+                                                    const JacobiConfig& config);
+
+}  // namespace msa::hpc

@@ -1,0 +1,133 @@
+// Partitioned in-memory dataset with Spark-like transformations — the
+// stand-in for "Apache Spark ... on the large-memory DEEP DAM nodes"
+// (paper Sec. III-B).
+//
+// Transformations execute eagerly and really compute (map/filter/reduce/
+// reduceByKey); the companion Executor (executor.hpp) prices each stage on
+// an MSA module, including the memory-tier spills that make the DAM the
+// right module for this workload.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace msa::hpda {
+
+template <typename T>
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Distribute @p values round-robin over @p partitions.
+  static Dataset from_vector(std::vector<T> values, int partitions) {
+    if (partitions <= 0) throw std::invalid_argument("partitions must be > 0");
+    Dataset ds;
+    ds.partitions_.resize(static_cast<std::size_t>(partitions));
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      ds.partitions_[i % static_cast<std::size_t>(partitions)].push_back(
+          std::move(values[i]));
+    }
+    return ds;
+  }
+
+  [[nodiscard]] std::size_t num_partitions() const {
+    return partitions_.size();
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t n = 0;
+    for (const auto& p : partitions_) n += p.size();
+    return n;
+  }
+
+  /// Narrow transformation: element-wise map.
+  template <typename F>
+  [[nodiscard]] auto map(F&& f) const {
+    using U = std::invoke_result_t<F, const T&>;
+    Dataset<U> out;
+    out.partitions_.resize(partitions_.size());
+    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+      out.partitions_[p].reserve(partitions_[p].size());
+      for (const T& v : partitions_[p]) out.partitions_[p].push_back(f(v));
+    }
+    return out;
+  }
+
+  /// Narrow transformation: keep elements satisfying @p pred.
+  template <typename Pred>
+  [[nodiscard]] Dataset filter(Pred&& pred) const {
+    Dataset out;
+    out.partitions_.resize(partitions_.size());
+    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+      for (const T& v : partitions_[p]) {
+        if (pred(v)) out.partitions_[p].push_back(v);
+      }
+    }
+    return out;
+  }
+
+  /// Action: fold all elements with @p op starting from @p init.
+  template <typename BinOp>
+  [[nodiscard]] T reduce(T init, BinOp&& op) const {
+    T acc = std::move(init);
+    for (const auto& p : partitions_) {
+      for (const T& v : p) acc = op(acc, v);
+    }
+    return acc;
+  }
+
+  /// Wide transformation: group by key and reduce values per key.
+  /// KeyFn: T -> K, ValFn: T -> V, Red: (V, V) -> V.
+  template <typename KeyFn, typename ValFn, typename Red>
+  [[nodiscard]] auto reduce_by_key(KeyFn&& key_fn, ValFn&& val_fn,
+                                   Red&& red) const {
+    using K = std::invoke_result_t<KeyFn, const T&>;
+    using V = std::invoke_result_t<ValFn, const T&>;
+    // Local combine per partition (the map-side combiner)...
+    std::vector<std::map<K, V>> local(partitions_.size());
+    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+      for (const T& v : partitions_[p]) {
+        K k = key_fn(v);
+        auto [it, fresh] = local[p].try_emplace(k, val_fn(v));
+        if (!fresh) it->second = red(it->second, val_fn(v));
+      }
+    }
+    // ...then the shuffle: merge combiners by key hash into new partitions.
+    std::map<K, V> merged;
+    for (auto& part : local) {
+      for (auto& [k, v] : part) {
+        auto [it, fresh] = merged.try_emplace(k, v);
+        if (!fresh) it->second = red(it->second, v);
+      }
+    }
+    std::vector<std::pair<K, V>> flat(merged.begin(), merged.end());
+    return Dataset<std::pair<K, V>>::from_vector(
+        std::move(flat), static_cast<int>(partitions_.size()));
+  }
+
+  /// Action: materialise all elements (partition order).
+  [[nodiscard]] std::vector<T> collect() const {
+    std::vector<T> out;
+    for (const auto& p : partitions_) {
+      out.insert(out.end(), p.begin(), p.end());
+    }
+    return out;
+  }
+
+  /// Direct partition access (executor sizing).
+  [[nodiscard]] const std::vector<T>& partition(std::size_t i) const {
+    return partitions_.at(i);
+  }
+
+  template <typename U>
+  friend class Dataset;
+
+ private:
+  std::vector<std::vector<T>> partitions_;
+};
+
+}  // namespace msa::hpda

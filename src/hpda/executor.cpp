@@ -1,0 +1,73 @@
+#include "hpda/executor.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "simnet/collective.hpp"
+#include "simnet/fabric.hpp"
+
+namespace msa::hpda {
+
+StageEstimate estimate_stage(const StageCost& stage,
+                             const core::Module& module, int nodes,
+                             const core::StorageSpec& sssm) {
+  StageEstimate e;
+  if (nodes < 1 || nodes > module.node_count) {
+    e.note = "bad node count";
+    e.time_s = std::numeric_limits<double>::infinity();
+    return e;
+  }
+  const auto& node = module.node;
+  // Analytics stages are CPU-side (Spark JVMs), memory-bandwidth bound at
+  // low arithmetic intensity.
+  const double cpu_flops =
+      node.cpu_sockets * node.cpu.peak_gflops() * 1e9 * 0.35;
+  const double mem_bw = node.cpu_sockets * node.cpu.mem_bw_GBps * 1e9;
+  const double per_node_GB = stage.input_GB / nodes;
+  const double t_mem = per_node_GB * 1e9 / mem_bw;
+  const double t_cpu = per_node_GB * 1e9 * stage.flops_per_byte / cpu_flops;
+  e.compute_s = std::max(t_mem, t_cpu);
+
+  // Spill: working set beyond DRAM goes through NVMe (if present) or the
+  // parallel FS, once in and once out per stage.
+  const double ws_per_node = stage.working_set_GB / nodes;
+  if (ws_per_node > node.dram_GB) {
+    e.spilled = true;
+    const double deficit_GB = ws_per_node - node.dram_GB;
+    const double spill_bw_GBps =
+        node.nvme_TB > 0.0 ? 6.0 : sssm.read_GBps / nodes;
+    e.spill_s = 2.0 * deficit_GB / spill_bw_GBps;
+    e.note = node.nvme_TB > 0.0 ? "spilled to NVMe" : "spilled to SSSM";
+  }
+
+  // Shuffle: all-to-all of the shuffle volume over the module fabric.
+  if (stage.wide && nodes > 1) {
+    const auto& fabric = simnet::fabric_profile(module.fabric);
+    simnet::CollectiveModel model(fabric.link);
+    const auto per_node_bytes = static_cast<std::uint64_t>(
+        stage.shuffle_GB * 1e9 / nodes / std::max(1, nodes - 1));
+    e.shuffle_s = model.alltoall(nodes, per_node_bytes);
+  }
+
+  e.time_s = e.compute_s + e.spill_s + e.shuffle_s;
+  return e;
+}
+
+StageEstimate estimate_pipeline(const std::vector<StageCost>& stages,
+                                const core::Module& module, int nodes,
+                                const core::StorageSpec& sssm) {
+  StageEstimate total;
+  for (const auto& s : stages) {
+    const auto e = estimate_stage(s, module, nodes, sssm);
+    total.time_s += e.time_s;
+    total.compute_s += e.compute_s;
+    total.spill_s += e.spill_s;
+    total.shuffle_s += e.shuffle_s;
+    total.spilled = total.spilled || e.spilled;
+    if (!e.note.empty()) total.note = e.note;
+  }
+  return total;
+}
+
+}  // namespace msa::hpda

@@ -1,0 +1,47 @@
+// Module-aware cost model for HPDA stages (the "Spark on the DAM" story).
+//
+// Given a stage's data volume and arithmetic, prices its execution on N
+// nodes of an MSA module: roofline compute, memory-tier spills when the
+// working set exceeds node DRAM (+HBM), and shuffle traffic over the module
+// fabric for wide stages.  This is what makes Table I's 384 GB DAM nodes
+// beat the 96 GB JUWELS Cluster nodes on memory-hungry analytics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/module.hpp"
+
+namespace msa::hpda {
+
+/// One stage's resource signature.
+struct StageCost {
+  double input_GB = 1.0;       ///< bytes streamed in
+  double flops_per_byte = 1.0; ///< arithmetic intensity (low for analytics)
+  double working_set_GB = 1.0; ///< resident footprint during the stage
+  bool wide = false;           ///< requires a shuffle (reduceByKey/join)
+  double shuffle_GB = 0.0;     ///< bytes exchanged if wide
+};
+
+/// Result of pricing one stage.
+struct StageEstimate {
+  double time_s = 0.0;
+  double compute_s = 0.0;
+  double spill_s = 0.0;
+  double shuffle_s = 0.0;
+  bool spilled = false;
+  std::string note;
+};
+
+/// Price @p stage on @p nodes nodes of @p module.
+[[nodiscard]] StageEstimate estimate_stage(const StageCost& stage,
+                                           const core::Module& module,
+                                           int nodes,
+                                           const core::StorageSpec& sssm);
+
+/// Price a whole pipeline (sum of stages).
+[[nodiscard]] StageEstimate estimate_pipeline(
+    const std::vector<StageCost>& stages, const core::Module& module,
+    int nodes, const core::StorageSpec& sssm);
+
+}  // namespace msa::hpda

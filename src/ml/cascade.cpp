@@ -1,0 +1,121 @@
+#include "ml/cascade.hpp"
+
+#include <cmath>
+
+namespace msa::ml {
+
+namespace {
+
+/// Pack the support vectors (and their labels) of a trained local problem
+/// into a flat float payload: [n_sv, d, x..., y...].
+std::vector<float> pack_svs(const SvmProblem& problem,
+                            const std::vector<double>& alphas) {
+  const std::size_t d = problem.dims();
+  std::vector<float> payload;
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    if (alphas[i] > 1e-8) idx.push_back(i);
+  }
+  payload.push_back(static_cast<float>(idx.size()));
+  payload.push_back(static_cast<float>(d));
+  for (std::size_t i : idx) {
+    const auto row = problem.row(i);
+    payload.insert(payload.end(), row.begin(), row.end());
+  }
+  for (std::size_t i : idx) payload.push_back(static_cast<float>(problem.y[i]));
+  return payload;
+}
+
+SvmProblem unpack_svs(std::span<const float> payload) {
+  const auto n = static_cast<std::size_t>(payload[0]);
+  const auto d = static_cast<std::size_t>(payload[1]);
+  SvmProblem p;
+  p.x = Tensor({std::max<std::size_t>(n, 1), d});
+  std::copy(payload.begin() + 2, payload.begin() + 2 + static_cast<std::ptrdiff_t>(n * d),
+            p.x.data());
+  p.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.y[i] = static_cast<int8_t>(payload[2 + n * d + i]);
+  }
+  return p;
+}
+
+SvmProblem merge_problems(const SvmProblem& a, const SvmProblem& b) {
+  if (a.size() == 0) return b;
+  if (b.size() == 0) return a;
+  if (a.dims() != b.dims()) {
+    throw std::invalid_argument("cascade: feature dims differ across ranks");
+  }
+  const std::size_t d = a.dims();
+  SvmProblem m;
+  m.x = Tensor({a.size() + b.size(), d});
+  std::copy(a.x.data(), a.x.data() + a.size() * d, m.x.data());
+  std::copy(b.x.data(), b.x.data() + b.size() * d, m.x.data() + a.size() * d);
+  m.y = a.y;
+  m.y.insert(m.y.end(), b.y.begin(), b.y.end());
+  return m;
+}
+
+}  // namespace
+
+CascadeResult train_cascade_svm(comm::Comm& comm, const SvmProblem& shard,
+                                const SvmConfig& config) {
+  constexpr int kTag = 701;
+  CascadeResult result;
+
+  // Level 0: local training on the rank's shard.
+  SmoResult local = train_svm_full(shard, config);
+  SvmProblem active = shard;
+  std::vector<double> alphas = local.alphas;
+
+  // Merge tree: at level L, ranks with (rank % 2^(L+1)) == 2^L send their SV
+  // set to (rank - 2^L); receivers merge and retrain.
+  int levels = 0;
+  for (int stride = 1; stride < comm.size(); stride *= 2) {
+    ++levels;
+    if (comm.rank() % (2 * stride) == stride) {
+      auto payload = pack_svs(active, alphas);
+      comm.send(std::span<const float>(payload), comm.rank() - stride, kTag);
+      break;  // this rank is done
+    }
+    if (comm.rank() % (2 * stride) == 0 && comm.rank() + stride < comm.size()) {
+      auto payload = comm.recv_any_size<float>(comm.rank() + stride, kTag);
+      SvmProblem incoming = unpack_svs(payload);
+      // Reduce own problem to its support vectors before merging.
+      auto own_payload = pack_svs(active, alphas);
+      SvmProblem own_svs = unpack_svs(own_payload);
+      active = merge_problems(own_svs, incoming);
+      SmoResult merged = train_svm_full(active, config);
+      alphas = merged.alphas;
+      local = std::move(merged);
+    }
+  }
+
+  result.levels = levels;
+  if (comm.rank() == 0) {
+    result.model = local.model;
+    result.final_sv_count = local.model.num_support_vectors();
+  }
+  return result;
+}
+
+std::vector<SvmProblem> split_problem(const SvmProblem& problem, int parts) {
+  const std::size_t n = problem.size();
+  const std::size_t d = problem.dims();
+  std::vector<SvmProblem> out;
+  const std::size_t per = n / static_cast<std::size_t>(parts);
+  for (int p = 0; p < parts; ++p) {
+    const std::size_t lo = static_cast<std::size_t>(p) * per;
+    const std::size_t hi = p + 1 == parts ? n : lo + per;
+    SvmProblem shard;
+    shard.x = Tensor({hi - lo, d});
+    std::copy(problem.x.data() + lo * d, problem.x.data() + hi * d,
+              shard.x.data());
+    shard.y.assign(problem.y.begin() + static_cast<std::ptrdiff_t>(lo),
+                   problem.y.begin() + static_cast<std::ptrdiff_t>(hi));
+    out.push_back(std::move(shard));
+  }
+  return out;
+}
+
+}  // namespace msa::ml

@@ -1,0 +1,36 @@
+// Cascade SVM: the parallelisation scheme of the paper's MPI SVM package
+// (ref [16], Cavallaro et al.), built on the comm runtime.
+//
+// Training data is partitioned over the ranks; each rank trains a local SVM
+// and keeps only its support vectors; pairs of ranks then merge their SV sets
+// and retrain, halving the active ranks each level until rank 0 holds the
+// final model.  Because non-support vectors cannot become support vectors of
+// the merged problem in the limit, accuracy closely tracks the monolithic
+// SVM while wall-clock drops superlinearly with ranks (SMO is superlinear in
+// n).
+#pragma once
+
+#include "comm/comm.hpp"
+#include "ml/svm.hpp"
+
+namespace msa::ml {
+
+struct CascadeResult {
+  SvmModel model;               ///< valid on rank 0 only
+  std::size_t final_sv_count = 0;
+  int levels = 0;
+};
+
+/// Train a cascade SVM over all ranks of @p comm.  Each rank passes its own
+/// data shard; rank 0 returns the final model (other ranks return an empty
+/// model).  Feature dimension must agree across ranks.
+[[nodiscard]] CascadeResult train_cascade_svm(comm::Comm& comm,
+                                              const SvmProblem& shard,
+                                              const SvmConfig& config = {});
+
+/// Utility: split a problem into @p parts contiguous shards (for tests and
+/// examples that fabricate per-rank shards from one dataset).
+[[nodiscard]] std::vector<SvmProblem> split_problem(const SvmProblem& problem,
+                                                    int parts);
+
+}  // namespace msa::ml

@@ -1,0 +1,72 @@
+#include "ml/dkmeans.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace msa::ml {
+
+DistributedKMeansResult distributed_kmeans(comm::Comm& comm,
+                                           const Tensor& shard, std::size_t k,
+                                           int max_iters, std::uint64_t seed) {
+  const std::size_t n = shard.dim(0), d = shard.dim(1);
+  DistributedKMeansResult res;
+  res.labels.assign(n, 0);
+
+  // Seed with k-means++ on rank 0's shard, broadcast to everyone.
+  if (comm.rank() == 0) {
+    if (k > n) throw std::invalid_argument("distributed_kmeans: k > rank-0 shard");
+    res.centroids = kmeans(shard, k, /*max_iters=*/1, seed).centroids;
+  } else {
+    res.centroids = Tensor({k, d});
+  }
+  comm.bcast(res.centroids.flat(), 0);
+
+  auto dist2 = [&](std::size_t row, const float* c) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = shard.at2(row, j) - c[j];
+      acc += diff * diff;
+    }
+    return acc;
+  };
+
+  // Buffer layout: [sums (k*d) | counts (k) | inertia | changed].
+  std::vector<double> buf(k * d + k + 2);
+  for (res.iterations = 0; res.iterations < max_iters; ++res.iterations) {
+    std::fill(buf.begin(), buf.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d2 = dist2(i, res.centroids.data() + c * d);
+        if (d2 < best) {
+          best = d2;
+          best_c = c;
+        }
+      }
+      if (res.labels[i] != static_cast<std::int32_t>(best_c)) {
+        buf[k * d + k + 1] += 1.0;
+        res.labels[i] = static_cast<std::int32_t>(best_c);
+      }
+      ++buf[k * d + best_c];
+      for (std::size_t j = 0; j < d; ++j) {
+        buf[best_c * d + j] += shard.at2(i, j);
+      }
+      buf[k * d + k] += best;
+    }
+    comm.allreduce(std::span<double>(buf), comm::ReduceOp::Sum);
+    res.inertia = buf[k * d + k];
+    if (buf[k * d + k + 1] == 0.0 && res.iterations > 0) break;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double count = buf[k * d + c];
+      if (count == 0.0) continue;
+      for (std::size_t j = 0; j < d; ++j) {
+        res.centroids.at2(c, j) = static_cast<float>(buf[c * d + j] / count);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace msa::ml

@@ -1,0 +1,27 @@
+// Distributed k-means over the comm runtime — the classic "parallel and
+// scalable ML beyond ANNs/DL" workload the paper says is rare on CPU modules
+// (Sec. III): each rank holds a data shard; every Lloyd iteration allreduces
+// the per-cluster sums and counts, so the result is identical to serial
+// k-means on the union of the shards.
+#pragma once
+
+#include "comm/comm.hpp"
+#include "ml/forest.hpp"
+
+namespace msa::ml {
+
+struct DistributedKMeansResult {
+  Tensor centroids;                  ///< (k, d), identical on every rank
+  std::vector<std::int32_t> labels;  ///< labels of this rank's shard
+  double inertia = 0.0;              ///< global inertia
+  int iterations = 0;
+};
+
+/// Lloyd's algorithm over all ranks of @p comm.  Initial centroids are taken
+/// from rank 0's shard (k-means++ locally) and broadcast; each iteration
+/// performs one allreduce of (k*d + k + 1) doubles.
+[[nodiscard]] DistributedKMeansResult distributed_kmeans(
+    comm::Comm& comm, const Tensor& shard, std::size_t k, int max_iters = 100,
+    std::uint64_t seed = 11);
+
+}  // namespace msa::ml

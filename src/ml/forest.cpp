@@ -1,0 +1,268 @@
+#include "ml/forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace msa::ml {
+
+namespace {
+
+std::int32_t majority_label(const std::vector<std::int32_t>& y,
+                            std::span<const std::size_t> idx,
+                            std::size_t num_classes) {
+  std::vector<std::size_t> counts(num_classes, 0);
+  for (std::size_t i : idx) ++counts[static_cast<std::size_t>(y[i])];
+  return static_cast<std::int32_t>(std::distance(
+      counts.begin(), std::max_element(counts.begin(), counts.end())));
+}
+
+double gini(const std::vector<std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double g = 1.0;
+  for (std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    g -= p * p;
+  }
+  return g;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Tensor& x, const std::vector<std::int32_t>& y,
+                       std::span<const std::size_t> sample_idx,
+                       std::size_t num_classes, const ForestConfig& config,
+                       tensor::Rng& rng) {
+  nodes_.clear();
+  std::vector<std::size_t> idx(sample_idx.begin(), sample_idx.end());
+  build(x, y, idx, 0, idx.size(), num_classes, config, rng, 0);
+}
+
+int DecisionTree::build(const Tensor& x, const std::vector<std::int32_t>& y,
+                        std::vector<std::size_t>& idx, std::size_t lo,
+                        std::size_t hi, std::size_t num_classes,
+                        const ForestConfig& config, tensor::Rng& rng,
+                        int depth) {
+  const std::size_t n = hi - lo;
+  const int me = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  // Purity / stopping checks.
+  bool pure = true;
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    if (y[idx[i]] != y[idx[lo]]) {
+      pure = false;
+      break;
+    }
+  }
+  const std::span<const std::size_t> span_idx(idx.data() + lo, n);
+  if (pure || depth >= config.max_depth || n < config.min_samples_split) {
+    nodes_[static_cast<std::size_t>(me)].label =
+        majority_label(y, span_idx, num_classes);
+    return me;
+  }
+
+  const std::size_t d = x.dim(1);
+  std::size_t mtry = config.max_features;
+  if (mtry == 0) {
+    mtry = static_cast<std::size_t>(
+        std::max(1.0, std::sqrt(static_cast<double>(d))));
+  }
+
+  // Best split over a random feature subset; thresholds from sorted values.
+  double best_gain = -1.0;
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+  std::vector<std::size_t> parent_counts(num_classes, 0);
+  for (std::size_t i : span_idx) ++parent_counts[static_cast<std::size_t>(y[i])];
+  const double parent_gini = gini(parent_counts, n);
+
+  std::vector<std::pair<float, std::int32_t>> vals(n);
+  for (std::size_t f_try = 0; f_try < mtry; ++f_try) {
+    const auto f = static_cast<std::size_t>(rng.uniform_index(d));
+    for (std::size_t i = 0; i < n; ++i) {
+      vals[i] = {x.at2(idx[lo + i], f), y[idx[lo + i]]};
+    }
+    std::sort(vals.begin(), vals.end());
+    std::vector<std::size_t> left_counts(num_classes, 0);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      ++left_counts[static_cast<std::size_t>(vals[i].second)];
+      if (vals[i].first == vals[i + 1].first) continue;
+      std::vector<std::size_t> right_counts(num_classes, 0);
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        right_counts[c] = parent_counts[c] - left_counts[c];
+      }
+      const std::size_t nl = i + 1, nr = n - nl;
+      const double g = parent_gini -
+                       (static_cast<double>(nl) / n) * gini(left_counts, nl) -
+                       (static_cast<double>(nr) / n) * gini(right_counts, nr);
+      if (g > best_gain) {
+        best_gain = g;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5f * (vals[i].first + vals[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0 || best_gain <= 1e-12) {
+    nodes_[static_cast<std::size_t>(me)].label =
+        majority_label(y, span_idx, num_classes);
+    return me;
+  }
+
+  // Partition indices in place.
+  const auto bf = static_cast<std::size_t>(best_feature);
+  auto mid_it = std::partition(
+      idx.begin() + static_cast<std::ptrdiff_t>(lo),
+      idx.begin() + static_cast<std::ptrdiff_t>(hi),
+      [&](std::size_t i) { return x.at2(i, bf) <= best_threshold; });
+  const auto mid =
+      static_cast<std::size_t>(std::distance(idx.begin(), mid_it));
+  if (mid == lo || mid == hi) {  // degenerate split (ties)
+    nodes_[static_cast<std::size_t>(me)].label =
+        majority_label(y, span_idx, num_classes);
+    return me;
+  }
+
+  nodes_[static_cast<std::size_t>(me)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(me)].threshold = best_threshold;
+  const int left =
+      build(x, y, idx, lo, mid, num_classes, config, rng, depth + 1);
+  const int right =
+      build(x, y, idx, mid, hi, num_classes, config, rng, depth + 1);
+  nodes_[static_cast<std::size_t>(me)].left = left;
+  nodes_[static_cast<std::size_t>(me)].right = right;
+  return me;
+}
+
+std::int32_t DecisionTree::predict(std::span<const float> row) const {
+  int node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const auto& nd = nodes_[static_cast<std::size_t>(node)];
+    node = row[static_cast<std::size_t>(nd.feature)] <= nd.threshold
+               ? nd.left
+               : nd.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].label;
+}
+
+void RandomForest::fit(const Tensor& x, const std::vector<std::int32_t>& y,
+                       std::size_t num_classes, const ForestConfig& config) {
+  if (x.dim(0) != y.size()) throw std::invalid_argument("forest: bad shapes");
+  num_classes_ = num_classes;
+  trees_.assign(static_cast<std::size_t>(config.trees), {});
+  const std::size_t n = y.size();
+  for (int t = 0; t < config.trees; ++t) {
+    tensor::Rng rng(config.seed + 0x9E37u * static_cast<std::uint64_t>(t));
+    std::vector<std::size_t> bootstrap(n);
+    for (auto& i : bootstrap) i = rng.uniform_index(n);
+    trees_[static_cast<std::size_t>(t)].fit(x, y, bootstrap, num_classes,
+                                            config, rng);
+  }
+}
+
+std::int32_t RandomForest::predict(std::span<const float> row) const {
+  std::vector<std::size_t> votes(num_classes_, 0);
+  for (const auto& tree : trees_) {
+    ++votes[static_cast<std::size_t>(tree.predict(row))];
+  }
+  return static_cast<std::int32_t>(std::distance(
+      votes.begin(), std::max_element(votes.begin(), votes.end())));
+}
+
+double RandomForest::accuracy(const Tensor& x,
+                              const std::vector<std::int32_t>& y) const {
+  std::size_t correct = 0;
+  const std::size_t d = x.dim(1);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (predict({x.data() + i * d, d}) == y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(y.size());
+}
+
+KMeansResult kmeans(const Tensor& x, std::size_t k, int max_iters,
+                    std::uint64_t seed) {
+  const std::size_t n = x.dim(0), d = x.dim(1);
+  if (k == 0 || k > n) throw std::invalid_argument("kmeans: bad k");
+  tensor::Rng rng(seed);
+  KMeansResult res;
+  res.centroids = Tensor({k, d});
+  res.labels.assign(n, 0);
+
+  auto dist2 = [&](std::size_t row, const float* c) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = x.at2(row, j) - c[j];
+      acc += diff * diff;
+    }
+    return acc;
+  };
+
+  // k-means++ seeding.
+  std::vector<double> min_d2(n, std::numeric_limits<double>::infinity());
+  std::size_t first = rng.uniform_index(n);
+  std::copy(x.data() + first * d, x.data() + (first + 1) * d,
+            res.centroids.data());
+  for (std::size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      min_d2[i] = std::min(min_d2[i],
+                           dist2(i, res.centroids.data() + (c - 1) * d));
+      total += min_d2[i];
+    }
+    double target = rng.uniform() * total;
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      target -= min_d2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    std::copy(x.data() + chosen * d, x.data() + (chosen + 1) * d,
+              res.centroids.data() + c * d);
+  }
+
+  std::vector<double> sums(k * d);
+  std::vector<std::size_t> counts(k);
+  for (res.iterations = 0; res.iterations < max_iters; ++res.iterations) {
+    bool changed = false;
+    res.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d2 = dist2(i, res.centroids.data() + c * d);
+        if (d2 < best) {
+          best = d2;
+          best_c = c;
+        }
+      }
+      if (res.labels[i] != static_cast<std::int32_t>(best_c)) {
+        changed = true;
+        res.labels[i] = static_cast<std::int32_t>(best_c);
+      }
+      res.inertia += best;
+    }
+    if (!changed && res.iterations > 0) break;
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(res.labels[i]);
+      ++counts[c];
+      for (std::size_t j = 0; j < d; ++j) sums[c * d + j] += x.at2(i, j);
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (std::size_t j = 0; j < d; ++j) {
+        res.centroids.at2(c, j) =
+            static_cast<float>(sums[c * d + j] / counts[c]);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace msa::ml

@@ -1,0 +1,80 @@
+// Random forest classifier (the "robust classifiers often used" from Spark
+// MLlib that the paper runs on the DAM, Sec. III-B).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace msa::ml {
+
+using tensor::Tensor;
+
+struct ForestConfig {
+  int trees = 32;
+  int max_depth = 8;
+  std::size_t min_samples_split = 4;
+  /// Features tried per split; 0 = sqrt(d).
+  std::size_t max_features = 0;
+  std::uint64_t seed = 7;
+};
+
+/// CART decision tree (gini impurity), grown on a bootstrap sample.
+class DecisionTree {
+ public:
+  void fit(const Tensor& x, const std::vector<std::int32_t>& y,
+           std::span<const std::size_t> sample_idx, std::size_t num_classes,
+           const ForestConfig& config, tensor::Rng& rng);
+
+  [[nodiscard]] std::int32_t predict(std::span<const float> row) const;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;       ///< -1 marks a leaf
+    float threshold = 0.0f;
+    int left = -1, right = -1;
+    std::int32_t label = 0;
+  };
+
+  int build(const Tensor& x, const std::vector<std::int32_t>& y,
+            std::vector<std::size_t>& idx, std::size_t lo, std::size_t hi,
+            std::size_t num_classes, const ForestConfig& config,
+            tensor::Rng& rng, int depth);
+
+  std::vector<Node> nodes_;
+};
+
+/// Bagged ensemble of decision trees with feature subsampling.
+class RandomForest {
+ public:
+  void fit(const Tensor& x, const std::vector<std::int32_t>& y,
+           std::size_t num_classes, const ForestConfig& config = {});
+
+  [[nodiscard]] std::int32_t predict(std::span<const float> row) const;
+  [[nodiscard]] double accuracy(const Tensor& x,
+                                const std::vector<std::int32_t>& y) const;
+  [[nodiscard]] std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+  std::size_t num_classes_ = 0;
+};
+
+/// Lloyd's k-means with k-means++ seeding (used by the CM-module HPDA demos).
+struct KMeansResult {
+  Tensor centroids;                 ///< (k, d)
+  std::vector<std::int32_t> labels; ///< per input row
+  double inertia = 0.0;             ///< sum of squared distances
+  int iterations = 0;
+};
+[[nodiscard]] KMeansResult kmeans(const Tensor& x, std::size_t k,
+                                  int max_iters = 100,
+                                  std::uint64_t seed = 11);
+
+}  // namespace msa::ml

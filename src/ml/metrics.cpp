@@ -1,0 +1,108 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace msa::ml {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : k_(num_classes), counts_(num_classes * num_classes, 0) {
+  if (num_classes == 0) throw std::invalid_argument("need >= 1 class");
+}
+
+void ConfusionMatrix::add(std::int32_t actual, std::int32_t predicted) {
+  const auto a = static_cast<std::size_t>(actual);
+  const auto p = static_cast<std::size_t>(predicted);
+  if (a >= k_ || p >= k_) throw std::out_of_range("class out of range");
+  ++counts_[a * k_ + p];
+}
+
+void ConfusionMatrix::add_all(const std::vector<std::int32_t>& actual,
+                              const std::vector<std::int32_t>& predicted) {
+  if (actual.size() != predicted.size()) {
+    throw std::invalid_argument("confusion: size mismatch");
+  }
+  for (std::size_t i = 0; i < actual.size(); ++i) add(actual[i], predicted[i]);
+}
+
+std::size_t ConfusionMatrix::total() const {
+  return std::accumulate(counts_.begin(), counts_.end(), std::size_t{0});
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < k_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::precision(std::size_t cls) const {
+  std::size_t predicted = 0;
+  for (std::size_t a = 0; a < k_; ++a) predicted += count(a, cls);
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(std::size_t cls) const {
+  std::size_t actual = 0;
+  for (std::size_t p = 0; p < k_; ++p) actual += count(cls, p);
+  if (actual == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(std::size_t cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < k_; ++c) sum += f1(c);
+  return sum / static_cast<double>(k_);
+}
+
+double roc_auc(const std::vector<double>& scores,
+               const std::vector<std::int32_t>& labels) {
+  if (scores.size() != labels.size() || scores.empty()) {
+    throw std::invalid_argument("roc_auc: bad inputs");
+  }
+  // Rank-sum formulation with midranks for ties.
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::vector<double> rank(scores.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double midrank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = midrank;
+    i = j + 1;
+  }
+  double pos_rank_sum = 0.0;
+  std::size_t n_pos = 0;
+  for (std::size_t k = 0; k < labels.size(); ++k) {
+    const bool positive = labels[k] > 0;
+    if (positive) {
+      pos_rank_sum += rank[k];
+      ++n_pos;
+    }
+  }
+  const std::size_t n_neg = labels.size() - n_pos;
+  if (n_pos == 0 || n_neg == 0) {
+    throw std::invalid_argument("roc_auc: need both classes");
+  }
+  return (pos_rank_sum - static_cast<double>(n_pos) * (n_pos + 1) / 2.0) /
+         (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+}  // namespace msa::ml

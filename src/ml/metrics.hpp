@@ -1,0 +1,48 @@
+// Classification evaluation metrics (the health case studies report
+// accuracy-style results; COVID-Net evaluations in the cited literature use
+// per-class sensitivity/PPV, i.e. recall/precision, and AUC).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace msa::ml {
+
+/// Row-major confusion matrix: entry (actual, predicted).
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(std::int32_t actual, std::int32_t predicted);
+  void add_all(const std::vector<std::int32_t>& actual,
+               const std::vector<std::int32_t>& predicted);
+
+  [[nodiscard]] std::size_t num_classes() const { return k_; }
+  [[nodiscard]] std::size_t count(std::size_t actual,
+                                  std::size_t predicted) const {
+    return counts_[actual * k_ + predicted];
+  }
+  [[nodiscard]] std::size_t total() const;
+
+  [[nodiscard]] double accuracy() const;
+  /// Per-class precision (PPV): tp / (tp + fp).  0 when the class was never
+  /// predicted.
+  [[nodiscard]] double precision(std::size_t cls) const;
+  /// Per-class recall (sensitivity): tp / (tp + fn).
+  [[nodiscard]] double recall(std::size_t cls) const;
+  [[nodiscard]] double f1(std::size_t cls) const;
+  /// Unweighted mean over classes.
+  [[nodiscard]] double macro_f1() const;
+
+ private:
+  std::size_t k_;
+  std::vector<std::size_t> counts_;
+};
+
+/// Area under the ROC curve for binary labels in {-1,+1} or {0,1}, given
+/// real-valued scores (higher = more positive).  Ties handled by the
+/// rank-sum (Mann-Whitney) formulation.
+[[nodiscard]] double roc_auc(const std::vector<double>& scores,
+                             const std::vector<std::int32_t>& labels);
+
+}  // namespace msa::ml

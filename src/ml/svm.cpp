@@ -1,0 +1,185 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/rng.hpp"
+
+namespace msa::ml {
+
+double kernel_eval(const KernelParams& k, std::span<const float> a,
+                   std::span<const float> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("kernel: dim mismatch");
+  switch (k.kind) {
+    case KernelKind::Linear: {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        dot += static_cast<double>(a[i]) * b[i];
+      }
+      return dot;
+    }
+    case KernelKind::Rbf: {
+      double d2 = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        d2 += d * d;
+      }
+      return std::exp(-k.gamma * d2);
+    }
+    case KernelKind::Polynomial: {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        dot += static_cast<double>(a[i]) * b[i];
+      }
+      return std::pow(k.gamma * dot + k.coef0, k.degree);
+    }
+  }
+  throw std::invalid_argument("unknown kernel");
+}
+
+SvmModel::SvmModel(Tensor support_vectors, std::vector<float> coeffs,
+                   double bias, KernelParams kernel)
+    : sv_(std::move(support_vectors)),
+      coeffs_(std::move(coeffs)),
+      bias_(bias),
+      kernel_(kernel) {}
+
+double SvmModel::decision(std::span<const float> features) const {
+  double acc = bias_;
+  const std::size_t d = sv_.ndim() == 2 ? sv_.dim(1) : 0;
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    acc += coeffs_[i] *
+           kernel_eval(kernel_, {sv_.data() + i * d, d}, features);
+  }
+  return acc;
+}
+
+double SvmModel::accuracy(const SvmProblem& test) const {
+  if (test.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (predict(test.row(i)) == test.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+SmoResult train_svm_full(const SvmProblem& problem, const SvmConfig& config) {
+  const std::size_t n = problem.size();
+  if (n == 0) throw std::invalid_argument("train_svm: empty problem");
+  if (problem.x.dim(0) != n) {
+    throw std::invalid_argument("train_svm: label/feature count mismatch");
+  }
+  for (int8_t y : problem.y) {
+    if (y != 1 && y != -1) {
+      throw std::invalid_argument("train_svm: labels must be +/-1");
+    }
+  }
+
+  // Precompute the kernel matrix when it fits (n^2 doubles); the cascade
+  // keeps per-node problems small, which is exactly its point.
+  const bool cache_kernel = n <= 4096;
+  std::vector<double> K;
+  if (cache_kernel) {
+    K.resize(n * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        const double v =
+            kernel_eval(config.kernel, problem.row(i), problem.row(j));
+        K[i * n + j] = v;
+        K[j * n + i] = v;
+      }
+    }
+  }
+  auto kij = [&](std::size_t i, std::size_t j) {
+    return cache_kernel
+               ? K[i * n + j]
+               : kernel_eval(config.kernel, problem.row(i), problem.row(j));
+  };
+
+  std::vector<double> alpha(n, 0.0);
+  double b = 0.0;
+  auto f = [&](std::size_t i) {
+    double acc = b;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (alpha[j] > 0.0) acc += alpha[j] * problem.y[j] * kij(j, i);
+    }
+    return acc;
+  };
+
+  tensor::Rng rng(config.seed);
+  const double C = config.C;
+  const double tol = config.tol;
+  int passes = 0;
+  int iterations = 0;
+  while (passes < config.max_passes && iterations < config.max_iterations) {
+    ++iterations;
+    int changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double Ei = f(i) - problem.y[i];
+      const bool violates = (problem.y[i] * Ei < -tol && alpha[i] < C) ||
+                            (problem.y[i] * Ei > tol && alpha[i] > 0.0);
+      if (!violates) continue;
+      std::size_t j = rng.uniform_index(n - 1);
+      if (j >= i) ++j;
+      const double Ej = f(j) - problem.y[j];
+      const double ai_old = alpha[i], aj_old = alpha[j];
+      double L, H;
+      if (problem.y[i] != problem.y[j]) {
+        L = std::max(0.0, aj_old - ai_old);
+        H = std::min(C, C + aj_old - ai_old);
+      } else {
+        L = std::max(0.0, ai_old + aj_old - C);
+        H = std::min(C, ai_old + aj_old);
+      }
+      if (L >= H) continue;
+      const double eta = 2.0 * kij(i, j) - kij(i, i) - kij(j, j);
+      if (eta >= 0.0) continue;
+      double aj = aj_old - problem.y[j] * (Ei - Ej) / eta;
+      aj = std::clamp(aj, L, H);
+      if (std::fabs(aj - aj_old) < 1e-6) continue;
+      const double ai = ai_old + problem.y[i] * problem.y[j] * (aj_old - aj);
+      alpha[i] = ai;
+      alpha[j] = aj;
+      const double b1 = b - Ei - problem.y[i] * (ai - ai_old) * kij(i, i) -
+                        problem.y[j] * (aj - aj_old) * kij(i, j);
+      const double b2 = b - Ej - problem.y[i] * (ai - ai_old) * kij(i, j) -
+                        problem.y[j] * (aj - aj_old) * kij(j, j);
+      if (ai > 0.0 && ai < C) {
+        b = b1;
+      } else if (aj > 0.0 && aj < C) {
+        b = b2;
+      } else {
+        b = 0.5 * (b1 + b2);
+      }
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+
+  // Collect support vectors.
+  std::vector<std::size_t> sv_idx;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-8) sv_idx.push_back(i);
+  }
+  const std::size_t d = problem.dims();
+  Tensor sv({std::max<std::size_t>(sv_idx.size(), 1), d});
+  std::vector<float> coeffs;
+  coeffs.reserve(sv_idx.size());
+  for (std::size_t k = 0; k < sv_idx.size(); ++k) {
+    const auto row = problem.row(sv_idx[k]);
+    std::copy(row.begin(), row.end(), sv.data() + k * d);
+    coeffs.push_back(static_cast<float>(alpha[sv_idx[k]] *
+                                        problem.y[sv_idx[k]]));
+  }
+  SmoResult out;
+  out.model = SvmModel(std::move(sv), std::move(coeffs), b, config.kernel);
+  out.alphas = std::move(alpha);
+  return out;
+}
+
+SvmModel train_svm(const SvmProblem& problem, const SvmConfig& config) {
+  return train_svm_full(problem, config).model;
+}
+
+}  // namespace msa::ml

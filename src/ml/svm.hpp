@@ -1,0 +1,102 @@
+// Support Vector Machine trained with Sequential Minimal Optimization.
+//
+// The paper (Sec. III, ref [16]) describes a parallel and scalable SVM
+// package developed with MPI to speed up remote-sensing image
+// classification.  This module provides the serial SMO solver; cascade.hpp
+// parallelises it over the comm runtime exactly like the cited package
+// (cascade SVM: partition -> local train -> merge support vectors).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace msa::ml {
+
+using tensor::Tensor;
+
+/// Kernel functions for the dual SVM.
+enum class KernelKind { Linear, Rbf, Polynomial };
+
+struct KernelParams {
+  KernelKind kind = KernelKind::Rbf;
+  double gamma = 0.5;   ///< RBF: exp(-gamma ||a-b||^2); also poly scale
+  double degree = 3.0;  ///< polynomial degree
+  double coef0 = 1.0;   ///< polynomial offset
+};
+
+/// Evaluate the kernel on two feature vectors.
+[[nodiscard]] double kernel_eval(const KernelParams& k,
+                                 std::span<const float> a,
+                                 std::span<const float> b);
+
+/// Labeled binary dataset: features (n, d), labels in {-1, +1}.
+struct SvmProblem {
+  Tensor x;
+  std::vector<int8_t> y;
+
+  [[nodiscard]] std::size_t size() const { return y.size(); }
+  [[nodiscard]] std::size_t dims() const { return x.dim(1); }
+  [[nodiscard]] std::span<const float> row(std::size_t i) const {
+    return {x.data() + i * x.dim(1), x.dim(1)};
+  }
+};
+
+struct SvmConfig {
+  double C = 1.0;          ///< soft-margin penalty
+  double tol = 1e-3;       ///< KKT violation tolerance
+  int max_passes = 5;      ///< SMO passes without alpha change before stop
+  int max_iterations = 20000;
+  KernelParams kernel;
+  std::uint64_t seed = 12345;
+};
+
+/// Trained model: support vectors with their coefficients.
+class SvmModel {
+ public:
+  SvmModel() = default;
+  SvmModel(Tensor support_vectors, std::vector<float> coeffs, double bias,
+           KernelParams kernel);
+
+  /// Signed decision value; classify by its sign.
+  [[nodiscard]] double decision(std::span<const float> features) const;
+  [[nodiscard]] int predict(std::span<const float> features) const {
+    return decision(features) >= 0.0 ? +1 : -1;
+  }
+
+  [[nodiscard]] std::size_t num_support_vectors() const {
+    return coeffs_.size();
+  }
+  [[nodiscard]] const Tensor& support_vectors() const { return sv_; }
+  [[nodiscard]] const std::vector<float>& coefficients() const {
+    return coeffs_;
+  }
+  [[nodiscard]] double bias() const { return bias_; }
+
+  /// Accuracy on a labeled set.
+  [[nodiscard]] double accuracy(const SvmProblem& test) const;
+
+ private:
+  Tensor sv_;                   // (n_sv, d)
+  std::vector<float> coeffs_;   // alpha_i * y_i
+  double bias_ = 0.0;
+  KernelParams kernel_;
+};
+
+/// Train with simplified SMO (Platt).  Exact for small/medium problems.
+[[nodiscard]] SvmModel train_svm(const SvmProblem& problem,
+                                 const SvmConfig& config = {});
+
+/// Extract the support-vector subset of a problem given a trained model's
+/// alpha vector (used by the cascade merge).
+struct SmoResult {
+  SvmModel model;
+  std::vector<double> alphas;  ///< per training point
+};
+[[nodiscard]] SmoResult train_svm_full(const SvmProblem& problem,
+                                       const SvmConfig& config = {});
+
+}  // namespace msa::ml

@@ -1,0 +1,103 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace msa::nn {
+
+Tensor Sigmoid::forward(const Tensor& x, bool /*training*/) {
+  y_ = Tensor(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    y_[i] = 1.0f / (1.0f + std::exp(-x[i]));
+  }
+  return y_;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  Tensor gx(grad_out.shape());
+  for (std::size_t i = 0; i < gx.numel(); ++i) {
+    gx[i] = grad_out[i] * y_[i] * (1.0f - y_[i]);
+  }
+  return gx;
+}
+
+Tensor Tanh::forward(const Tensor& x, bool /*training*/) {
+  y_ = Tensor(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) y_[i] = std::tanh(x[i]);
+  return y_;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  Tensor gx(grad_out.shape());
+  for (std::size_t i = 0; i < gx.numel(); ++i) {
+    gx[i] = grad_out[i] * (1.0f - y_[i] * y_[i]);
+  }
+  return gx;
+}
+
+LayerNorm::LayerNorm(std::size_t features, float eps)
+    : features_(features),
+      eps_(eps),
+      gamma_(Tensor::ones({features})),
+      beta_(Tensor::zeros({features})),
+      ggamma_(Tensor::zeros({features})),
+      gbeta_(Tensor::zeros({features})) {}
+
+Tensor LayerNorm::forward(const Tensor& x, bool /*training*/) {
+  if (x.ndim() < 1 || x.shape().back() != features_) {
+    throw std::invalid_argument("LayerNorm: last dim must be " +
+                                std::to_string(features_));
+  }
+  in_shape_ = x.shape();
+  const std::size_t rows = x.numel() / features_;
+  Tensor y(x.shape());
+  xhat_ = Tensor(x.shape());
+  inv_std_.assign(rows, 0.0f);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* in = x.data() + r * features_;
+    double mean = 0.0;
+    for (std::size_t j = 0; j < features_; ++j) mean += in[j];
+    mean /= static_cast<double>(features_);
+    double var = 0.0;
+    for (std::size_t j = 0; j < features_; ++j) {
+      const double d = in[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(features_);
+    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+    inv_std_[r] = inv;
+    float* xh = xhat_.data() + r * features_;
+    float* out = y.data() + r * features_;
+    for (std::size_t j = 0; j < features_; ++j) {
+      xh[j] = (in[j] - static_cast<float>(mean)) * inv;
+      out[j] = gamma_[j] * xh[j] + beta_[j];
+    }
+  }
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_out) {
+  const std::size_t rows = grad_out.numel() / features_;
+  const auto n = static_cast<float>(features_);
+  Tensor gx(in_shape_);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* g = grad_out.data() + r * features_;
+    const float* xh = xhat_.data() + r * features_;
+    float sum_g = 0.0f, sum_gx = 0.0f;
+    for (std::size_t j = 0; j < features_; ++j) {
+      const float gg = g[j] * gamma_[j];
+      sum_g += gg;
+      sum_gx += gg * xh[j];
+      ggamma_[j] += g[j] * xh[j];
+      gbeta_[j] += g[j];
+    }
+    float* out = gx.data() + r * features_;
+    for (std::size_t j = 0; j < features_; ++j) {
+      const float gg = g[j] * gamma_[j];
+      out[j] = inv_std_[r] * (gg - (sum_g + xh[j] * sum_gx) / n);
+    }
+  }
+  return gx;
+}
+
+}  // namespace msa::nn

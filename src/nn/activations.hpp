@@ -1,0 +1,52 @@
+// Additional element-wise activations and LayerNorm.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace msa::nn {
+
+/// Logistic sigmoid.
+class Sigmoid : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor y_;
+};
+
+/// Hyperbolic tangent.
+class Tanh : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor y_;
+};
+
+/// Layer normalisation over the last dimension (per sample/time step).
+/// Unlike BatchNorm it has no cross-sample coupling, so it behaves
+/// identically in serial and data-parallel training.
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(std::size_t features, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Tensor*> params() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> grads() override { return {&ggamma_, &gbeta_}; }
+  [[nodiscard]] std::string name() const override { return "LayerNorm"; }
+
+ private:
+  std::size_t features_;
+  float eps_;
+  Tensor gamma_, beta_, ggamma_, gbeta_;
+  Tensor xhat_;
+  std::vector<float> inv_std_;
+  Shape in_shape_;
+};
+
+}  // namespace msa::nn

@@ -1,0 +1,249 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.hpp"
+
+namespace msa::nn {
+
+// ---- Conv2D ------------------------------------------------------------------
+
+Conv2D::Conv2D(std::size_t in_ch, std::size_t out_ch, std::size_t kernel,
+               std::size_t stride, std::size_t pad, Rng& rng, bool bias)
+    : in_ch_(in_ch),
+      out_ch_(out_ch),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias),
+      w_(Tensor::randn({out_ch, in_ch * kernel * kernel}, rng,
+                       std::sqrt(2.0f / static_cast<float>(in_ch * kernel *
+                                                           kernel)))),
+      b_(Tensor::zeros({out_ch})),
+      gw_(Tensor::zeros(w_.shape())),
+      gb_(Tensor::zeros({out_ch})) {}
+
+Tensor Conv2D::forward(const Tensor& x, bool /*training*/) {
+  if (x.ndim() != 4 || x.dim(1) != in_ch_) {
+    throw std::invalid_argument("Conv2D: bad input shape " + x.shape_str());
+  }
+  x_cache_ = x;
+  const std::size_t B = x.dim(0), H = x.dim(2), W = x.dim(3);
+  const std::size_t oh = tensor::conv_out_size(H, kernel_, stride_, pad_);
+  const std::size_t ow = tensor::conv_out_size(W, kernel_, stride_, pad_);
+  const std::size_t rows = in_ch_ * kernel_ * kernel_;
+  Tensor out({B, out_ch_, oh, ow});
+  Tensor cols({rows, oh * ow});
+  Tensor out_s({out_ch_, oh * ow});
+  for (std::size_t s = 0; s < B; ++s) {
+    tensor::im2col(x.data() + s * in_ch_ * H * W, in_ch_, H, W, kernel_,
+                   kernel_, stride_, pad_, cols.data());
+    tensor::gemm(false, false, 1.0f, w_, cols, 0.0f, out_s);
+    float* dst = out.data() + s * out_ch_ * oh * ow;
+    const float* src = out_s.data();
+    for (std::size_t c = 0; c < out_ch_; ++c) {
+      const float bias = has_bias_ ? b_[c] : 0.0f;
+      for (std::size_t i = 0; i < oh * ow; ++i) {
+        dst[c * oh * ow + i] = src[c * oh * ow + i] + bias;
+      }
+    }
+  }
+  flops_ = static_cast<double>(B) * tensor::gemm_flops(out_ch_, oh * ow, rows);
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  const Tensor& x = x_cache_;
+  const std::size_t B = x.dim(0), H = x.dim(2), W = x.dim(3);
+  const std::size_t oh = grad_out.dim(2), ow = grad_out.dim(3);
+  const std::size_t rows = in_ch_ * kernel_ * kernel_;
+  Tensor gx(x.shape());
+  Tensor cols({rows, oh * ow});
+  Tensor gcols({rows, oh * ow});
+  Tensor g_s({out_ch_, oh * ow});
+  for (std::size_t s = 0; s < B; ++s) {
+    // Recompute im2col (memory-cheaper than caching per-sample columns).
+    tensor::im2col(x.data() + s * in_ch_ * H * W, in_ch_, H, W, kernel_,
+                   kernel_, stride_, pad_, cols.data());
+    std::copy(grad_out.data() + s * out_ch_ * oh * ow,
+              grad_out.data() + (s + 1) * out_ch_ * oh * ow, g_s.data());
+    // gW += g_s cols^T
+    tensor::gemm(false, /*trans_b=*/true, 1.0f, g_s, cols, 1.0f, gw_);
+    if (has_bias_) {
+      for (std::size_t c = 0; c < out_ch_; ++c) {
+        for (std::size_t i = 0; i < oh * ow; ++i) gb_[c] += g_s.at2(c, i);
+      }
+    }
+    // gcols = W^T g_s ; scatter back with col2im.
+    tensor::gemm(/*trans_a=*/true, false, 1.0f, w_, g_s, 0.0f, gcols);
+    tensor::col2im(gcols.data(), in_ch_, H, W, kernel_, kernel_, stride_,
+                   pad_, gx.data() + s * in_ch_ * H * W);
+  }
+  return gx;
+}
+
+std::vector<Tensor*> Conv2D::params() {
+  if (has_bias_) return {&w_, &b_};
+  return {&w_};
+}
+
+std::vector<Tensor*> Conv2D::grads() {
+  if (has_bias_) return {&gw_, &gb_};
+  return {&gw_};
+}
+
+// ---- Conv1D ------------------------------------------------------------------
+
+Conv1D::Conv1D(std::size_t in_ch, std::size_t out_ch, std::size_t kernel,
+               std::size_t stride, std::size_t pad, Rng& rng)
+    : in_ch_(in_ch),
+      out_ch_(out_ch),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      w_(Tensor::randn({out_ch, in_ch, kernel}, rng,
+                       std::sqrt(2.0f / static_cast<float>(in_ch * kernel)))),
+      b_(Tensor::zeros({out_ch})),
+      gw_(Tensor::zeros(w_.shape())),
+      gb_(Tensor::zeros({out_ch})) {}
+
+Tensor Conv1D::forward(const Tensor& x, bool /*training*/) {
+  if (x.ndim() != 3 || x.dim(1) != in_ch_) {
+    throw std::invalid_argument("Conv1D: bad input shape " + x.shape_str());
+  }
+  x_cache_ = x;
+  const std::size_t B = x.dim(0), T = x.dim(2);
+  const std::size_t ot = tensor::conv_out_size(T, kernel_, stride_, pad_);
+  Tensor out({B, out_ch_, ot});
+  for (std::size_t s = 0; s < B; ++s) {
+    for (std::size_t f = 0; f < out_ch_; ++f) {
+      for (std::size_t o = 0; o < ot; ++o) {
+        float acc = b_[f];
+        for (std::size_t c = 0; c < in_ch_; ++c) {
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            const std::ptrdiff_t t =
+                static_cast<std::ptrdiff_t>(o * stride_ + k) -
+                static_cast<std::ptrdiff_t>(pad_);
+            if (t < 0 || t >= static_cast<std::ptrdiff_t>(T)) continue;
+            acc += w_.at3(f, c, k) *
+                   x.at3(s, c, static_cast<std::size_t>(t));
+          }
+        }
+        out.at3(s, f, o) = acc;
+      }
+    }
+  }
+  flops_ = 2.0 * static_cast<double>(B * out_ch_ * ot * in_ch_ * kernel_);
+  return out;
+}
+
+Tensor Conv1D::backward(const Tensor& grad_out) {
+  const Tensor& x = x_cache_;
+  const std::size_t B = x.dim(0), T = x.dim(2);
+  const std::size_t ot = grad_out.dim(2);
+  Tensor gx(x.shape());
+  for (std::size_t s = 0; s < B; ++s) {
+    for (std::size_t f = 0; f < out_ch_; ++f) {
+      for (std::size_t o = 0; o < ot; ++o) {
+        const float g = grad_out.at3(s, f, o);
+        gb_[f] += g;
+        for (std::size_t c = 0; c < in_ch_; ++c) {
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            const std::ptrdiff_t t =
+                static_cast<std::ptrdiff_t>(o * stride_ + k) -
+                static_cast<std::ptrdiff_t>(pad_);
+            if (t < 0 || t >= static_cast<std::ptrdiff_t>(T)) continue;
+            gw_.at3(f, c, k) += g * x.at3(s, c, static_cast<std::size_t>(t));
+            gx.at3(s, c, static_cast<std::size_t>(t)) += g * w_.at3(f, c, k);
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+// ---- MaxPool2D ---------------------------------------------------------------
+
+MaxPool2D::MaxPool2D(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride) {}
+
+Tensor MaxPool2D::forward(const Tensor& x, bool /*training*/) {
+  in_shape_ = x.shape();
+  const std::size_t B = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
+  const std::size_t oh = tensor::conv_out_size(H, kernel_, stride_, 0);
+  const std::size_t ow = tensor::conv_out_size(W, kernel_, stride_, 0);
+  Tensor out({B, C, oh, ow});
+  argmax_.assign(out.numel(), 0);
+  std::size_t oi = 0;
+  for (std::size_t s = 0; s < B; ++s) {
+    for (std::size_t c = 0; c < C; ++c) {
+      const float* plane = x.data() + (s * C + c) * H * W;
+      for (std::size_t i = 0; i < oh; ++i) {
+        for (std::size_t j = 0; j < ow; ++j, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t ki = 0; ki < kernel_; ++ki) {
+            for (std::size_t kj = 0; kj < kernel_; ++kj) {
+              const std::size_t ii = i * stride_ + ki;
+              const std::size_t jj = j * stride_ + kj;
+              if (ii >= H || jj >= W) continue;
+              const float v = plane[ii * W + jj];
+              if (v > best) {
+                best = v;
+                best_idx = (s * C + c) * H * W + ii * W + jj;
+              }
+            }
+          }
+          out[oi] = best;
+          argmax_[oi] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_out) {
+  Tensor gx(in_shape_);
+  for (std::size_t i = 0; i < grad_out.numel(); ++i) {
+    gx[argmax_[i]] += grad_out[i];
+  }
+  return gx;
+}
+
+// ---- GlobalAvgPool -------------------------------------------------------------
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool /*training*/) {
+  in_shape_ = x.shape();
+  const std::size_t B = x.dim(0), C = x.dim(1), HW = x.dim(2) * x.dim(3);
+  Tensor out({B, C});
+  const float inv = 1.0f / static_cast<float>(HW);
+  for (std::size_t s = 0; s < B; ++s) {
+    for (std::size_t c = 0; c < C; ++c) {
+      const float* plane = x.data() + (s * C + c) * HW;
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < HW; ++i) acc += plane[i];
+      out.at2(s, c) = acc * inv;
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  const std::size_t HW = in_shape_[2] * in_shape_[3];
+  Tensor gx(in_shape_);
+  const float inv = 1.0f / static_cast<float>(HW);
+  const std::size_t B = in_shape_[0], C = in_shape_[1];
+  for (std::size_t s = 0; s < B; ++s) {
+    for (std::size_t c = 0; c < C; ++c) {
+      const float g = grad_out.at2(s, c) * inv;
+      float* plane = gx.data() + (s * C + c) * HW;
+      for (std::size_t i = 0; i < HW; ++i) plane[i] = g;
+    }
+  }
+  return gx;
+}
+
+}  // namespace msa::nn

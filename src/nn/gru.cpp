@@ -1,0 +1,217 @@
+#include "nn/gru.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace msa::nn {
+
+namespace {
+inline float sigmoid(float v) { return 1.0f / (1.0f + std::exp(-v)); }
+}  // namespace
+
+GRU::GRU(std::size_t input_size, std::size_t hidden, Rng& rng)
+    : in_(input_size),
+      hidden_(hidden),
+      w_(Tensor::randn({input_size, 3 * hidden}, rng,
+                       std::sqrt(1.0f / static_cast<float>(input_size)))),
+      u_(Tensor::randn({hidden, 3 * hidden}, rng,
+                       std::sqrt(1.0f / static_cast<float>(hidden)))),
+      b_(Tensor::zeros({3 * hidden})),
+      gw_(Tensor::zeros(w_.shape())),
+      gu_(Tensor::zeros(u_.shape())),
+      gb_(Tensor::zeros(b_.shape())) {}
+
+Tensor GRU::forward(const Tensor& x, bool /*training*/) {
+  if (x.ndim() != 3 || x.dim(2) != in_) {
+    throw std::invalid_argument("GRU: bad input shape " + x.shape_str());
+  }
+  x_cache_ = x;
+  const std::size_t B = x.dim(0), T = x.dim(1), H = hidden_;
+  h_.assign(T + 1, Tensor({B, H}));
+  z_.assign(T, Tensor({B, H}));
+  r_.assign(T, Tensor({B, H}));
+  hh_.assign(T, Tensor({B, H}));
+  Tensor out({B, T, H});
+  Tensor xt({B, in_});
+  Tensor gates({B, 3 * H});   // x_t W + b
+  Tensor hgates({B, 3 * H});  // h_{t-1} U
+  for (std::size_t t = 0; t < T; ++t) {
+    // Slice x_t.
+    for (std::size_t s = 0; s < B; ++s) {
+      for (std::size_t f = 0; f < in_; ++f) xt.at2(s, f) = x.at3(s, t, f);
+    }
+    tensor::gemm(false, false, 1.0f, xt, w_, 0.0f, gates);
+    tensor::gemm(false, false, 1.0f, h_[t], u_, 0.0f, hgates);
+    for (std::size_t s = 0; s < B; ++s) {
+      for (std::size_t j = 0; j < H; ++j) {
+        const float az = gates.at2(s, j) + hgates.at2(s, j) + b_[j];
+        const float ar = gates.at2(s, H + j) + hgates.at2(s, H + j) + b_[H + j];
+        z_[t].at2(s, j) = sigmoid(az);
+        r_[t].at2(s, j) = sigmoid(ar);
+      }
+    }
+    // Candidate gate: ah = x_t Wh + (r . h_{t-1}) Uh + bh.
+    Tensor rh({B, H});
+    for (std::size_t s = 0; s < B; ++s) {
+      for (std::size_t k = 0; k < H; ++k) {
+        rh.at2(s, k) = r_[t].at2(s, k) * h_[t].at2(s, k);
+      }
+    }
+    Tensor ah({B, H});
+    // x_t Wh is the third column block of `gates`.
+    for (std::size_t s = 0; s < B; ++s) {
+      for (std::size_t j = 0; j < H; ++j) {
+        ah.at2(s, j) = gates.at2(s, 2 * H + j) + b_[2 * H + j];
+      }
+    }
+    // rh * Uh (third block of U).
+    for (std::size_t s = 0; s < B; ++s) {
+      for (std::size_t k = 0; k < H; ++k) {
+        const float rv = rh.at2(s, k);
+        if (rv == 0.0f) continue;
+        const float* urow = u_.data() + k * 3 * H + 2 * H;
+        float* arow = ah.data() + s * H;
+        for (std::size_t j = 0; j < H; ++j) arow[j] += rv * urow[j];
+      }
+    }
+    for (std::size_t s = 0; s < B; ++s) {
+      for (std::size_t j = 0; j < H; ++j) {
+        const float hhv = std::tanh(ah.at2(s, j));
+        hh_[t].at2(s, j) = hhv;
+        const float hv = z_[t].at2(s, j) * h_[t].at2(s, j) +
+                         (1.0f - z_[t].at2(s, j)) * hhv;
+        h_[t + 1].at2(s, j) = hv;
+        out.at3(s, t, j) = hv;
+      }
+    }
+  }
+  flops_ = static_cast<double>(T) *
+           (tensor::gemm_flops(B, 3 * H, in_) + tensor::gemm_flops(B, 3 * H, H));
+  return out;
+}
+
+Tensor GRU::backward(const Tensor& grad_out) {
+  const Tensor& x = x_cache_;
+  const std::size_t B = x.dim(0), T = x.dim(1), H = hidden_;
+  Tensor gx(x.shape());
+  Tensor dh({B, H});  // gradient flowing into h_t from the future
+  Tensor xt({B, in_});
+  for (std::size_t t = T; t-- > 0;) {
+    // Add the external gradient on h_t (sequence output).
+    for (std::size_t s = 0; s < B; ++s) {
+      for (std::size_t j = 0; j < H; ++j) dh.at2(s, j) += grad_out.at3(s, t, j);
+    }
+    Tensor da({B, 3 * H});     // gate pre-activation grads [z | r | h]
+    Tensor dh_prev({B, H});
+    Tensor drh({B, H});
+    for (std::size_t s = 0; s < B; ++s) {
+      for (std::size_t j = 0; j < H; ++j) {
+        const float g = dh.at2(s, j);
+        const float zv = z_[t].at2(s, j);
+        const float hhv = hh_[t].at2(s, j);
+        const float hprev = h_[t].at2(s, j);
+        const float dz = g * (hprev - hhv);
+        const float dhh = g * (1.0f - zv);
+        dh_prev.at2(s, j) = g * zv;
+        const float dah = dhh * (1.0f - hhv * hhv);
+        da.at2(s, 2 * H + j) = dah;
+        da.at2(s, j) = dz * zv * (1.0f - zv);  // filled r below
+      }
+    }
+    // drh = dah Uh^T ; dr = drh . h_prev ; dh_prev += drh . r.
+    for (std::size_t s = 0; s < B; ++s) {
+      for (std::size_t k = 0; k < H; ++k) {
+        float acc = 0.0f;
+        const float* urow = u_.data() + k * 3 * H + 2 * H;
+        const float* darow = da.data() + s * 3 * H + 2 * H;
+        for (std::size_t j = 0; j < H; ++j) acc += darow[j] * urow[j];
+        drh.at2(s, k) = acc;
+      }
+    }
+    for (std::size_t s = 0; s < B; ++s) {
+      for (std::size_t k = 0; k < H; ++k) {
+        const float hprev = h_[t].at2(s, k);
+        const float rv = r_[t].at2(s, k);
+        const float dr = drh.at2(s, k) * hprev;
+        da.at2(s, H + k) = dr * rv * (1.0f - rv);
+        dh_prev.at2(s, k) += drh.at2(s, k) * rv;
+      }
+    }
+    // Weight grads: gW += x_t^T da ; gU: z,r blocks use h_prev, h block uses
+    // (r . h_prev); gb += colsum(da).
+    for (std::size_t s = 0; s < B; ++s) {
+      for (std::size_t f = 0; f < in_; ++f) xt.at2(s, f) = x.at3(s, t, f);
+    }
+    tensor::gemm(/*trans_a=*/true, false, 1.0f, xt, da, 1.0f, gw_);
+    // gU for z and r blocks: h_prev^T da[:, 0:2H].
+    for (std::size_t s = 0; s < B; ++s) {
+      for (std::size_t k = 0; k < H; ++k) {
+        const float hprev = h_[t].at2(s, k);
+        const float rh = r_[t].at2(s, k) * hprev;
+        float* gurow = gu_.data() + k * 3 * H;
+        const float* darow = da.data() + s * 3 * H;
+        for (std::size_t j = 0; j < H; ++j) {
+          gurow[j] += hprev * darow[j];
+          gurow[H + j] += hprev * darow[H + j];
+          gurow[2 * H + j] += rh * darow[2 * H + j];
+        }
+      }
+    }
+    for (std::size_t s = 0; s < B; ++s) {
+      const float* darow = da.data() + s * 3 * H;
+      for (std::size_t j = 0; j < 3 * H; ++j) gb_[j] += darow[j];
+    }
+    // Input grad: dx_t = da W^T (all blocks).
+    for (std::size_t s = 0; s < B; ++s) {
+      const float* darow = da.data() + s * 3 * H;
+      for (std::size_t f = 0; f < in_; ++f) {
+        const float* wrow = w_.data() + f * 3 * H;
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < 3 * H; ++j) acc += darow[j] * wrow[j];
+        gx.at3(s, t, f) = acc;
+      }
+    }
+    // Recurrent grad into h_{t-1}: dh_prev += da[:, z|r] U^T(z|r blocks).
+    for (std::size_t s = 0; s < B; ++s) {
+      const float* darow = da.data() + s * 3 * H;
+      for (std::size_t k = 0; k < H; ++k) {
+        const float* urow = u_.data() + k * 3 * H;
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < H; ++j) {
+          acc += darow[j] * urow[j] + darow[H + j] * urow[H + j];
+        }
+        dh_prev.at2(s, k) += acc;
+      }
+    }
+    dh = dh_prev;
+  }
+  return gx;
+}
+
+std::vector<Tensor*> GRU::params() { return {&w_, &u_, &b_}; }
+std::vector<Tensor*> GRU::grads() { return {&gw_, &gu_, &gb_}; }
+
+Tensor SliceLastTimestep::forward(const Tensor& x, bool /*training*/) {
+  if (x.ndim() != 3) {
+    throw std::invalid_argument("SliceLast: need (B, T, H)");
+  }
+  in_shape_ = x.shape();
+  const std::size_t B = x.dim(0), T = x.dim(1), H = x.dim(2);
+  Tensor out({B, H});
+  for (std::size_t s = 0; s < B; ++s) {
+    for (std::size_t j = 0; j < H; ++j) out.at2(s, j) = x.at3(s, T - 1, j);
+  }
+  return out;
+}
+
+Tensor SliceLastTimestep::backward(const Tensor& grad_out) {
+  Tensor gx(in_shape_);
+  const std::size_t B = in_shape_[0], T = in_shape_[1], H = in_shape_[2];
+  for (std::size_t s = 0; s < B; ++s) {
+    for (std::size_t j = 0; j < H; ++j) gx.at3(s, T - 1, j) = grad_out.at2(s, j);
+  }
+  return gx;
+}
+
+}  // namespace msa::nn

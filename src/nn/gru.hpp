@@ -1,0 +1,54 @@
+// Gated Recurrent Unit layer with full backpropagation through time.
+//
+// This is the model of the paper's ARDS case study (Sec. IV-B): "two GRU
+// layers with 32 units each, with dropout values of 0.2 ... followed by an
+// output layer (Dense layer of size 1)".  Gate convention follows Keras:
+//   z_t = sigmoid(x_t Wz + h_{t-1} Uz + bz)        (update gate)
+//   r_t = sigmoid(x_t Wr + h_{t-1} Ur + br)        (reset gate)
+//   hh_t = tanh(x_t Wh + (r_t . h_{t-1}) Uh + bh)  (candidate)
+//   h_t = z_t . h_{t-1} + (1 - z_t) . hh_t
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace msa::nn {
+
+/// Input (B, T, F) -> output (B, T, H) (full sequence; stackable).
+class GRU : public Layer {
+ public:
+  GRU(std::size_t input_size, std::size_t hidden, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Tensor*> params() override;
+  std::vector<Tensor*> grads() override;
+  [[nodiscard]] std::string name() const override { return "GRU"; }
+  [[nodiscard]] double forward_flops() const override { return flops_; }
+
+  [[nodiscard]] std::size_t hidden() const { return hidden_; }
+
+ private:
+  std::size_t in_, hidden_;
+  // Packed gate weights: W (F, 3H) and U (H, 3H), column blocks [z | r | h].
+  Tensor w_, u_, b_;
+  Tensor gw_, gu_, gb_;
+  // Per-timestep caches for BPTT.
+  Tensor x_cache_;                 // (B, T, F)
+  std::vector<Tensor> h_;          // h_0..h_T, each (B, H)
+  std::vector<Tensor> z_, r_, hh_; // gate activations per step, (B, H)
+  double flops_ = 0.0;
+};
+
+/// (B, T, H) -> (B, H): selects the final timestep (Keras
+/// return_sequences=false).
+class SliceLastTimestep : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "SliceLast"; }
+
+ private:
+  Shape in_shape_;
+};
+
+}  // namespace msa::nn

@@ -1,0 +1,73 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace msa::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int32_t>& labels) {
+  if (logits.ndim() != 2 || logits.dim(0) != labels.size()) {
+    throw std::invalid_argument("softmax_cross_entropy: bad shapes");
+  }
+  const std::size_t B = logits.dim(0), C = logits.dim(1);
+  Tensor probs = logits;
+  tensor::softmax_rows(probs);
+  double loss = 0.0;
+  Tensor grad = probs;
+  const float inv_b = 1.0f / static_cast<float>(B);
+  for (std::size_t i = 0; i < B; ++i) {
+    const auto y = static_cast<std::size_t>(labels[i]);
+    if (y >= C) throw std::out_of_range("label out of range");
+    loss -= std::log(std::max(probs.at2(i, y), 1e-12f));
+    grad.at2(i, y) -= 1.0f;
+  }
+  grad.scale_(inv_b);
+  return {static_cast<float>(loss / static_cast<double>(B)), std::move(grad)};
+}
+
+LossResult mae_loss(const Tensor& pred, const Tensor& target) {
+  tensor::check_same_shape(pred, target, "mae_loss");
+  const std::size_t n = pred.numel();
+  double loss = 0.0;
+  Tensor grad(pred.shape());
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = pred[i] - target[i];
+    loss += std::fabs(d);
+    grad[i] = (d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f)) * inv_n;
+  }
+  return {static_cast<float>(loss / static_cast<double>(n)), std::move(grad)};
+}
+
+LossResult mse_loss(const Tensor& pred, const Tensor& target) {
+  tensor::check_same_shape(pred, target, "mse_loss");
+  const std::size_t n = pred.numel();
+  double loss = 0.0;
+  Tensor grad(pred.shape());
+  const float inv_n = 2.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = pred[i] - target[i];
+    loss += static_cast<double>(d) * d;
+    grad[i] = d * inv_n;
+  }
+  return {static_cast<float>(loss / static_cast<double>(n)), std::move(grad)};
+}
+
+double accuracy(const Tensor& logits, const std::vector<std::int32_t>& labels) {
+  const std::size_t B = logits.dim(0), C = logits.dim(1);
+  if (B != labels.size()) throw std::invalid_argument("accuracy: bad shapes");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < B; ++i) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < C; ++c) {
+      if (logits.at2(i, c) > logits.at2(i, best)) best = c;
+    }
+    if (best == static_cast<std::size_t>(labels[i])) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(B);
+}
+
+}  // namespace msa::nn

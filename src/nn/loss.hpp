@@ -1,0 +1,36 @@
+// Loss functions: softmax cross-entropy (classification case studies) and
+// MAE/MSE (the ARDS imputation study uses MAE, Sec. IV-B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace msa::nn {
+
+using tensor::Tensor;
+
+/// Result of a loss evaluation: scalar loss and gradient w.r.t. predictions.
+struct LossResult {
+  float loss = 0.0f;
+  Tensor grad;  ///< dLoss/dPred, same shape as predictions
+};
+
+/// Softmax + cross-entropy over logits (B, C) with integer labels (B).
+/// Loss is averaged over the batch; grad folds the softmax jacobian.
+[[nodiscard]] LossResult softmax_cross_entropy(
+    const Tensor& logits, const std::vector<std::int32_t>& labels);
+
+/// Mean absolute error between predictions and targets (batch-averaged).
+/// Subgradient 0 at exact ties, matching common frameworks.
+[[nodiscard]] LossResult mae_loss(const Tensor& pred, const Tensor& target);
+
+/// Mean squared error (batch-averaged).
+[[nodiscard]] LossResult mse_loss(const Tensor& pred, const Tensor& target);
+
+/// Classification accuracy of logits (B, C) against labels.
+[[nodiscard]] double accuracy(const Tensor& logits,
+                              const std::vector<std::int32_t>& labels);
+
+}  // namespace msa::nn

@@ -1,0 +1,129 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace msa::nn {
+
+namespace {
+inline float sigmoid(float v) { return 1.0f / (1.0f + std::exp(-v)); }
+}  // namespace
+
+LSTM::LSTM(std::size_t input_size, std::size_t hidden, Rng& rng)
+    : in_(input_size),
+      hidden_(hidden),
+      w_(Tensor::randn({input_size, 4 * hidden}, rng,
+                       std::sqrt(1.0f / static_cast<float>(input_size)))),
+      u_(Tensor::randn({hidden, 4 * hidden}, rng,
+                       std::sqrt(1.0f / static_cast<float>(hidden)))),
+      b_(Tensor::zeros({4 * hidden})),
+      gw_(Tensor::zeros(w_.shape())),
+      gu_(Tensor::zeros(u_.shape())),
+      gb_(Tensor::zeros(b_.shape())) {
+  // Forget-gate bias +1: the standard trick for gradient flow early on.
+  for (std::size_t j = 0; j < hidden; ++j) b_[hidden + j] = 1.0f;
+}
+
+Tensor LSTM::forward(const Tensor& x, bool /*training*/) {
+  if (x.ndim() != 3 || x.dim(2) != in_) {
+    throw std::invalid_argument("LSTM: bad input shape " + x.shape_str());
+  }
+  x_cache_ = x;
+  const std::size_t B = x.dim(0), T = x.dim(1), H = hidden_;
+  h_.assign(T + 1, Tensor({B, H}));
+  c_.assign(T + 1, Tensor({B, H}));
+  i_.assign(T, Tensor({B, H}));
+  f_.assign(T, Tensor({B, H}));
+  o_.assign(T, Tensor({B, H}));
+  g_.assign(T, Tensor({B, H}));
+  tc_.assign(T, Tensor({B, H}));
+  Tensor out({B, T, H});
+  Tensor xt({B, in_});
+  Tensor gates({B, 4 * H});
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t s = 0; s < B; ++s) {
+      for (std::size_t k = 0; k < in_; ++k) xt.at2(s, k) = x.at3(s, t, k);
+    }
+    tensor::gemm(false, false, 1.0f, xt, w_, 0.0f, gates);
+    tensor::gemm(false, false, 1.0f, h_[t], u_, 1.0f, gates);
+    for (std::size_t s = 0; s < B; ++s) {
+      for (std::size_t j = 0; j < H; ++j) {
+        const float ai = gates.at2(s, j) + b_[j];
+        const float af = gates.at2(s, H + j) + b_[H + j];
+        const float ao = gates.at2(s, 2 * H + j) + b_[2 * H + j];
+        const float ag = gates.at2(s, 3 * H + j) + b_[3 * H + j];
+        const float iv = sigmoid(ai);
+        const float fv = sigmoid(af);
+        const float ov = sigmoid(ao);
+        const float gv = std::tanh(ag);
+        const float cv = fv * c_[t].at2(s, j) + iv * gv;
+        const float tcv = std::tanh(cv);
+        i_[t].at2(s, j) = iv;
+        f_[t].at2(s, j) = fv;
+        o_[t].at2(s, j) = ov;
+        g_[t].at2(s, j) = gv;
+        tc_[t].at2(s, j) = tcv;
+        c_[t + 1].at2(s, j) = cv;
+        const float hv = ov * tcv;
+        h_[t + 1].at2(s, j) = hv;
+        out.at3(s, t, j) = hv;
+      }
+    }
+  }
+  flops_ = static_cast<double>(T) *
+           (tensor::gemm_flops(B, 4 * H, in_) + tensor::gemm_flops(B, 4 * H, H));
+  return out;
+}
+
+Tensor LSTM::backward(const Tensor& grad_out) {
+  const Tensor& x = x_cache_;
+  const std::size_t B = x.dim(0), T = x.dim(1), H = hidden_;
+  Tensor gx(x.shape());
+  Tensor dh({B, H});
+  Tensor dc({B, H});
+  Tensor xt({B, in_});
+  Tensor da({B, 4 * H});  // gate pre-activation grads [i | f | o | g]
+  for (std::size_t t = T; t-- > 0;) {
+    for (std::size_t s = 0; s < B; ++s) {
+      for (std::size_t j = 0; j < H; ++j) {
+        const float g = dh.at2(s, j) + grad_out.at3(s, t, j);
+        const float iv = i_[t].at2(s, j);
+        const float fv = f_[t].at2(s, j);
+        const float ov = o_[t].at2(s, j);
+        const float gv = g_[t].at2(s, j);
+        const float tcv = tc_[t].at2(s, j);
+        const float c_prev = c_[t].at2(s, j);
+        // dC gets contributions through h (via tanh) and from the future.
+        const float dcv = dc.at2(s, j) + g * ov * (1.0f - tcv * tcv);
+        da.at2(s, j) = dcv * gv * iv * (1.0f - iv);              // i
+        da.at2(s, H + j) = dcv * c_prev * fv * (1.0f - fv);      // f
+        da.at2(s, 2 * H + j) = g * tcv * ov * (1.0f - ov);       // o
+        da.at2(s, 3 * H + j) = dcv * iv * (1.0f - gv * gv);      // g
+        dc.at2(s, j) = dcv * fv;  // into c_{t-1}
+      }
+    }
+    // Weight gradients.
+    for (std::size_t s = 0; s < B; ++s) {
+      for (std::size_t k = 0; k < in_; ++k) xt.at2(s, k) = x.at3(s, t, k);
+    }
+    tensor::gemm(/*trans_a=*/true, false, 1.0f, xt, da, 1.0f, gw_);
+    tensor::gemm(/*trans_a=*/true, false, 1.0f, h_[t], da, 1.0f, gu_);
+    for (std::size_t s = 0; s < B; ++s) {
+      const float* darow = da.data() + s * 4 * H;
+      for (std::size_t j = 0; j < 4 * H; ++j) gb_[j] += darow[j];
+    }
+    // Input and recurrent gradients: dx = da W^T, dh_prev = da U^T.
+    Tensor gxt({B, in_});
+    tensor::gemm(false, /*trans_b=*/true, 1.0f, da, w_, 0.0f, gxt);
+    for (std::size_t s = 0; s < B; ++s) {
+      for (std::size_t k = 0; k < in_; ++k) gx.at3(s, t, k) = gxt.at2(s, k);
+    }
+    Tensor dh_prev({B, H});
+    tensor::gemm(false, /*trans_b=*/true, 1.0f, da, u_, 0.0f, dh_prev);
+    dh = dh_prev;
+  }
+  return gx;
+}
+
+}  // namespace msa::nn

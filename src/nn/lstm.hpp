@@ -1,0 +1,40 @@
+// LSTM layer with full backpropagation through time.
+//
+// Companion to the GRU of the ARDS study: the related work the paper cites
+// (Che et al. [39]) compares recurrent architectures on the same medical
+// time-series problems, so the library ships both.  Gate convention:
+//   i = sigm(x Wi + h Ui + bi)     (input gate)
+//   f = sigm(x Wf + h Uf + bf)     (forget gate; bias initialised to +1)
+//   o = sigm(x Wo + h Uo + bo)     (output gate)
+//   g = tanh(x Wg + h Ug + bg)     (candidate)
+//   c' = f . c + i . g ;  h' = o . tanh(c')
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace msa::nn {
+
+/// Input (B, T, F) -> output (B, T, H).
+class LSTM : public Layer {
+ public:
+  LSTM(std::size_t input_size, std::size_t hidden, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Tensor*> params() override { return {&w_, &u_, &b_}; }
+  std::vector<Tensor*> grads() override { return {&gw_, &gu_, &gb_}; }
+  [[nodiscard]] std::string name() const override { return "LSTM"; }
+  [[nodiscard]] double forward_flops() const override { return flops_; }
+
+ private:
+  std::size_t in_, hidden_;
+  // Packed weights: W (F, 4H), U (H, 4H); column blocks [i | f | o | g].
+  Tensor w_, u_, b_;
+  Tensor gw_, gu_, gb_;
+  Tensor x_cache_;
+  std::vector<Tensor> h_, c_;              // states 0..T
+  std::vector<Tensor> i_, f_, o_, g_, tc_; // per-step activations
+  double flops_ = 0.0;
+};
+
+}  // namespace msa::nn

@@ -1,0 +1,178 @@
+#include "nn/models.hpp"
+
+#include "nn/conv.hpp"
+#include "nn/gru.hpp"
+#include "nn/lstm.hpp"
+#include "nn/layers_basic.hpp"
+#include "nn/norm.hpp"
+#include "nn/residual.hpp"
+#include "tensor/ops.hpp"
+
+namespace msa::nn {
+
+namespace {
+
+/// Permutes (B, T, F) -> (B, F, T) so sequence data can feed Conv1D.
+class TimeToChannels : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool /*training*/) override {
+    if (x.ndim() != 3) throw std::invalid_argument("TimeToChannels: need 3-D");
+    in_shape_ = x.shape();
+    const std::size_t B = x.dim(0), T = x.dim(1), F = x.dim(2);
+    Tensor y({B, F, T});
+    for (std::size_t s = 0; s < B; ++s) {
+      for (std::size_t t = 0; t < T; ++t) {
+        for (std::size_t f = 0; f < F; ++f) y.at3(s, f, t) = x.at3(s, t, f);
+      }
+    }
+    return y;
+  }
+
+  Tensor backward(const Tensor& grad_out) override {
+    const std::size_t B = in_shape_[0], T = in_shape_[1], F = in_shape_[2];
+    Tensor gx(in_shape_);
+    for (std::size_t s = 0; s < B; ++s) {
+      for (std::size_t t = 0; t < T; ++t) {
+        for (std::size_t f = 0; f < F; ++f) {
+          gx.at3(s, t, f) = grad_out.at3(s, f, t);
+        }
+      }
+    }
+    return gx;
+  }
+
+  [[nodiscard]] std::string name() const override { return "TimeToChannels"; }
+
+ private:
+  Shape in_shape_;
+};
+
+}  // namespace
+
+std::unique_ptr<Sequential> make_resnet(std::size_t in_channels,
+                                        std::size_t num_classes,
+                                        std::vector<std::size_t> widths,
+                                        std::size_t blocks_per_stage,
+                                        Rng& rng) {
+  return make_resnet(in_channels, num_classes, std::move(widths),
+                     blocks_per_stage, rng, default_norm_factory());
+}
+
+std::unique_ptr<Sequential> make_resnet(std::size_t in_channels,
+                                        std::size_t num_classes,
+                                        std::vector<std::size_t> widths,
+                                        std::size_t blocks_per_stage, Rng& rng,
+                                        const NormFactory& norm) {
+  auto net = std::make_unique<Sequential>();
+  // Stem.
+  net->emplace<Conv2D>(in_channels, widths.front(), 3, 1, 1, rng,
+                       /*bias=*/false);
+  net->add(norm(widths.front()));
+  net->emplace<ReLU>();
+  // Residual stages.
+  std::size_t in_w = widths.front();
+  for (std::size_t stage = 0; stage < widths.size(); ++stage) {
+    const std::size_t w = widths[stage];
+    for (std::size_t b = 0; b < blocks_per_stage; ++b) {
+      const std::size_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      net->emplace<ResidualBlock>(in_w, w, stride, rng, norm);
+      in_w = w;
+    }
+  }
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Dense>(in_w, num_classes, rng);
+  return net;
+}
+
+std::unique_ptr<Sequential> make_resnet_rs(std::size_t in_channels,
+                                           std::size_t num_classes, Rng& rng) {
+  return make_resnet(in_channels, num_classes, {16, 32, 64}, 2, rng);
+}
+
+std::unique_ptr<Sequential> make_covidnet_lite(std::size_t num_classes,
+                                               Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2D>(1, 12, 5, 2, 2, rng, /*bias=*/false);  // CXR is 1-chan
+  net->emplace<BatchNorm2D>(12);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2D>(2, 2);
+  net->emplace<ResidualBlock>(12, 24, 2, rng);
+  net->emplace<ResidualBlock>(24, 48, 2, rng);
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Dense>(48, 32, rng);
+  net->emplace<ReLU>();
+  net->emplace<Dropout>(0.3);
+  net->emplace<Dense>(32, num_classes, rng);
+  return net;
+}
+
+std::unique_ptr<Sequential> make_ards_gru(std::size_t input_features, Rng& rng,
+                                          std::size_t units, double dropout) {
+  auto net = std::make_unique<Sequential>();
+  net->emplace<GRU>(input_features, units, rng);
+  net->emplace<Dropout>(dropout, /*seed=*/11);
+  net->emplace<GRU>(units, units, rng);
+  net->emplace<Dropout>(dropout, /*seed=*/13);
+  net->emplace<SliceLastTimestep>();
+  net->emplace<Dense>(units, 1, rng);
+  return net;
+}
+
+std::unique_ptr<Sequential> make_ards_cnn1d(std::size_t input_features,
+                                            std::size_t seq_len, Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  net->emplace<TimeToChannels>();
+  net->emplace<Conv1D>(input_features, 16, 3, 1, 1, rng);
+  net->emplace<ReLU>();
+  net->emplace<Conv1D>(16, 16, 3, 2, 1, rng);
+  net->emplace<ReLU>();
+  const std::size_t t2 = tensor::conv_out_size(seq_len, 3, 2, 1);
+  net->emplace<Flatten>();
+  net->emplace<Dense>(16 * t2, 32, rng);
+  net->emplace<ReLU>();
+  net->emplace<Dense>(32, 1, rng);
+  return net;
+}
+
+std::unique_ptr<Sequential> make_ards_lstm(std::size_t input_features,
+                                           Rng& rng, std::size_t units,
+                                           double dropout) {
+  auto net = std::make_unique<Sequential>();
+  net->emplace<LSTM>(input_features, units, rng);
+  net->emplace<Dropout>(dropout, /*seed=*/21);
+  net->emplace<LSTM>(units, units, rng);
+  net->emplace<Dropout>(dropout, /*seed=*/23);
+  net->emplace<SliceLastTimestep>();
+  net->emplace<Dense>(units, 1, rng);
+  return net;
+}
+
+std::unique_ptr<Sequential> make_mlp(std::size_t in,
+                                     std::vector<std::size_t> hidden,
+                                     std::size_t out, Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  std::size_t prev = in;
+  for (std::size_t h : hidden) {
+    net->emplace<Dense>(prev, h, rng);
+    net->emplace<ReLU>();
+    prev = h;
+  }
+  net->emplace<Dense>(prev, out, rng);
+  return net;
+}
+
+std::unique_ptr<Sequential> make_autoencoder(std::size_t in, std::size_t code,
+                                             Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  const std::size_t mid = std::max<std::size_t>(code * 2, in / 2);
+  net->emplace<Dense>(in, mid, rng);
+  net->emplace<ReLU>();
+  // Linear bottleneck: a ReLU here would clip half the code space.
+  net->emplace<Dense>(mid, code, rng);
+  net->emplace<Dense>(code, mid, rng);
+  net->emplace<ReLU>();
+  net->emplace<Dense>(mid, in, rng);
+  return net;
+}
+
+}  // namespace msa::nn

@@ -1,0 +1,62 @@
+// Model factories for the paper's case-study networks.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.hpp"
+#include "nn/residual.hpp"
+
+namespace msa::nn {
+
+/// Compact residual network in the spirit of the paper's RESNET-50 land-cover
+/// classifier [17], [18], sized for multispectral patches.  `widths` gives
+/// the channel count per stage; each stage has `blocks_per_stage` residual
+/// blocks, the first of each later stage downsampling by 2.
+[[nodiscard]] std::unique_ptr<Sequential> make_resnet(
+    std::size_t in_channels, std::size_t num_classes,
+    std::vector<std::size_t> widths, std::size_t blocks_per_stage, Rng& rng);
+
+/// As above, with an injectable normalisation layer (e.g. SyncBatchNorm2D
+/// for data-parallel training with small per-replica microbatches).
+[[nodiscard]] std::unique_ptr<Sequential> make_resnet(
+    std::size_t in_channels, std::size_t num_classes,
+    std::vector<std::size_t> widths, std::size_t blocks_per_stage, Rng& rng,
+    const NormFactory& norm);
+
+/// Default remote-sensing classifier: 3 stages {16, 32, 64}, 2 blocks each —
+/// "ResNet-lite" with the same topology family as ResNet-50.
+[[nodiscard]] std::unique_ptr<Sequential> make_resnet_rs(
+    std::size_t in_channels, std::size_t num_classes, Rng& rng);
+
+/// COVID-Net-style CXR classifier (Sec. IV-A): conv stem + residual stages +
+/// classifier head, 3 classes (normal / pneumonia / COVID-19).
+[[nodiscard]] std::unique_ptr<Sequential> make_covidnet_lite(
+    std::size_t num_classes, Rng& rng);
+
+/// The exact ARDS imputation model of Sec. IV-B: two GRU layers with 32
+/// units, dropout 0.2, Dense(1) head.
+[[nodiscard]] std::unique_ptr<Sequential> make_ards_gru(
+    std::size_t input_features, Rng& rng, std::size_t units = 32,
+    double dropout = 0.2);
+
+/// 1-D CNN alternative the same section reports as promising.
+[[nodiscard]] std::unique_ptr<Sequential> make_ards_cnn1d(
+    std::size_t input_features, std::size_t seq_len, Rng& rng);
+
+/// LSTM counterpart of the ARDS model (for the architecture comparisons of
+/// the cited related work, e.g. Che et al. [39]).
+[[nodiscard]] std::unique_ptr<Sequential> make_ards_lstm(
+    std::size_t input_features, Rng& rng, std::size_t units = 32,
+    double dropout = 0.2);
+
+/// Plain MLP classifier (for quickstart/tests).
+[[nodiscard]] std::unique_ptr<Sequential> make_mlp(
+    std::size_t in, std::vector<std::size_t> hidden, std::size_t out,
+    Rng& rng);
+
+/// Fully-connected autoencoder for RS data compression (Haut et al. [7]).
+/// Returns encoder+decoder as one Sequential; bottleneck is `code` wide.
+[[nodiscard]] std::unique_ptr<Sequential> make_autoencoder(
+    std::size_t in, std::size_t code, Rng& rng);
+
+}  // namespace msa::nn

@@ -1,0 +1,101 @@
+#include "nn/norm.hpp"
+
+#include <cmath>
+
+namespace msa::nn {
+
+BatchNorm2D::BatchNorm2D(std::size_t channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(Tensor::ones({channels})),
+      beta_(Tensor::zeros({channels})),
+      ggamma_(Tensor::zeros({channels})),
+      gbeta_(Tensor::zeros({channels})),
+      running_mean_(Tensor::zeros({channels})),
+      running_var_(Tensor::ones({channels})) {}
+
+Tensor BatchNorm2D::forward(const Tensor& x, bool training) {
+  if (x.ndim() != 4 || x.dim(1) != channels_) {
+    throw std::invalid_argument("BatchNorm2D: bad input " + x.shape_str());
+  }
+  in_shape_ = x.shape();
+  const std::size_t B = x.dim(0), C = channels_, HW = x.dim(2) * x.dim(3);
+  const std::size_t n = B * HW;
+  Tensor y(x.shape());
+  xhat_ = Tensor(x.shape());
+  inv_std_.assign(C, 0.0f);
+  for (std::size_t c = 0; c < C; ++c) {
+    float mean, var;
+    if (training) {
+      double m = 0.0;
+      for (std::size_t s = 0; s < B; ++s) {
+        const float* plane = x.data() + (s * C + c) * HW;
+        for (std::size_t i = 0; i < HW; ++i) m += plane[i];
+      }
+      mean = static_cast<float>(m / static_cast<double>(n));
+      double v = 0.0;
+      for (std::size_t s = 0; s < B; ++s) {
+        const float* plane = x.data() + (s * C + c) * HW;
+        for (std::size_t i = 0; i < HW; ++i) {
+          const double d = plane[i] - mean;
+          v += d * d;
+        }
+      }
+      var = static_cast<float>(v / static_cast<double>(n));
+      running_mean_[c] =
+          (1.0f - momentum_) * running_mean_[c] + momentum_ * mean;
+      running_var_[c] = (1.0f - momentum_) * running_var_[c] + momentum_ * var;
+    } else {
+      mean = running_mean_[c];
+      var = running_var_[c];
+    }
+    const float inv_std = 1.0f / std::sqrt(var + eps_);
+    inv_std_[c] = inv_std;
+    for (std::size_t s = 0; s < B; ++s) {
+      const float* in_plane = x.data() + (s * C + c) * HW;
+      float* xh_plane = xhat_.data() + (s * C + c) * HW;
+      float* out_plane = y.data() + (s * C + c) * HW;
+      for (std::size_t i = 0; i < HW; ++i) {
+        xh_plane[i] = (in_plane[i] - mean) * inv_std;
+        out_plane[i] = gamma_[c] * xh_plane[i] + beta_[c];
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2D::backward(const Tensor& grad_out) {
+  const std::size_t B = in_shape_[0], C = channels_,
+                    HW = in_shape_[2] * in_shape_[3];
+  const auto n = static_cast<float>(B * HW);
+  Tensor gx(in_shape_);
+  for (std::size_t c = 0; c < C; ++c) {
+    // Accumulate sum(g) and sum(g * xhat) for the channel.
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (std::size_t s = 0; s < B; ++s) {
+      const float* g_plane = grad_out.data() + (s * C + c) * HW;
+      const float* xh_plane = xhat_.data() + (s * C + c) * HW;
+      for (std::size_t i = 0; i < HW; ++i) {
+        sum_g += g_plane[i];
+        sum_gx += static_cast<double>(g_plane[i]) * xh_plane[i];
+      }
+    }
+    ggamma_[c] += static_cast<float>(sum_gx);
+    gbeta_[c] += static_cast<float>(sum_g);
+    const float k = gamma_[c] * inv_std_[c] / n;
+    for (std::size_t s = 0; s < B; ++s) {
+      const float* g_plane = grad_out.data() + (s * C + c) * HW;
+      const float* xh_plane = xhat_.data() + (s * C + c) * HW;
+      float* gx_plane = gx.data() + (s * C + c) * HW;
+      for (std::size_t i = 0; i < HW; ++i) {
+        gx_plane[i] =
+            k * (n * g_plane[i] - static_cast<float>(sum_g) -
+                 xh_plane[i] * static_cast<float>(sum_gx));
+      }
+    }
+  }
+  return gx;
+}
+
+}  // namespace msa::nn

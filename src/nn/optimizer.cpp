@@ -1,0 +1,71 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace msa::nn {
+
+namespace {
+void ensure_state(std::vector<Tensor>& state,
+                  const std::vector<Tensor*>& params) {
+  if (state.empty()) {
+    state.reserve(params.size());
+    for (const Tensor* p : params) state.emplace_back(Tensor::zeros(p->shape()));
+  } else if (state.size() != params.size()) {
+    throw std::invalid_argument("optimizer: parameter list changed size");
+  }
+}
+}  // namespace
+
+void Sgd::step(const std::vector<Tensor*>& params,
+               const std::vector<Tensor*>& grads) {
+  if (params.size() != grads.size()) {
+    throw std::invalid_argument("Sgd::step: list size mismatch");
+  }
+  ensure_state(velocity_, params);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    Tensor& v = velocity_[i];
+    const auto lr = static_cast<float>(lr_);
+    const auto mu = static_cast<float>(momentum_);
+    const auto wd = static_cast<float>(weight_decay_);
+    for (std::size_t j = 0; j < p.numel(); ++j) {
+      const float grad = g[j] + wd * p[j];
+      v[j] = mu * v[j] + grad;
+      const float update = nesterov_ ? grad + mu * v[j] : v[j];
+      p[j] -= lr * update;
+    }
+  }
+}
+
+void Adam::step(const std::vector<Tensor*>& params,
+                const std::vector<Tensor*>& grads) {
+  if (params.size() != grads.size()) {
+    throw std::invalid_argument("Adam::step: list size mismatch");
+  }
+  ensure_state(m_, params);
+  ensure_state(v_, params);
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const auto lr = static_cast<float>(lr_ * std::sqrt(bc2) / bc1);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    const auto b1 = static_cast<float>(beta1_);
+    const auto b2 = static_cast<float>(beta2_);
+    const auto wd = static_cast<float>(weight_decay_);
+    const auto eps = static_cast<float>(eps_);
+    for (std::size_t j = 0; j < p.numel(); ++j) {
+      const float grad = g[j] + wd * p[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * grad;
+      v[j] = b2 * v[j] + (1.0f - b2) * grad * grad;
+      p[j] -= lr * m[j] / (std::sqrt(v[j]) + eps);
+    }
+  }
+}
+
+}  // namespace msa::nn

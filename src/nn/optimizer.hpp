@@ -1,0 +1,100 @@
+// Optimizers: SGD with momentum (the large-batch ResNet recipe) and ADAM
+// (the ARDS GRU recipe: lr 1e-4, Sec. IV-B).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace msa::nn {
+
+using tensor::Tensor;
+
+/// Optimizer interface over parallel (param, grad) tensor lists.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Apply one update step.  Lists must be stable across calls (state is
+  /// indexed positionally).
+  virtual void step(const std::vector<Tensor*>& params,
+                    const std::vector<Tensor*>& grads) = 0;
+
+  void set_lr(double lr) { lr_ = lr; }
+  [[nodiscard]] double lr() const { return lr_; }
+
+  /// Mutable views of the optimizer's per-parameter state tensors
+  /// (momentum buffers, Adam moments, ...) for checkpoint/restart — the
+  /// NAM module's flagship use case (paper ref [12]).  Empty before the
+  /// first step().
+  virtual std::vector<Tensor*> state_tensors() { return {}; }
+
+  /// Scalar state (step counters etc.) for checkpointing.
+  [[nodiscard]] virtual std::vector<double> scalar_state() const { return {}; }
+  virtual void restore_scalar_state(const std::vector<double>& s) { (void)s; }
+
+ protected:
+  explicit Optimizer(double lr) : lr_(lr) {}
+  double lr_;
+};
+
+/// SGD with (optionally Nesterov) momentum and decoupled weight decay.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0, double weight_decay = 0.0,
+               bool nesterov = false)
+      : Optimizer(lr),
+        momentum_(momentum),
+        weight_decay_(weight_decay),
+        nesterov_(nesterov) {}
+
+  void step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) override;
+
+  std::vector<Tensor*> state_tensors() override {
+    std::vector<Tensor*> out;
+    for (auto& v : velocity_) out.push_back(&v);
+    return out;
+  }
+
+ private:
+  double momentum_, weight_decay_;
+  bool nesterov_;
+  std::vector<Tensor> velocity_;
+};
+
+/// ADAM (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8, double weight_decay = 0.0)
+      : Optimizer(lr),
+        beta1_(beta1),
+        beta2_(beta2),
+        eps_(eps),
+        weight_decay_(weight_decay) {}
+
+  void step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) override;
+
+  std::vector<Tensor*> state_tensors() override {
+    std::vector<Tensor*> out;
+    for (auto& m : m_) out.push_back(&m);
+    for (auto& v : v_) out.push_back(&v);
+    return out;
+  }
+
+  [[nodiscard]] std::vector<double> scalar_state() const override {
+    return {static_cast<double>(t_)};
+  }
+  void restore_scalar_state(const std::vector<double>& s) override {
+    if (!s.empty()) t_ = static_cast<long>(s[0]);
+  }
+
+ private:
+  double beta1_, beta2_, eps_, weight_decay_;
+  std::vector<Tensor> m_, v_;
+  long t_ = 0;
+};
+
+}  // namespace msa::nn

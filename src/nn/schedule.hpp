@@ -1,0 +1,66 @@
+// Learning-rate schedules, including the linear-scaling + warmup rule that
+// makes large-batch data-parallel training accuracy-preserving (Goyal et al.,
+// the recipe behind the paper's "speed-up ... without losing accuracy"
+// observation for 96/128-GPU ResNet-50 training).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace msa::nn {
+
+/// lr(step) = base_lr * workers * warmup_ramp * step_decay.
+///
+/// - Linear scaling: the effective LR grows proportionally to the number of
+///   data-parallel workers (global batch size).
+/// - Warmup: ramps from base_lr to the scaled LR over `warmup_steps` to avoid
+///   early divergence at large batch.
+/// - Step decay: multiplies by `decay` at each milestone.
+class LargeBatchSchedule {
+ public:
+  LargeBatchSchedule(double base_lr, int workers, std::size_t warmup_steps,
+                     std::initializer_list<std::size_t> milestones = {},
+                     double decay = 0.1)
+      : base_lr_(base_lr),
+        workers_(std::max(1, workers)),
+        warmup_steps_(warmup_steps),
+        milestones_(milestones),
+        decay_(decay) {}
+
+  [[nodiscard]] double lr(std::size_t step) const {
+    const double target = base_lr_ * workers_;
+    double lr = target;
+    if (warmup_steps_ > 0 && step < warmup_steps_) {
+      const double frac =
+          static_cast<double>(step + 1) / static_cast<double>(warmup_steps_);
+      lr = base_lr_ + (target - base_lr_) * frac;
+    }
+    for (std::size_t m : milestones_) {
+      if (step >= m) lr *= decay_;
+    }
+    return lr;
+  }
+
+  [[nodiscard]] int workers() const { return workers_; }
+
+ private:
+  double base_lr_;
+  int workers_;
+  std::size_t warmup_steps_;
+  std::vector<std::size_t> milestones_;
+  double decay_;
+};
+
+/// Constant schedule (the ARDS GRU study: Adam at fixed 1e-4).
+class ConstantSchedule {
+ public:
+  explicit ConstantSchedule(double lr) : lr_(lr) {}
+  [[nodiscard]] double lr(std::size_t /*step*/) const { return lr_; }
+
+ private:
+  double lr_;
+};
+
+}  // namespace msa::nn

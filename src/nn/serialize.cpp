@@ -1,0 +1,131 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace msa::nn {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4D53414C49423031ull;  // "MSALIB01"
+
+void write_u64(std::ofstream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("checkpoint: truncated file");
+  return v;
+}
+
+}  // namespace
+
+void save_tensors(const std::string& path,
+                  const std::vector<const Tensor*>& tensors) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  write_u64(os, kMagic);
+  write_u64(os, tensors.size());
+  for (const Tensor* t : tensors) {
+    write_u64(os, t->ndim());
+    for (std::size_t d = 0; d < t->ndim(); ++d) write_u64(os, t->dim(d));
+    os.write(reinterpret_cast<const char*>(t->data()),
+             static_cast<std::streamsize>(t->numel() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("write failure on " + path);
+}
+
+std::vector<Tensor> load_tensors(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  if (read_u64(is) != kMagic) {
+    throw std::runtime_error(path + " is not an msalib tensor archive");
+  }
+  const std::uint64_t count = read_u64(is);
+  std::vector<Tensor> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t ndim = read_u64(is);
+    Shape shape;
+    for (std::uint64_t d = 0; d < ndim; ++d) {
+      shape.push_back(static_cast<std::size_t>(read_u64(is)));
+    }
+    Tensor t(shape);
+    is.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    if (!is) throw std::runtime_error("checkpoint: truncated tensor data");
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void save_parameters(const std::string& path, Layer& model) {
+  std::vector<const Tensor*> tensors;
+  for (Tensor* p : model.params()) tensors.push_back(p);
+  save_tensors(path, tensors);
+}
+
+void load_parameters(const std::string& path, Layer& model) {
+  const auto loaded = load_tensors(path);
+  auto params = model.params();
+  if (loaded.size() != params.size()) {
+    throw std::runtime_error("checkpoint: parameter count mismatch");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (!loaded[i].same_shape(*params[i])) {
+      throw std::runtime_error("checkpoint: shape mismatch at tensor " +
+                               std::to_string(i));
+    }
+    *params[i] = loaded[i];
+  }
+}
+
+Checkpoint save_checkpoint(const std::string& prefix, Layer& model,
+                           Optimizer& optimizer) {
+  Checkpoint ckpt{prefix + ".params.bin", prefix + ".optstate.bin"};
+  save_parameters(ckpt.params_path, model);
+  std::vector<const Tensor*> state;
+  for (Tensor* t : optimizer.state_tensors()) state.push_back(t);
+  // Scalar state rides along as one extra 1-D tensor at the end.
+  const auto scalars = optimizer.scalar_state();
+  Tensor scalar_tensor({scalars.size() + 1});
+  scalar_tensor[0] = static_cast<float>(scalars.size());
+  for (std::size_t i = 0; i < scalars.size(); ++i) {
+    scalar_tensor[i + 1] = static_cast<float>(scalars[i]);
+  }
+  state.push_back(&scalar_tensor);
+  save_tensors(ckpt.optimizer_path, state);
+  return ckpt;
+}
+
+void load_checkpoint(const Checkpoint& ckpt, Layer& model,
+                     Optimizer& optimizer) {
+  load_parameters(ckpt.params_path, model);
+  auto loaded = load_tensors(ckpt.optimizer_path);
+  if (loaded.empty()) throw std::runtime_error("checkpoint: empty optimizer state");
+  // Last tensor holds the scalar state.
+  const Tensor& scalar_tensor = loaded.back();
+  const auto n_scalars = static_cast<std::size_t>(scalar_tensor[0]);
+  std::vector<double> scalars;
+  for (std::size_t i = 0; i < n_scalars; ++i) {
+    scalars.push_back(static_cast<double>(scalar_tensor[i + 1]));
+  }
+  optimizer.restore_scalar_state(scalars);
+  auto state = optimizer.state_tensors();
+  if (state.size() != loaded.size() - 1) {
+    throw std::runtime_error(
+        "checkpoint: optimizer state layout mismatch (did the optimizer take "
+        "a first step before restore?)");
+  }
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    if (!loaded[i].same_shape(*state[i])) {
+      throw std::runtime_error("checkpoint: optimizer state shape mismatch");
+    }
+    *state[i] = loaded[i];
+  }
+}
+
+}  // namespace msa::nn

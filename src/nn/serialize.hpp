@@ -1,0 +1,45 @@
+// Binary checkpointing of models and optimizer state.
+//
+// The NAM module's flagship application is accelerating checkpoint/restart
+// (paper Sec. II-A, ref [12]); this is the serialisation layer those
+// checkpoints use.  The on-disk format is a simple self-describing tensor
+// archive: magic, tensor count, then per tensor (ndim, dims..., fp32 data).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/optimizer.hpp"
+
+namespace msa::nn {
+
+/// Write @p tensors to @p path.  Throws std::runtime_error on I/O failure.
+void save_tensors(const std::string& path,
+                  const std::vector<const Tensor*>& tensors);
+
+/// Read all tensors from @p path.
+[[nodiscard]] std::vector<Tensor> load_tensors(const std::string& path);
+
+/// Save just the model parameters.
+void save_parameters(const std::string& path, Layer& model);
+
+/// Load parameters into @p model; shapes must match exactly.
+void load_parameters(const std::string& path, Layer& model);
+
+/// Full training checkpoint: parameters + optimizer state + counters.
+struct Checkpoint {
+  std::string params_path;
+  std::string optimizer_path;
+};
+
+/// Saves model parameters and optimizer state (if any) under @p prefix.
+[[nodiscard]] Checkpoint save_checkpoint(const std::string& prefix,
+                                         Layer& model, Optimizer& optimizer);
+
+/// Restores a checkpoint written by save_checkpoint.  The optimizer must
+/// have taken at least one step (so its state layout exists) or be stateless.
+void load_checkpoint(const Checkpoint& ckpt, Layer& model,
+                     Optimizer& optimizer);
+
+}  // namespace msa::nn

@@ -1,0 +1,166 @@
+#include "quantum/qa_svm.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace msa::quantum {
+
+Qubo build_svm_qubo(const ml::SvmProblem& problem, const QaSvmConfig& config) {
+  // Dual objective (to minimise):
+  //   1/2 sum_ij a_i a_j y_i y_j K_ij - sum_i a_i + xi (sum_i a_i y_i)^2
+  // with a_i = sum_k B^k x_{iK+k}.  Substituting gives a QUBO over the
+  // n*K binary variables (Willsch et al. 2020 formulation).
+  const std::size_t n = problem.size();
+  const auto K = static_cast<std::size_t>(config.encoding_bits);
+  Qubo qubo(n * K);
+
+  auto weight = [&](std::size_t k) { return std::pow(config.base, static_cast<double>(k)); };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double yy = static_cast<double>(problem.y[i]) * problem.y[j];
+      const double kij =
+          ml::kernel_eval(config.kernel, problem.row(i), problem.row(j));
+      const double coeff = 0.5 * yy * kij + config.penalty * yy;
+      for (std::size_t ki = 0; ki < K; ++ki) {
+        for (std::size_t kj = 0; kj < K; ++kj) {
+          const std::size_t vi = i * K + ki;
+          const std::size_t vj = j * K + kj;
+          const double w = coeff * weight(ki) * weight(kj);
+          if (vi == vj) {
+            qubo.add_linear(vi, w);
+          } else if (vi < vj) {
+            // Count each unordered pair once: the (i,j) and (j,i) loop
+            // passes both land here or in the linear branch.
+            qubo.add_quadratic(vi, vj, w);
+          } else {
+            qubo.add_quadratic(vj, vi, w);
+          }
+        }
+      }
+    }
+    // -sum_i a_i linear term.
+    for (std::size_t ki = 0; ki < K; ++ki) {
+      qubo.add_linear(i * K + ki, -weight(ki));
+    }
+  }
+  return qubo;
+}
+
+std::vector<double> decode_alphas(const std::vector<std::uint8_t>& x,
+                                  std::size_t n, const QaSvmConfig& c) {
+  const auto K = static_cast<std::size_t>(c.encoding_bits);
+  std::vector<double> alphas(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < K; ++k) {
+      if (x[i * K + k]) {
+        alphas[i] += std::pow(c.base, static_cast<double>(k));
+      }
+    }
+  }
+  return alphas;
+}
+
+QaSvmModel train_qa_svm(const ml::SvmProblem& problem,
+                        const AnnealerProfile& device,
+                        const QaSvmConfig& config) {
+  Qubo qubo = build_svm_qubo(problem, config);
+  if (!device.fits(qubo)) {
+    throw std::runtime_error(
+        "QA-SVM: problem needs " + std::to_string(qubo.size()) +
+        " qubits; " + device.name + " offers " + std::to_string(device.qubits) +
+        " — subsample and ensemble instead");
+  }
+  auto samples = simulated_anneal(qubo, config.anneal);
+  const Sample& best = samples.front();
+  auto alphas = decode_alphas(best.x, problem.size(), config);
+
+  // Bias from averaged KKT conditions over points with 0 < alpha.
+  const std::size_t n = problem.size();
+  double bias = 0.0;
+  std::size_t active = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alphas[i] <= 0.0) continue;
+    double f = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (alphas[j] <= 0.0) continue;
+      f += alphas[j] * problem.y[j] *
+           ml::kernel_eval(config.kernel, problem.row(j), problem.row(i));
+    }
+    bias += problem.y[i] - f;
+    ++active;
+  }
+  if (active > 0) bias /= static_cast<double>(active);
+
+  // Pack support vectors.
+  const std::size_t d = problem.dims();
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alphas[i] > 0.0) idx.push_back(i);
+  }
+  ml::Tensor sv({std::max<std::size_t>(idx.size(), 1), d});
+  std::vector<float> coeffs;
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    const auto row = problem.row(idx[k]);
+    std::copy(row.begin(), row.end(), sv.data() + k * d);
+    coeffs.push_back(
+        static_cast<float>(alphas[idx[k]] * problem.y[idx[k]]));
+  }
+  QaSvmModel out;
+  out.svm = ml::SvmModel(std::move(sv), std::move(coeffs), bias, config.kernel);
+  out.qubo_energy = best.energy;
+  out.qubits_used = qubo.size();
+  return out;
+}
+
+void QaSvmEnsemble::fit(const ml::SvmProblem& problem,
+                        const AnnealerProfile& device, int members,
+                        const QaSvmConfig& config, std::uint64_t seed) {
+  members_.clear();
+  anneal_time_s_ = 0.0;
+  const auto K = static_cast<std::size_t>(config.encoding_bits);
+  subsample_ = std::min(problem.size(), device.qubits / K);
+  if (subsample_ < 2) throw std::invalid_argument("QA ensemble: device too small");
+
+  const std::size_t d = problem.dims();
+  for (int m = 0; m < members; ++m) {
+    tensor::Rng rng(seed + 0xA511u * static_cast<std::uint64_t>(m));
+    // Random subsample without replacement (Fisher-Yates prefix).
+    std::vector<std::size_t> perm(problem.size());
+    std::iota(perm.begin(), perm.end(), 0);
+    for (std::size_t i = 0; i < subsample_; ++i) {
+      const std::size_t j = i + rng.uniform_index(perm.size() - i);
+      std::swap(perm[i], perm[j]);
+    }
+    ml::SvmProblem sub;
+    sub.x = ml::Tensor({subsample_, d});
+    sub.y.resize(subsample_);
+    for (std::size_t i = 0; i < subsample_; ++i) {
+      const auto row = problem.row(perm[i]);
+      std::copy(row.begin(), row.end(), sub.x.data() + i * d);
+      sub.y[i] = problem.y[perm[i]];
+    }
+    QaSvmConfig cfg = config;
+    cfg.anneal.seed = seed + 0x9E3779B9u * static_cast<std::uint64_t>(m);
+    members_.push_back(train_qa_svm(sub, device, cfg));
+    anneal_time_s_ += device.sample_time_s(cfg.anneal.reads);
+  }
+}
+
+double QaSvmEnsemble::decision(std::span<const float> features) const {
+  double acc = 0.0;
+  for (const auto& m : members_) acc += m.svm.decision(features);
+  return members_.empty() ? 0.0 : acc / static_cast<double>(members_.size());
+}
+
+double QaSvmEnsemble::accuracy(const ml::SvmProblem& test) const {
+  if (test.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (predict(test.row(i)) == test.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+}  // namespace msa::quantum

@@ -1,0 +1,72 @@
+// Quantum-annealer SVM with subsampling ensembles.
+//
+// Reproduces the workflow of Cavallaro et al. (paper ref [11]): the kernel
+// SVM dual is discretised into a QUBO (each alpha encoded in K binary
+// digits), sampled on the annealer, and — because the qubit budget caps the
+// trainable subset size — many SVMs trained on random subsamples are combined
+// into an ensemble whose averaged decision function recovers accuracy.
+#pragma once
+
+#include "ml/svm.hpp"
+#include "quantum/qubo.hpp"
+
+namespace msa::quantum {
+
+struct QaSvmConfig {
+  int encoding_bits = 3;      ///< K binary digits per alpha (base 2)
+  double base = 2.0;          ///< encoding base B: alpha = sum B^k x_k
+  double penalty = 1.0;       ///< multiplier xi for the (sum alpha_i y_i)^2 term
+  ml::KernelParams kernel;    ///< kernel of the dual
+  AnnealConfig anneal;        ///< sampler settings
+};
+
+/// Build the QA-SVM QUBO for a (sub)problem; needs n * encoding_bits qubits.
+[[nodiscard]] Qubo build_svm_qubo(const ml::SvmProblem& problem,
+                                  const QaSvmConfig& config);
+
+/// Decode an annealer sample into alpha coefficients.
+[[nodiscard]] std::vector<double> decode_alphas(
+    const std::vector<std::uint8_t>& x, std::size_t n, const QaSvmConfig& c);
+
+/// Result of one annealer training run.
+struct QaSvmModel {
+  ml::SvmModel svm;        ///< kernel expansion built from decoded alphas
+  double qubo_energy = 0.0;
+  std::size_t qubits_used = 0;
+};
+
+/// Train a single QA-SVM on @p problem with @p device.  Throws if the QUBO
+/// exceeds the device's qubit budget — callers must subsample (that is the
+/// point of the ensemble workflow).
+[[nodiscard]] QaSvmModel train_qa_svm(const ml::SvmProblem& problem,
+                                      const AnnealerProfile& device,
+                                      const QaSvmConfig& config = {});
+
+/// Ensemble of QA-SVMs over random subsamples sized to the device.
+class QaSvmEnsemble {
+ public:
+  /// Trains `members` QA-SVMs on random subsamples of at most
+  /// floor(device.qubits / encoding_bits) points each.
+  void fit(const ml::SvmProblem& problem, const AnnealerProfile& device,
+           int members, const QaSvmConfig& config = {},
+           std::uint64_t seed = 31);
+
+  /// Average decision value over members; classify by sign.
+  [[nodiscard]] double decision(std::span<const float> features) const;
+  [[nodiscard]] int predict(std::span<const float> features) const {
+    return decision(features) >= 0.0 ? +1 : -1;
+  }
+  [[nodiscard]] double accuracy(const ml::SvmProblem& test) const;
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  /// Total annealer wall time consumed (device model).
+  [[nodiscard]] double total_anneal_time_s() const { return anneal_time_s_; }
+  /// Subsample size used per member.
+  [[nodiscard]] std::size_t subsample_size() const { return subsample_; }
+
+ private:
+  std::vector<QaSvmModel> members_;
+  double anneal_time_s_ = 0.0;
+  std::size_t subsample_ = 0;
+};
+
+}  // namespace msa::quantum

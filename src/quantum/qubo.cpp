@@ -1,0 +1,119 @@
+#include "quantum/qubo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace msa::quantum {
+
+void Qubo::add_quadratic(std::size_t i, std::size_t j, double v) {
+  if (i == j) throw std::invalid_argument("add_quadratic: i == j");
+  if (i > j) std::swap(i, j);
+  q_[i * n_ + j] += v;
+}
+
+double Qubo::quadratic(std::size_t i, std::size_t j) const {
+  if (i > j) std::swap(i, j);
+  return q_[i * n_ + j];
+}
+
+double Qubo::energy(const std::vector<std::uint8_t>& x) const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (!x[i]) continue;
+    e += q_[i * n_ + i];
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      if (x[j]) e += q_[i * n_ + j];
+    }
+  }
+  return e;
+}
+
+double Qubo::flip_delta(const std::vector<std::uint8_t>& x,
+                        std::size_t i) const {
+  // dE for x_i -> 1-x_i: linear + sum of active couplings.
+  double field = q_[i * n_ + i];
+  for (std::size_t j = 0; j < i; ++j) {
+    if (x[j]) field += q_[j * n_ + i];
+  }
+  for (std::size_t j = i + 1; j < n_; ++j) {
+    if (x[j]) field += q_[i * n_ + j];
+  }
+  return x[i] ? -field : field;
+}
+
+std::size_t Qubo::coupler_count() const {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      if (q_[i * n_ + j] != 0.0) ++c;
+    }
+  }
+  return c;
+}
+
+bool AnnealerProfile::fits(const Qubo& q, double embedding_overhead) const {
+  const auto logical = static_cast<double>(q.size());
+  return logical * embedding_overhead <= static_cast<double>(qubits) &&
+         q.coupler_count() <= couplers;
+}
+
+AnnealerProfile dwave_2000q() {
+  return {"D-Wave 2000Q", 2048, 6016, 20.0, 120.0};
+}
+
+AnnealerProfile dwave_advantage() {
+  return {"D-Wave Advantage", 5000, 35000, 20.0, 100.0};
+}
+
+std::vector<Sample> simulated_anneal(const Qubo& qubo,
+                                     const AnnealConfig& config) {
+  const std::size_t n = qubo.size();
+  std::vector<Sample> samples;
+  samples.reserve(static_cast<std::size_t>(config.reads));
+  for (int read = 0; read < config.reads; ++read) {
+    tensor::Rng rng(config.seed + 0x2545F491u * static_cast<std::uint64_t>(read));
+    std::vector<std::uint8_t> x(n);
+    for (auto& b : x) b = rng.bernoulli(0.5) ? 1 : 0;
+    double energy = qubo.energy(x);
+    for (int sweep = 0; sweep < config.sweeps; ++sweep) {
+      const double frac = config.sweeps > 1
+                              ? static_cast<double>(sweep) / (config.sweeps - 1)
+                              : 1.0;
+      const double beta =
+          config.beta_start *
+          std::pow(config.beta_end / config.beta_start, frac);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double dE = qubo.flip_delta(x, i);
+        if (dE <= 0.0 || rng.uniform() < std::exp(-beta * dE)) {
+          x[i] ^= 1u;
+          energy += dE;
+        }
+      }
+    }
+    samples.push_back({std::move(x), energy});
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) { return a.energy < b.energy; });
+  return samples;
+}
+
+Sample brute_force_minimum(const Qubo& qubo) {
+  const std::size_t n = qubo.size();
+  if (n > 24) throw std::invalid_argument("brute_force: too large");
+  Sample best;
+  best.energy = std::numeric_limits<double>::infinity();
+  std::vector<std::uint8_t> x(n);
+  for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    for (std::size_t i = 0; i < n; ++i) x[i] = (mask >> i) & 1u;
+    const double e = qubo.energy(x);
+    if (e < best.energy) {
+      best.energy = e;
+      best.x = x;
+    }
+  }
+  return best;
+}
+
+}  // namespace msa::quantum

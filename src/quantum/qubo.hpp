@@ -1,0 +1,96 @@
+// QUBO problems and a simulated annealing sampler standing in for the
+// D-Wave quantum annealers of the paper's QM module (Sec. III-C).
+//
+// Substitution note (DESIGN.md): we model the annealer as (a) a sampler that
+// returns low-energy solutions of a QUBO and (b) a *device profile* imposing
+// the qubit/coupler budgets that force the subsampling + ensembling workflow
+// the paper reports (2000Q: binary classification only, must subsample;
+// Advantage: 5000 qubits / 35000 couplers relaxes the budget).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace msa::quantum {
+
+/// Quadratic Unconstrained Binary Optimisation problem:
+///   E(x) = sum_i Q_ii x_i + sum_{i<j} Q_ij x_i x_j,  x in {0,1}^n.
+class Qubo {
+ public:
+  explicit Qubo(std::size_t n) : n_(n), q_(n * n, 0.0) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Add to the linear coefficient of variable i.
+  void add_linear(std::size_t i, double v) { q_[i * n_ + i] += v; }
+  /// Add to the quadratic coefficient of the (unordered) pair (i, j), i != j.
+  void add_quadratic(std::size_t i, std::size_t j, double v);
+
+  [[nodiscard]] double linear(std::size_t i) const { return q_[i * n_ + i]; }
+  [[nodiscard]] double quadratic(std::size_t i, std::size_t j) const;
+
+  /// Energy of an assignment.
+  [[nodiscard]] double energy(const std::vector<std::uint8_t>& x) const;
+
+  /// Energy change of flipping bit i given current assignment (O(n)).
+  [[nodiscard]] double flip_delta(const std::vector<std::uint8_t>& x,
+                                  std::size_t i) const;
+
+  /// Number of non-zero off-diagonal couplings (for coupler budgets).
+  [[nodiscard]] std::size_t coupler_count() const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> q_;  // upper triangle holds pair terms, diag linear
+};
+
+/// Hardware profile of an annealer generation.
+struct AnnealerProfile {
+  std::string name;
+  std::size_t qubits = 2048;
+  std::size_t couplers = 6016;
+  double anneal_time_us = 20.0;   ///< per read
+  double readout_time_us = 120.0; ///< per read (programming amortised)
+
+  /// Whether a QUBO fits the device without minor-embedding overflow.
+  /// The connectivity graph is sparse, so embedding a dense problem uses
+  /// chains; `embedding_overhead` approximates qubits-per-logical-variable.
+  [[nodiscard]] bool fits(const Qubo& q, double embedding_overhead = 1.0) const;
+
+  /// Wall time of a sampling batch.
+  [[nodiscard]] double sample_time_s(int reads) const {
+    return reads * (anneal_time_us + readout_time_us) * 1e-6;
+  }
+};
+
+/// D-Wave 2000Q (the paper's first study, ref [11]).
+[[nodiscard]] AnnealerProfile dwave_2000q();
+/// D-Wave Advantage: "5000 qubits and 35000 couplers" (Sec. III-C).
+[[nodiscard]] AnnealerProfile dwave_advantage();
+
+/// A sample returned by an annealer.
+struct Sample {
+  std::vector<std::uint8_t> x;
+  double energy = 0.0;
+};
+
+struct AnnealConfig {
+  int reads = 100;          ///< independent anneal restarts
+  int sweeps = 200;         ///< Metropolis sweeps per read
+  double beta_start = 0.1;  ///< inverse temperature schedule (geometric)
+  double beta_end = 5.0;
+  std::uint64_t seed = 99;
+};
+
+/// Simulated annealing sampler: returns samples sorted by energy (best
+/// first).  This is the classical stand-in for the quantum anneal.
+[[nodiscard]] std::vector<Sample> simulated_anneal(const Qubo& qubo,
+                                                   const AnnealConfig& config);
+
+/// Exhaustive minimum for tiny problems (test oracle, n <= ~20).
+[[nodiscard]] Sample brute_force_minimum(const Qubo& qubo);
+
+}  // namespace msa::quantum

@@ -1,0 +1,32 @@
+// Simulated-time clocks for the dual-clock execution model.
+//
+// Every rank thread owns a SimClock.  Real data always moves (numerics are
+// exact); simulated time advances by the analytic cost models, which is what
+// lets a 1-core host report honest *modelled* performance for 128 "GPUs".
+#pragma once
+
+#include <algorithm>
+
+namespace msa::simnet {
+
+/// Monotonic simulated clock, in seconds.
+class SimClock {
+ public:
+  /// Current simulated time.
+  [[nodiscard]] double now() const { return now_s_; }
+
+  /// Advance by a non-negative duration.
+  void advance(double seconds) {
+    if (seconds > 0.0) now_s_ += seconds;
+  }
+
+  /// Synchronise forward to @p t (never moves backwards).
+  void sync_to(double t) { now_s_ = std::max(now_s_, t); }
+
+  void reset() { now_s_ = 0.0; }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+}  // namespace msa::simnet

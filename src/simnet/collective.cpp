@@ -1,0 +1,117 @@
+#include "simnet/collective.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace msa::simnet {
+
+namespace {
+
+double ceil_log2(int ranks) {
+  return ranks <= 1 ? 0.0 : std::ceil(std::log2(static_cast<double>(ranks)));
+}
+
+}  // namespace
+
+std::string_view to_string(CollectiveAlgorithm a) {
+  switch (a) {
+    case CollectiveAlgorithm::Ring: return "ring";
+    case CollectiveAlgorithm::BinomialTree: return "binomial-tree";
+    case CollectiveAlgorithm::Rabenseifner: return "rabenseifner";
+    case CollectiveAlgorithm::GceOffload: return "gce-offload";
+  }
+  return "?";
+}
+
+double CollectiveModel::barrier(int ranks) const {
+  // Dissemination barrier: ceil(log2 P) rounds of zero-payload messages.
+  return ceil_log2(ranks) * link_.transfer_time(0);
+}
+
+double CollectiveModel::broadcast(int ranks, std::uint64_t n_bytes) const {
+  // Binomial tree broadcast.
+  return ceil_log2(ranks) * link_.transfer_time(n_bytes);
+}
+
+double CollectiveModel::reduce(int ranks, std::uint64_t n_bytes) const {
+  // Binomial tree reduction (combine cost folded into link overhead).
+  return ceil_log2(ranks) * link_.transfer_time(n_bytes);
+}
+
+double CollectiveModel::allgather(int ranks, std::uint64_t n_bytes) const {
+  // Ring allgather: (P-1) steps, each moving one rank's block.
+  if (ranks <= 1) return 0.0;
+  return static_cast<double>(ranks - 1) * link_.transfer_time(n_bytes);
+}
+
+double CollectiveModel::gather(int ranks, std::uint64_t n_bytes) const {
+  // Binomial gather: log P rounds, doubling payload each round; bandwidth
+  // term sums to ~(P-1)/P * P * n ~= (P-1) n at the root's incoming link.
+  if (ranks <= 1) return 0.0;
+  const double alpha_rounds = ceil_log2(ranks);
+  return alpha_rounds * (link_.latency_s + link_.per_message_overhead_s) +
+         static_cast<double>(ranks - 1) * static_cast<double>(n_bytes) /
+             link_.bandwidth_Bps;
+}
+
+double CollectiveModel::scatter(int ranks, std::uint64_t n_bytes) const {
+  return gather(ranks, n_bytes);  // symmetric cost
+}
+
+double CollectiveModel::alltoall(int ranks, std::uint64_t n_bytes) const {
+  // Pairwise exchange: P-1 steps, each rank sends one block per step.
+  if (ranks <= 1) return 0.0;
+  return static_cast<double>(ranks - 1) * link_.transfer_time(n_bytes);
+}
+
+double CollectiveModel::allreduce(int ranks, std::uint64_t n_bytes,
+                                  CollectiveAlgorithm alg) const {
+  if (ranks <= 1) return 0.0;
+  const double P = ranks;
+  const double n = static_cast<double>(n_bytes);
+  const double alpha = link_.latency_s + link_.per_message_overhead_s;
+  const double beta = 1.0 / link_.bandwidth_Bps;
+  switch (alg) {
+    case CollectiveAlgorithm::Ring:
+      // reduce-scatter + allgather: 2(P-1) steps of n/P bytes.
+      return 2.0 * (P - 1.0) * alpha + 2.0 * (P - 1.0) / P * n * beta;
+    case CollectiveAlgorithm::BinomialTree:
+      // reduce to root, broadcast back: 2 log P full-payload steps.
+      return 2.0 * ceil_log2(ranks) * (alpha + n * beta);
+    case CollectiveAlgorithm::Rabenseifner:
+      // recursive halving + recursive doubling.
+      return 2.0 * ceil_log2(ranks) * alpha + 2.0 * (P - 1.0) / P * n * beta;
+    case CollectiveAlgorithm::GceOffload: {
+      // Each rank injects once; the FPGA tree combines with hardware radix.
+      const double stages =
+          std::max(1.0, std::ceil(std::log(P) /
+                                  std::log(static_cast<double>(gce_.radix))));
+      const double inject = n / gce_.injection_bw_Bps;
+      // Result is multicast back through the same tree.
+      return 2.0 * (inject + stages * gce_.combine_latency_s);
+    }
+  }
+  throw std::invalid_argument("unknown collective algorithm");
+}
+
+CollectiveAlgorithm CollectiveModel::best_allreduce(int ranks,
+                                                    std::uint64_t n_bytes,
+                                                    bool gce_available) const {
+  CollectiveAlgorithm best = CollectiveAlgorithm::Ring;
+  double best_t = allreduce(ranks, n_bytes, best);
+  const CollectiveAlgorithm candidates[] = {
+      CollectiveAlgorithm::BinomialTree, CollectiveAlgorithm::Rabenseifner,
+      CollectiveAlgorithm::GceOffload};
+  for (auto c : candidates) {
+    if (c == CollectiveAlgorithm::GceOffload && !gce_available) continue;
+    const double t = allreduce(ranks, n_bytes, c);
+    if (t < best_t) {
+      best_t = t;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace msa::simnet

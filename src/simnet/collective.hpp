@@ -1,0 +1,72 @@
+// Analytic cost models for MPI-style collective operations.
+//
+// These are the standard LogP/alpha-beta collective cost formulas used in the
+// MPI literature, plus a model of the DEEP Global Collective Engine (GCE):
+// the FPGA in the ESB network fabric that performs reductions in-network
+// (paper Sec. II-A).  The comm runtime advances its simulated clock by these
+// costs while moving real data, so performance results scale to rank counts
+// far beyond the host's physical cores.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "simnet/fabric.hpp"
+
+namespace msa::simnet {
+
+/// Algorithms for allreduce (and, where applicable, reduce/bcast).
+enum class CollectiveAlgorithm {
+  Ring,          ///< bandwidth-optimal ring (reduce-scatter + allgather)
+  BinomialTree,  ///< latency-optimal log-P tree (reduce then broadcast)
+  Rabenseifner,  ///< recursive halving/doubling: log-P latency, ring bandwidth
+  GceOffload,    ///< in-network FPGA reduction (Global Collective Engine)
+};
+
+[[nodiscard]] std::string_view to_string(CollectiveAlgorithm a);
+
+/// Hardware parameters of the in-network collective engine.
+struct GceProfile {
+  double combine_latency_s = 0.25e-6;  ///< per-stage ALU + SerDes latency
+  double injection_bw_Bps = 20.0e9;    ///< host injection bandwidth
+  int radix = 16;                      ///< reduction tree fan-in in hardware
+};
+
+/// Cost model for P-rank collectives over a uniform fabric link.
+///
+/// All costs are the *makespan* in seconds (time until the last rank
+/// completes).  n_bytes is the per-rank payload size.
+class CollectiveModel {
+ public:
+  CollectiveModel(LinkModel link, GceProfile gce = {})
+      : link_(link), gce_(gce) {}
+
+  /// Point-to-point message cost (used by the runtime for send/recv).
+  [[nodiscard]] double p2p(std::uint64_t n_bytes) const {
+    return link_.transfer_time(n_bytes);
+  }
+
+  [[nodiscard]] double barrier(int ranks) const;
+  [[nodiscard]] double broadcast(int ranks, std::uint64_t n_bytes) const;
+  [[nodiscard]] double reduce(int ranks, std::uint64_t n_bytes) const;
+  [[nodiscard]] double allgather(int ranks, std::uint64_t n_bytes) const;
+  [[nodiscard]] double gather(int ranks, std::uint64_t n_bytes) const;
+  [[nodiscard]] double scatter(int ranks, std::uint64_t n_bytes) const;
+  [[nodiscard]] double alltoall(int ranks, std::uint64_t n_bytes) const;
+  [[nodiscard]] double allreduce(int ranks, std::uint64_t n_bytes,
+                                 CollectiveAlgorithm alg) const;
+
+  /// Picks the cheapest algorithm for the given size (what a tuned MPI does).
+  [[nodiscard]] CollectiveAlgorithm best_allreduce(int ranks,
+                                                   std::uint64_t n_bytes,
+                                                   bool gce_available) const;
+
+  [[nodiscard]] const LinkModel& link() const { return link_; }
+  [[nodiscard]] const GceProfile& gce() const { return gce_; }
+
+ private:
+  LinkModel link_;
+  GceProfile gce_;
+};
+
+}  // namespace msa::simnet

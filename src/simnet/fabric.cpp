@@ -1,0 +1,49 @@
+#include "simnet/fabric.hpp"
+
+#include <stdexcept>
+
+namespace msa::simnet {
+
+namespace {
+
+// Bandwidths are sustained point-to-point numbers (~80% of signalling rate),
+// latencies are end-to-end MPI-level small-message latencies from vendor
+// datasheets and the DEEP-EST public deliverables.
+std::vector<FabricProfile> make_catalogue() {
+  return {
+      {FabricKind::InfinibandEDR, "InfiniBand EDR 100Gb/s",
+       {/*latency*/ 1.0e-6, /*bw*/ 10.0e9, /*overhead*/ 0.3e-6}},
+      {FabricKind::InfinibandHDR, "InfiniBand HDR 200Gb/s",
+       {0.9e-6, 21.0e9, 0.3e-6}},
+      {FabricKind::ExtollTourmalet, "EXTOLL Tourmalet 100Gb/s",
+       {0.6e-6, 10.0e9, 0.2e-6}},
+      {FabricKind::NVLink3, "NVLink3 (A100, 12 links)",
+       {0.35e-6, 250.0e9, 0.1e-6}},
+      {FabricKind::NVLink2, "NVLink2 (V100, 6 links)",
+       {0.45e-6, 130.0e9, 0.1e-6}},
+      {FabricKind::PCIe3, "PCIe Gen3 x16",
+       {1.2e-6, 12.0e9, 0.5e-6}},
+      {FabricKind::GigabitEthernet, "10GbE (service network)",
+       {25.0e-6, 1.1e9, 5.0e-6}},
+  };
+}
+
+}  // namespace
+
+const std::vector<FabricProfile>& all_fabric_profiles() {
+  static const std::vector<FabricProfile> catalogue = make_catalogue();
+  return catalogue;
+}
+
+const FabricProfile& fabric_profile(FabricKind kind) {
+  for (const auto& p : all_fabric_profiles()) {
+    if (p.kind == kind) return p;
+  }
+  throw std::invalid_argument("unknown fabric kind");
+}
+
+std::string_view to_string(FabricKind kind) {
+  return fabric_profile(kind).name;
+}
+
+}  // namespace msa::simnet

@@ -1,0 +1,67 @@
+// Fabric and link performance models for the MSA network federation.
+//
+// The paper's MSA (Fig. 1) connects module-specific interconnects (InfiniBand
+// on JUWELS Cluster/Booster, EXTOLL on DEEP) through a high-performance
+// Network Federation (NF).  This header provides the alpha-beta ("postal")
+// link model used throughout the simulator and a catalogue of fabric profiles
+// calibrated to published datasheet numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msa::simnet {
+
+/// Alpha-beta link model: transferring n bytes costs
+///   latency_s + n / bandwidth_Bps  (+ per_message_overhead_s per message).
+///
+/// All times are in seconds, bandwidth in bytes/second.
+struct LinkModel {
+  double latency_s = 1e-6;          ///< one-way wire + switch latency (alpha)
+  double bandwidth_Bps = 12.5e9;    ///< sustained point-to-point bandwidth (1/beta)
+  double per_message_overhead_s = 0.0;  ///< software injection overhead
+
+  /// Time to move @p bytes across this link as a single message.
+  [[nodiscard]] double transfer_time(std::uint64_t bytes) const {
+    return latency_s + per_message_overhead_s +
+           static_cast<double>(bytes) / bandwidth_Bps;
+  }
+
+  /// Effective bandwidth (bytes/s) achieved for a message of @p bytes,
+  /// i.e. bytes / transfer_time.  Approaches bandwidth_Bps for large messages.
+  [[nodiscard]] double effective_bandwidth(std::uint64_t bytes) const {
+    if (bytes == 0) return 0.0;
+    return static_cast<double>(bytes) / transfer_time(bytes);
+  }
+};
+
+/// Known interconnect technologies appearing in the paper's systems.
+enum class FabricKind {
+  InfinibandEDR,   ///< 100 Gb/s, JUWELS Cluster
+  InfinibandHDR,   ///< 200 Gb/s, JUWELS Booster (4x HDR per node)
+  ExtollTourmalet, ///< 100 Gb/s, DEEP Network Federation
+  NVLink3,         ///< intra-node GPU mesh on A100 nodes
+  NVLink2,         ///< intra-node GPU mesh on V100 nodes
+  PCIe3,           ///< host-device staging, DEEP DAM FPGA attach
+  GigabitEthernet, ///< service network / worst-case cloud baseline
+};
+
+/// A named fabric with its link characteristics.
+struct FabricProfile {
+  FabricKind kind;
+  std::string name;
+  LinkModel link;
+};
+
+/// Datasheet-calibrated profile for @p kind.
+[[nodiscard]] const FabricProfile& fabric_profile(FabricKind kind);
+
+/// All catalogued fabrics (useful for sweeps and tests).
+[[nodiscard]] const std::vector<FabricProfile>& all_fabric_profiles();
+
+/// Human-readable name.
+[[nodiscard]] std::string_view to_string(FabricKind kind);
+
+}  // namespace msa::simnet

@@ -1,0 +1,80 @@
+#include "simnet/machine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace msa::simnet {
+
+Machine::Machine(MachineConfig config, std::vector<RankLocation> placement,
+                 std::vector<ComputeProfile> compute)
+    : config_(config),
+      placement_(std::move(placement)),
+      compute_(std::move(compute)) {
+  if (placement_.empty()) throw std::invalid_argument("empty placement");
+  if (compute_.size() != placement_.size()) {
+    throw std::invalid_argument("compute profiles must match placement size");
+  }
+}
+
+Machine Machine::homogeneous(int ranks, int devices_per_node,
+                             MachineConfig config, ComputeProfile compute) {
+  if (ranks <= 0 || devices_per_node <= 0) {
+    throw std::invalid_argument("ranks and devices_per_node must be positive");
+  }
+  std::vector<RankLocation> placement;
+  std::vector<ComputeProfile> profiles;
+  placement.reserve(static_cast<std::size_t>(ranks));
+  profiles.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    placement.push_back({0, r / devices_per_node, r % devices_per_node});
+    profiles.push_back(compute);
+  }
+  return Machine(config, std::move(placement), std::move(profiles));
+}
+
+const LinkModel& Machine::link_between(int a, int b) const {
+  const auto& la = location(a);
+  const auto& lb = location(b);
+  if (la.module != lb.module) return config_.federation;
+  if (la.node != lb.node) return config_.intra_module;
+  return config_.intra_node;
+}
+
+CollectiveModel Machine::collective_model(const std::vector<int>& ranks) const {
+  // Widest separation among all participants dominates the collective.
+  bool cross_module = false;
+  bool cross_node = false;
+  std::map<std::pair<int, int>, int> per_node;  // (module, node) -> ranks
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const auto& l0 = location(ranks[0]);
+    const auto& li = location(ranks[i]);
+    if (li.module != l0.module) cross_module = true;
+    if (li.node != l0.node) cross_node = true;
+    ++per_node[{li.module, li.node}];
+  }
+  LinkModel link = cross_module  ? config_.federation
+                   : cross_node ? config_.intra_module
+                                : config_.intra_node;
+  if (cross_module || cross_node) {
+    // NIC contention: multiple participating devices on one node share that
+    // node's network injection bandwidth (this is why hierarchical
+    // NVLink-then-fabric allreduces win on multi-GPU nodes).
+    int contention = 1;
+    for (const auto& [node, count] : per_node) {
+      contention = std::max(contention, count);
+    }
+    link.bandwidth_Bps /= contention;
+  }
+  return CollectiveModel(link, config_.gce);
+}
+
+bool Machine::gce_usable(const std::vector<int>& ranks) const {
+  if (!config_.gce_available) return false;
+  for (std::size_t i = 1; i < ranks.size(); ++i) {
+    if (location(ranks[i]).module != location(ranks[0]).module) return false;
+  }
+  return true;
+}
+
+}  // namespace msa::simnet

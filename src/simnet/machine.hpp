@@ -1,0 +1,94 @@
+// Machine model: where simulated ranks live and how they compute and talk.
+//
+// A Machine places each rank on a (module, node, device) coordinate and
+// answers two questions for the comm runtime:
+//   * what does it cost for rank a to message rank b? (hierarchical link pick)
+//   * what does a collective over a set of ranks cost?
+// plus a roofline compute model per rank, so benches can charge simulated
+// time for both compute and communication.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simnet/collective.hpp"
+#include "simnet/fabric.hpp"
+
+namespace msa::simnet {
+
+/// Roofline compute model of one execution resource (CPU socket or GPU).
+struct ComputeProfile {
+  std::string name = "generic";
+  double peak_flops = 1e12;       ///< peak FP32 flop/s
+  double mem_bandwidth_Bps = 1e11;///< DRAM/HBM stream bandwidth
+  double efficiency = 0.5;        ///< sustained fraction of peak for dense ML
+  double power_watts = 200.0;     ///< board power while busy
+
+  /// Roofline execution time for a kernel of @p flops touching @p bytes.
+  [[nodiscard]] double kernel_time(double flops, double bytes) const {
+    const double t_compute = flops / (peak_flops * efficiency);
+    const double t_memory = bytes / mem_bandwidth_Bps;
+    return t_compute > t_memory ? t_compute : t_memory;
+  }
+};
+
+/// Placement coordinate of one rank.
+struct RankLocation {
+  int module = 0;  ///< which MSA module
+  int node = 0;    ///< node index inside the module
+  int device = 0;  ///< device (GPU/socket) index inside the node
+};
+
+/// Hierarchy of links: device-to-device within a node, node-to-node within a
+/// module, and module-to-module across the Network Federation.
+struct MachineConfig {
+  LinkModel intra_node;        ///< e.g. NVLink between GPUs in one node
+  LinkModel intra_module;      ///< e.g. InfiniBand HDR inside the Booster
+  LinkModel federation;        ///< e.g. EXTOLL between modules
+  GceProfile gce;              ///< in-network collective engine parameters
+  bool gce_available = false;  ///< true on the ESB fabric
+};
+
+/// Machine: rank placements + link hierarchy + per-rank compute profiles.
+class Machine {
+ public:
+  Machine(MachineConfig config, std::vector<RankLocation> placement,
+          std::vector<ComputeProfile> compute);
+
+  /// Homogeneous convenience factory: @p ranks ranks, @p per_node devices per
+  /// node, all in one module.
+  static Machine homogeneous(int ranks, int devices_per_node,
+                             MachineConfig config, ComputeProfile compute);
+
+  [[nodiscard]] int ranks() const { return static_cast<int>(placement_.size()); }
+  [[nodiscard]] const RankLocation& location(int rank) const {
+    return placement_.at(static_cast<std::size_t>(rank));
+  }
+  [[nodiscard]] const ComputeProfile& compute(int rank) const {
+    return compute_.at(static_cast<std::size_t>(rank));
+  }
+  [[nodiscard]] const MachineConfig& config() const { return config_; }
+
+  /// The link used for a point-to-point message between two ranks: the
+  /// narrowest level of the hierarchy that separates them.
+  [[nodiscard]] const LinkModel& link_between(int a, int b) const;
+
+  /// Collective model over a rank subset: dominated by the widest separation
+  /// among participants (federation > intra-module > intra-node).
+  [[nodiscard]] CollectiveModel collective_model(
+      const std::vector<int>& ranks) const;
+
+  /// True when every rank in the subset sits on a GCE-capable fabric and no
+  /// federation hop is involved.
+  [[nodiscard]] bool gce_usable(const std::vector<int>& ranks) const;
+
+ private:
+  MachineConfig config_;
+  std::vector<RankLocation> placement_;
+  std::vector<ComputeProfile> compute_;
+};
+
+}  // namespace msa::simnet

@@ -1,0 +1,197 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace msa::tensor {
+
+namespace {
+constexpr std::size_t kBlock = 64;  // fits comfortably in L1/L2
+}
+
+void gemm(bool trans_a, bool trans_b, float alpha, const Tensor& a,
+          const Tensor& b, float beta, Tensor& c) {
+  if (a.ndim() != 2 || b.ndim() != 2 || c.ndim() != 2) {
+    throw std::invalid_argument("gemm: all operands must be 2-D");
+  }
+  const std::size_t m = trans_a ? a.dim(1) : a.dim(0);
+  const std::size_t k = trans_a ? a.dim(0) : a.dim(1);
+  const std::size_t kb = trans_b ? b.dim(1) : b.dim(0);
+  const std::size_t n = trans_b ? b.dim(0) : b.dim(1);
+  if (k != kb || c.dim(0) != m || c.dim(1) != n) {
+    throw std::invalid_argument("gemm: dimension mismatch");
+  }
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = c.data();
+  const std::size_t lda = a.dim(1);
+  const std::size_t ldb = b.dim(1);
+
+  if (beta != 1.0f) {
+    if (beta == 0.0f) {
+      std::memset(C, 0, m * n * sizeof(float));
+    } else {
+      for (std::size_t i = 0; i < m * n; ++i) C[i] *= beta;
+    }
+  }
+
+  auto a_at = [&](std::size_t i, std::size_t p) {
+    return trans_a ? A[p * lda + i] : A[i * lda + p];
+  };
+  auto b_at = [&](std::size_t p, std::size_t j) {
+    return trans_b ? B[j * ldb + p] : B[p * ldb + j];
+  };
+
+  // Fast path: no transposes — blocked i-k-j with contiguous inner loop.
+  if (!trans_a && !trans_b) {
+    for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+      const std::size_t i1 = std::min(i0 + kBlock, m);
+      for (std::size_t p0 = 0; p0 < k; p0 += kBlock) {
+        const std::size_t p1 = std::min(p0 + kBlock, k);
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t p = p0; p < p1; ++p) {
+            const float av = alpha * A[i * lda + p];
+            if (av == 0.0f) continue;
+            const float* brow = B + p * ldb;
+            float* crow = C + i * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+    return;
+  }
+
+  // General path (transposed operands): blocked with accessor lambdas.
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+    const std::size_t i1 = std::min(i0 + kBlock, m);
+    for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
+      const std::size_t j1 = std::min(j0 + kBlock, n);
+      for (std::size_t p0 = 0; p0 < k; p0 += kBlock) {
+        const std::size_t p1 = std::min(p0 + kBlock, k);
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t j = j0; j < j1; ++j) {
+            float acc = 0.0f;
+            for (std::size_t p = p0; p < p1; ++p) acc += a_at(i, p) * b_at(p, j);
+            C[i * n + j] += alpha * acc;
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor c({a.dim(0), b.dim(1)});
+  gemm(false, false, 1.0f, a, b, 0.0f, c);
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  if (a.ndim() != 2) throw std::invalid_argument("transpose: need 2-D");
+  Tensor t({a.dim(1), a.dim(0)});
+  for (std::size_t i = 0; i < a.dim(0); ++i) {
+    for (std::size_t j = 0; j < a.dim(1); ++j) {
+      t.at2(j, i) = a.at2(i, j);
+    }
+  }
+  return t;
+}
+
+double gemm_flops(std::size_t m, std::size_t n, std::size_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+std::size_t conv_out_size(std::size_t in, std::size_t kernel,
+                          std::size_t stride, std::size_t pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+void im2col(const float* input, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kernel_h, std::size_t kernel_w,
+            std::size_t stride, std::size_t pad, float* columns) {
+  const std::size_t out_h = conv_out_size(height, kernel_h, stride, pad);
+  const std::size_t out_w = conv_out_size(width, kernel_w, stride, pad);
+  const std::size_t out_hw = out_h * out_w;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t kh = 0; kh < kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < kernel_w; ++kw, ++row) {
+        float* col_row = columns + row * out_hw;
+        for (std::size_t oh = 0; oh < out_h; ++oh) {
+          const std::ptrdiff_t ih =
+              static_cast<std::ptrdiff_t>(oh * stride + kh) -
+              static_cast<std::ptrdiff_t>(pad);
+          for (std::size_t ow = 0; ow < out_w; ++ow) {
+            const std::ptrdiff_t iw =
+                static_cast<std::ptrdiff_t>(ow * stride + kw) -
+                static_cast<std::ptrdiff_t>(pad);
+            const bool inside = ih >= 0 &&
+                                ih < static_cast<std::ptrdiff_t>(height) &&
+                                iw >= 0 &&
+                                iw < static_cast<std::ptrdiff_t>(width);
+            col_row[oh * out_w + ow] =
+                inside ? input[(c * height + static_cast<std::size_t>(ih)) *
+                                   width +
+                               static_cast<std::size_t>(iw)]
+                       : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* columns, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kernel_h, std::size_t kernel_w,
+            std::size_t stride, std::size_t pad, float* input_grad) {
+  const std::size_t out_h = conv_out_size(height, kernel_h, stride, pad);
+  const std::size_t out_w = conv_out_size(width, kernel_w, stride, pad);
+  const std::size_t out_hw = out_h * out_w;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t kh = 0; kh < kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < kernel_w; ++kw, ++row) {
+        const float* col_row = columns + row * out_hw;
+        for (std::size_t oh = 0; oh < out_h; ++oh) {
+          const std::ptrdiff_t ih =
+              static_cast<std::ptrdiff_t>(oh * stride + kh) -
+              static_cast<std::ptrdiff_t>(pad);
+          if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(height)) continue;
+          for (std::size_t ow = 0; ow < out_w; ++ow) {
+            const std::ptrdiff_t iw =
+                static_cast<std::ptrdiff_t>(ow * stride + kw) -
+                static_cast<std::ptrdiff_t>(pad);
+            if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(width)) continue;
+            input_grad[(c * height + static_cast<std::size_t>(ih)) * width +
+                       static_cast<std::size_t>(iw)] +=
+                col_row[oh * out_w + ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+void softmax_rows(Tensor& logits) {
+  if (logits.ndim() != 2) throw std::invalid_argument("softmax_rows: need 2-D");
+  const std::size_t rows = logits.dim(0);
+  const std::size_t cols = logits.dim(1);
+  float* d = logits.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* row = d + r * cols;
+    const float mx = *std::max_element(row, row + cols);
+    float denom = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      row[c] = std::exp(row[c] - mx);
+      denom += row[c];
+    }
+    const float inv = 1.0f / denom;
+    for (std::size_t c = 0; c < cols; ++c) row[c] *= inv;
+  }
+}
+
+}  // namespace msa::tensor

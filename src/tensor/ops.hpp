@@ -1,0 +1,47 @@
+// Dense kernels: blocked GEMM, transpose, im2col/col2im, row softmax.
+//
+// These are the computational core under every DL layer in msa_nn.  GEMM is
+// a cache-blocked triple loop — no SIMD intrinsics, but the blocking keeps
+// it respectable and, more importantly, bit-reproducible across runs.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace msa::tensor {
+
+/// C = alpha * op(A) * op(B) + beta * C
+/// A is (M x K) after optional transpose, B is (K x N), C is (M x N).
+void gemm(bool trans_a, bool trans_b, float alpha, const Tensor& a,
+          const Tensor& b, float beta, Tensor& c);
+
+/// Convenience: returns A * B for 2-D tensors.
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// 2-D transpose.
+[[nodiscard]] Tensor transpose(const Tensor& a);
+
+/// Flop count of a gemm with these dimensions (for simulated-time charging).
+[[nodiscard]] double gemm_flops(std::size_t m, std::size_t n, std::size_t k);
+
+/// im2col for NCHW input: input (C, H, W) -> columns
+/// (C*kh*kw, out_h*out_w) with given stride and symmetric zero padding.
+void im2col(const float* input, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kernel_h, std::size_t kernel_w,
+            std::size_t stride, std::size_t pad, float* columns);
+
+/// Adjoint of im2col (accumulates into input gradient).
+void col2im(const float* columns, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kernel_h, std::size_t kernel_w,
+            std::size_t stride, std::size_t pad, float* input_grad);
+
+/// Output spatial size for a conv/pool dimension.
+[[nodiscard]] std::size_t conv_out_size(std::size_t in, std::size_t kernel,
+                                        std::size_t stride, std::size_t pad);
+
+/// Numerically-stable softmax over the last dimension of a 2-D tensor,
+/// in place.
+void softmax_rows(Tensor& logits);
+
+}  // namespace msa::tensor

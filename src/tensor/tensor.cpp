@@ -1,0 +1,134 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace msa::tensor {
+
+std::size_t Tensor::numel_of(const Shape& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  std::fill(t.data_.begin(), t.data_.end(), value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal()) * stddev;
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::of(std::initializer_list<float> values) {
+  return Tensor({values.size()}, std::vector<float>(values));
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor& Tensor::reshape(Shape shape) {
+  if (numel_of(shape) != data_.size()) {
+    throw std::invalid_argument("reshape: element count mismatch");
+  }
+  shape_ = std::move(shape);
+  return *this;
+}
+
+Tensor Tensor::reshaped(Shape shape) const {
+  Tensor t = *this;
+  t.reshape(std::move(shape));
+  return t;
+}
+
+Tensor& Tensor::fill(float v) {
+  std::fill(data_.begin(), data_.end(), v);
+  return *this;
+}
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* what) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch " +
+                                a.shape_str() + " vs " + b.shape_str());
+  }
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+  check_same_shape(*this, other, "add_");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::sub_(const Tensor& other) {
+  check_same_shape(*this, other, "sub_");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(const Tensor& other) {
+  check_same_shape(*this, other, "mul_");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::scale_(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Tensor& Tensor::axpy_(float alpha, const Tensor& x) {
+  check_same_shape(*this, x, "axpy_");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * x.data_[i];
+  return *this;
+}
+
+float Tensor::sum() const {
+  // Pairwise-ish accumulation in double for stability on large tensors.
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  return data_.empty() ? 0.0f : sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::max() const {
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::min() const {
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::squared_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(acc);
+}
+
+std::size_t Tensor::argmax() const {
+  return static_cast<std::size_t>(
+      std::distance(data_.begin(), std::max_element(data_.begin(), data_.end())));
+}
+
+}  // namespace msa::tensor

@@ -1,0 +1,117 @@
+// Dense row-major FP32 tensor.
+//
+// Deliberately simple: a shape plus a contiguous float buffer.  All layout
+// decisions (strides, views) stay implicit/contiguous, which keeps every
+// kernel auditable — important for a reproduction whose claims rest on the
+// numerics being exactly what the algorithms specify.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace msa::tensor {
+
+using Shape = std::vector<std::size_t>;
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(Shape shape) : shape_(std::move(shape)) {
+    data_.assign(numel_of(shape_), 0.0f);
+  }
+
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    if (data_.size() != numel_of(shape_)) {
+      throw std::invalid_argument("Tensor: data does not match shape");
+    }
+  }
+
+  // ---- factories -----------------------------------------------------------
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value);
+  static Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
+  static Tensor randn(Shape shape, Rng& rng, float stddev = 1.0f);
+  static Tensor uniform(Shape shape, Rng& rng, float lo, float hi);
+  /// 1-D tensor from values.
+  static Tensor of(std::initializer_list<float> values);
+
+  // ---- shape ---------------------------------------------------------------
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::size_t ndim() const { return shape_.size(); }
+  [[nodiscard]] std::size_t numel() const { return data_.size(); }
+  [[nodiscard]] std::size_t dim(std::size_t i) const { return shape_.at(i); }
+  [[nodiscard]] bool same_shape(const Tensor& other) const {
+    return shape_ == other.shape_;
+  }
+  [[nodiscard]] std::string shape_str() const;
+
+  /// Reshape in place (element count must be preserved).
+  Tensor& reshape(Shape shape);
+  [[nodiscard]] Tensor reshaped(Shape shape) const;
+
+  // ---- element access ------------------------------------------------------
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] std::span<float> flat() { return data_; }
+  [[nodiscard]] std::span<const float> flat() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  float& at2(std::size_t i, std::size_t j) {
+    return data_[i * shape_[1] + j];
+  }
+  [[nodiscard]] float at2(std::size_t i, std::size_t j) const {
+    return data_[i * shape_[1] + j];
+  }
+  float& at3(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+  [[nodiscard]] float at3(std::size_t i, std::size_t j, std::size_t k) const {
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+  float& at4(std::size_t i, std::size_t j, std::size_t k, std::size_t l) {
+    return data_[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+  }
+  [[nodiscard]] float at4(std::size_t i, std::size_t j, std::size_t k,
+                          std::size_t l) const {
+    return data_[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+  }
+
+  // ---- in-place arithmetic ---------------------------------------------------
+  Tensor& fill(float v);
+  Tensor& add_(const Tensor& other);              ///< this += other
+  Tensor& sub_(const Tensor& other);              ///< this -= other
+  Tensor& mul_(const Tensor& other);              ///< Hadamard product
+  Tensor& scale_(float s);                        ///< this *= s
+  Tensor& axpy_(float alpha, const Tensor& x);    ///< this += alpha * x
+
+  // ---- reductions ------------------------------------------------------------
+  [[nodiscard]] float sum() const;
+  [[nodiscard]] float mean() const;
+  [[nodiscard]] float max() const;
+  [[nodiscard]] float min() const;
+  /// Squared L2 norm of all elements.
+  [[nodiscard]] float squared_norm() const;
+  /// Index of the maximum element (first on ties).
+  [[nodiscard]] std::size_t argmax() const;
+
+  static std::size_t numel_of(const Shape& shape);
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Element count sanity check helper for kernels.
+void check_same_shape(const Tensor& a, const Tensor& b, const char* what);
+
+}  // namespace msa::tensor

@@ -1,0 +1,162 @@
+// Tests for the Slurm-like batch-system simulation.
+#include <gtest/gtest.h>
+
+#include "core/batch.hpp"
+#include "core/module.hpp"
+
+namespace {
+
+using namespace msa::core;
+
+BatchJob simple_job(const char* name, double arrival, double flops = 1e15,
+                    int nodes = 4) {
+  BatchJob j;
+  j.name = name;
+  j.workload = wl_svm_training();
+  j.workload.total_flops = flops;
+  j.arrival_s = arrival;
+  j.requested_nodes = nodes;
+  j.required_module = ModuleKind::Cluster;
+  return j;
+}
+
+TEST(Batch, SingleJobStartsOnArrival) {
+  const auto deep = make_deep_est();
+  const auto res = simulate_batch({simple_job("a", 100.0)}, deep);
+  ASSERT_EQ(res.outcomes.size(), 1u);
+  EXPECT_FALSE(res.outcomes[0].dropped);
+  EXPECT_DOUBLE_EQ(res.outcomes[0].start_s, 100.0);
+  EXPECT_DOUBLE_EQ(res.metrics.mean_wait_s, 0.0);
+}
+
+TEST(Batch, ContendingJobsQueue) {
+  const auto deep = make_deep_est();
+  // Two jobs each requesting the full CM (50 nodes) at t=0 must serialise.
+  std::vector<BatchJob> jobs = {simple_job("a", 0.0, 1e16, 50),
+                                simple_job("b", 0.0, 1e16, 50)};
+  const auto res = simulate_batch(jobs, deep);
+  ASSERT_EQ(res.outcomes.size(), 2u);
+  const auto& a = res.outcomes[0];
+  const auto& b = res.outcomes[1];
+  EXPECT_DOUBLE_EQ(a.start_s, 0.0);
+  EXPECT_GE(b.start_s, a.finish_s - 1e-9);
+  EXPECT_GT(res.metrics.mean_wait_s, 0.0);
+}
+
+TEST(Batch, BackfillingFillsHoles) {
+  const auto deep = make_deep_est();
+  // Job A takes 40 of the CM's 50 nodes; job B wants all 50 so it queues
+  // behind A; job C is small and arrives later — with backfilling it slides
+  // into the 10-node hole beside A; without, it waits behind B (FCFS).
+  std::vector<BatchJob> jobs = {simple_job("A", 0.0, 5e16, 40),
+                                simple_job("B", 1.0, 5e16, 50),
+                                simple_job("C", 2.0, 5e14, 2)};
+  BatchOptions with;
+  with.backfilling = true;
+  BatchOptions without;
+  without.backfilling = false;
+  without.interactive_priority = false;
+  const auto r_with = simulate_batch(jobs, deep, with);
+  const auto r_without = simulate_batch(jobs, deep, without);
+  const auto find = [](const BatchResult& r, const char* n) {
+    for (const auto& o : r.outcomes) {
+      if (o.name == n) return o;
+    }
+    throw std::runtime_error("not found");
+  };
+  EXPECT_LT(find(r_with, "C").start_s, find(r_without, "C").start_s);
+  EXPECT_GE(r_with.metrics.backfilled_jobs, 1u);
+}
+
+TEST(Batch, BackfillingNeverDelaysEarlierJobs) {
+  const auto deep = make_deep_est();
+  std::vector<BatchJob> jobs = {simple_job("A", 0.0, 5e16, 50),
+                                simple_job("B", 1.0, 5e16, 50),
+                                simple_job("C", 2.0, 5e14, 2)};
+  BatchOptions with;
+  BatchOptions without;
+  without.backfilling = false;
+  without.interactive_priority = false;
+  const auto r_with = simulate_batch(jobs, deep, with);
+  const auto r_without = simulate_batch(jobs, deep, without);
+  // A and B keep their schedule regardless of C's backfilling.
+  for (const char* n : {"A", "B"}) {
+    double s_with = 0.0, s_without = 0.0;
+    for (const auto& o : r_with.outcomes) {
+      if (o.name == n) s_with = o.start_s;
+    }
+    for (const auto& o : r_without.outcomes) {
+      if (o.name == n) s_without = o.start_s;
+    }
+    EXPECT_DOUBLE_EQ(s_with, s_without) << n;
+  }
+}
+
+TEST(Batch, InteractivePriorityCutsSessionWait) {
+  const auto deep = make_deep_est();
+  auto trace = make_mixed_trace(/*batch=*/30, /*interactive=*/12, 5);
+  BatchOptions prio;
+  prio.backfilling = false;  // isolate the priority effect
+  prio.interactive_priority = true;
+  BatchOptions fifo;
+  fifo.backfilling = false;
+  fifo.interactive_priority = false;
+  const auto r_prio = simulate_batch(trace, deep, prio);
+  const auto r_fifo = simulate_batch(trace, deep, fifo);
+  EXPECT_LE(r_prio.metrics.mean_interactive_wait_s,
+            r_fifo.metrics.mean_interactive_wait_s + 1e-9);
+}
+
+TEST(Batch, GpuOnlyJobDroppedOnCpuSystem) {
+  MsaSystem cpu_only("cpu", msa::simnet::FabricKind::InfinibandEDR,
+                     StorageSpec{});
+  cpu_only.add_module({ModuleKind::Cluster, "CM", deep_cm_node(), 10,
+                       msa::simnet::FabricKind::InfinibandEDR, false});
+  BatchJob dl;
+  dl.name = "training";
+  dl.workload = wl_resnet_training();
+  const auto res = simulate_batch({dl}, cpu_only);
+  ASSERT_EQ(res.outcomes.size(), 1u);
+  EXPECT_TRUE(res.outcomes[0].dropped);
+  EXPECT_EQ(res.metrics.dropped_jobs, 1u);
+}
+
+TEST(Batch, UtilisationBounded) {
+  const auto deep = make_deep_est();
+  const auto res = simulate_batch(make_mixed_trace(40, 10, 7), deep);
+  EXPECT_GT(res.metrics.utilisation, 0.0);
+  EXPECT_LE(res.metrics.utilisation, 1.0 + 1e-9);
+  EXPECT_GT(res.metrics.makespan_s, 0.0);
+}
+
+TEST(Batch, MixedTraceIsDeterministic) {
+  const auto a = make_mixed_trace(10, 5, 3);
+  const auto b = make_mixed_trace(10, 5, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s);
+  }
+}
+
+TEST(Batch, CapacityNeverExceeded) {
+  const auto deep = make_deep_est();
+  const auto res = simulate_batch(make_mixed_trace(60, 20, 11), deep);
+  // Probe capacity at every start boundary.
+  for (const auto& probe : res.outcomes) {
+    if (probe.dropped) continue;
+    const double t = probe.start_s + 1e-6;
+    for (const auto& m : deep.modules()) {
+      int used = 0;
+      for (const auto& o : res.outcomes) {
+        if (!o.dropped && o.module == m.name && o.start_s <= t &&
+            t < o.finish_s) {
+          used += o.nodes;
+        }
+      }
+      EXPECT_LE(used, m.node_count) << m.name << " at " << t;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Tests for the commercial-cloud venue/cost models (Sec. III-B).
+#include <gtest/gtest.h>
+
+#include "core/cloud.hpp"
+#include "core/module.hpp"
+
+namespace {
+
+using namespace msa::core;
+
+TEST(Cloud, ProfilesMatchPaperFacts) {
+  const auto p3 = aws_p3_16xlarge();
+  EXPECT_EQ(p3.gpus, 8);
+  EXPECT_NEAR(p3.usd_per_hour, 24.48, 0.01);  // the paper's "24 USD per hour"
+  EXPECT_EQ(p3.gpu.name, "NVIDIA V100 SXM2");
+  const auto colab = colab_free();
+  EXPECT_FALSE(colab.can_cluster);
+  EXPECT_EQ(colab.usd_per_hour, 0.0);
+}
+
+TEST(Cloud, ColabCannotDoDistributedTraining) {
+  DlJob job;
+  const auto multi = estimate_cloud_training(colab_free(), 8, job);
+  EXPECT_FALSE(multi.feasible);
+  const auto single = estimate_cloud_training(colab_free(), 1, job);
+  EXPECT_TRUE(single.feasible);
+  EXPECT_GT(single.hours, 24.0);  // days, not hours — the paper's complaint
+}
+
+TEST(Cloud, CostScalesWithInstances) {
+  DlJob job;
+  const auto c8 = estimate_cloud_training(aws_p3_16xlarge(), 8, job);
+  const auto c64 = estimate_cloud_training(aws_p3_16xlarge(), 64, job);
+  ASSERT_TRUE(c8.feasible);
+  ASSERT_TRUE(c64.feasible);
+  // Strong scaling: more GPUs -> less wall time, similar-or-higher dollars
+  // (communication overhead only adds cost).
+  EXPECT_LT(c64.hours, c8.hours);
+  EXPECT_GE(c64.usd, c8.usd * 0.9);
+}
+
+TEST(Cloud, A100InstanceFasterPerRunThanV100) {
+  DlJob job;
+  const auto v100 = estimate_cloud_training(aws_p3_16xlarge(), 64, job);
+  const auto a100 = estimate_cloud_training(aws_p4d_24xlarge(), 64, job);
+  EXPECT_LT(a100.hours, v100.hours);
+  EXPECT_LT(a100.usd, v100.usd);  // faster enough to also be cheaper
+}
+
+TEST(Cloud, HpcGrantEnergyCostFarBelowCloudBill) {
+  DlJob job;
+  const auto juwels = make_juwels();
+  const auto hpc =
+      estimate_hpc_training(juwels.module(ModuleKind::Booster), 128, job);
+  const auto cloud = estimate_cloud_training(aws_p3_16xlarge(), 128, job);
+  ASSERT_TRUE(hpc.feasible);
+  ASSERT_TRUE(cloud.feasible);
+  EXPECT_LT(hpc.usd, cloud.usd);  // energy cost << rental bill
+  EXPECT_LT(hpc.hours, cloud.hours);  // better interconnect, faster GPUs
+}
+
+TEST(Cloud, HpcRequiresGpuModule) {
+  DlJob job;
+  const auto juwels = make_juwels();
+  const auto est =
+      estimate_hpc_training(juwels.module(ModuleKind::Cluster), 8, job);
+  EXPECT_FALSE(est.feasible);
+}
+
+TEST(Cloud, SlowerInterconnectHurtsAtScale) {
+  // Same GPUs, slower network -> worse step time at many instances.
+  DlJob job;
+  auto fast = aws_p3_16xlarge();
+  auto slow = fast;
+  slow.inter_instance.bandwidth_Bps /= 10.0;
+  const auto f = estimate_cloud_training(fast, 128, job);
+  const auto s = estimate_cloud_training(slow, 128, job);
+  EXPECT_GT(s.step_time_s, f.step_time_s);
+}
+
+}  // namespace

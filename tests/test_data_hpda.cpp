@@ -1,0 +1,285 @@
+// Tests for the synthetic dataset generators, the storage/NAM staging model,
+// and the HPDA dataset engine + module-aware executor.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/module.hpp"
+#include "data/storage.hpp"
+#include "data/synthetic.hpp"
+#include "hpda/dataset.hpp"
+#include "hpda/executor.hpp"
+
+namespace {
+
+using namespace msa::data;
+
+TEST(Multispectral, ShapesAndLabels) {
+  MultispectralConfig cfg;
+  cfg.samples = 64;
+  cfg.bands = 4;
+  cfg.patch = 8;
+  cfg.classes = 5;
+  auto ds = make_multispectral(cfg);
+  EXPECT_EQ(ds.images.shape(), (msa::tensor::Shape{64, 4, 8, 8}));
+  EXPECT_EQ(ds.labels.size(), 64u);
+  std::set<std::int32_t> seen(ds.labels.begin(), ds.labels.end());
+  EXPECT_GE(seen.size(), 4u);  // all classes appear (probabilistically)
+  for (auto l : ds.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 5);
+  }
+}
+
+TEST(Multispectral, ClassesAreSeparableInBandSpace) {
+  // Mean band vector per class must differ between classes — the signal a
+  // CNN (or even a centroid classifier) learns.
+  MultispectralConfig cfg;
+  cfg.samples = 200;
+  cfg.seed = 77;
+  auto ds = make_multispectral(cfg);
+  const std::size_t C = cfg.bands, HW = cfg.patch * cfg.patch;
+  std::vector<std::vector<double>> mean(cfg.classes,
+                                        std::vector<double>(C, 0.0));
+  std::vector<int> counts(cfg.classes, 0);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto cls = static_cast<std::size_t>(ds.labels[i]);
+    ++counts[cls];
+    for (std::size_t b = 0; b < C; ++b) {
+      const float* plane = ds.images.data() + (i * C + b) * HW;
+      double m = 0.0;
+      for (std::size_t p = 0; p < HW; ++p) m += plane[p];
+      mean[cls][b] += m / HW;
+    }
+  }
+  for (std::size_t c = 0; c < cfg.classes; ++c) {
+    for (auto& v : mean[c]) v /= std::max(1, counts[c]);
+  }
+  // Max pairwise distance between class means must be clearly nonzero.
+  double max_dist = 0.0;
+  for (std::size_t a = 0; a < cfg.classes; ++a) {
+    for (std::size_t b = a + 1; b < cfg.classes; ++b) {
+      double d2 = 0.0;
+      for (std::size_t f = 0; f < C; ++f) {
+        const double d = mean[a][f] - mean[b][f];
+        d2 += d * d;
+      }
+      max_dist = std::max(max_dist, std::sqrt(d2));
+    }
+  }
+  EXPECT_GT(max_dist, 0.5);
+}
+
+TEST(Multispectral, BatchExtraction) {
+  MultispectralConfig cfg;
+  cfg.samples = 16;
+  cfg.patch = 4;
+  auto ds = make_multispectral(cfg);
+  auto [x, y] = ds.batch({3, 7, 11});
+  EXPECT_EQ(x.dim(0), 3u);
+  EXPECT_EQ(y.size(), 3u);
+  EXPECT_EQ(y[0], ds.labels[3]);
+  // First pixel of sample 7 must match.
+  EXPECT_EQ(x.at4(1, 0, 0, 0), ds.images.at4(7, 0, 0, 0));
+}
+
+TEST(Cxr, ThreeBalancedClasses) {
+  CxrConfig cfg;
+  cfg.samples = 300;
+  auto ds = make_cxr(cfg);
+  EXPECT_EQ(ds.num_classes, 3u);
+  std::vector<int> counts(3, 0);
+  for (auto l : ds.labels) ++counts[static_cast<std::size_t>(l)];
+  for (int c : counts) EXPECT_GT(c, 60);
+}
+
+TEST(Cxr, PneumoniaBrighterThanNormal) {
+  // The focal consolidation adds intensity: class-1 mean > class-0 mean.
+  CxrConfig cfg;
+  cfg.samples = 300;
+  cfg.noise = 0.05f;
+  auto ds = make_cxr(cfg);
+  const std::size_t px = cfg.size * cfg.size;
+  double mean_normal = 0.0, mean_pneu = 0.0;
+  int n0 = 0, n1 = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    double m = 0.0;
+    const float* img = ds.images.data() + i * px;
+    for (std::size_t p = 0; p < px; ++p) m += img[p];
+    if (ds.labels[i] == 0) {
+      mean_normal += m / px;
+      ++n0;
+    } else if (ds.labels[i] == 1) {
+      mean_pneu += m / px;
+      ++n1;
+    }
+  }
+  EXPECT_GT(mean_pneu / n1, mean_normal / n0);
+}
+
+TEST(Icu, WindowShapesAndMask) {
+  IcuConfig cfg;
+  cfg.patients = 8;
+  cfg.series_len = 48;
+  cfg.window = 12;
+  cfg.features = 5;
+  cfg.missing_rate = 0.3;
+  auto ds = make_icu_timeseries(cfg);
+  EXPECT_GT(ds.num_windows(), 0u);
+  EXPECT_EQ(ds.windows.dim(1), 12u);
+  EXPECT_EQ(ds.windows.dim(2), 6u);  // features + mask channel
+  // Mask semantics: when mask == 0, all feature entries are zeroed.
+  std::size_t missing = 0, total = 0;
+  for (std::size_t a = 0; a < ds.num_windows(); ++a) {
+    for (std::size_t t = 0; t < 12; ++t) {
+      ++total;
+      if (ds.windows.at3(a, t, 5) == 0.0f) {
+        ++missing;
+        for (std::size_t f = 0; f < 5; ++f) {
+          EXPECT_EQ(ds.windows.at3(a, t, f), 0.0f);
+        }
+      }
+    }
+  }
+  const double rate = static_cast<double>(missing) / total;
+  EXPECT_NEAR(rate, 0.3, 0.05);
+}
+
+TEST(Icu, TargetsAreFinite) {
+  auto ds = make_icu_timeseries({});
+  for (std::size_t i = 0; i < ds.num_windows(); ++i) {
+    EXPECT_TRUE(std::isfinite(ds.targets.at2(i, 0)));
+  }
+}
+
+TEST(Storage, NamWinsForManyUsers) {
+  // The NAM's raison d'etre (Sec. II-A): one shared residency beats N
+  // private copies once the group is large.
+  const auto sssm = msa::core::make_deep_est().storage();
+  StagingScenario many;
+  many.dataset_GB = 200.0;
+  many.users = 16;
+  many.epochs_per_user = 3;
+  const double nam = stage_time_nam_shared(many, sssm);
+  const double priv = stage_time_private_copies(
+      many, StorageTier::NodeLocalNvme, sssm);
+  EXPECT_LT(nam, priv);
+}
+
+TEST(Storage, NamEliminatesDuplicateDownloadsAndCopies) {
+  // The NAM's core claim: duplicated SSSM traffic and duplicated stored
+  // copies both collapse from users*N to 1*N, and data is ready sooner.
+  const auto sssm = msa::core::make_deep_est().storage();
+  StagingScenario s;
+  s.dataset_GB = 200.0;
+  s.epochs_per_user = 3;
+  for (int users : {2, 8, 32}) {
+    s.users = users;
+    const auto priv = stage_private_copies(s, StorageTier::NodeLocalNvme, sssm);
+    const auto nam = stage_nam_shared(s, sssm);
+    EXPECT_DOUBLE_EQ(priv.sssm_traffic_GB, 200.0 * users);
+    EXPECT_DOUBLE_EQ(nam.sssm_traffic_GB, 200.0);
+    EXPECT_DOUBLE_EQ(priv.copies_stored_GB / nam.copies_stored_GB, users);
+    EXPECT_LT(nam.stage_time_s, priv.stage_time_s) << users;
+  }
+}
+
+TEST(Storage, TierSpecsOrdered) {
+  const auto sssm = msa::core::make_deep_est().storage();
+  EXPECT_GT(tier_spec(StorageTier::DramCache, sssm).read_GBps,
+            tier_spec(StorageTier::NetworkMemory, sssm).read_GBps);
+  EXPECT_GT(tier_spec(StorageTier::NetworkMemory, sssm).read_GBps,
+            tier_spec(StorageTier::NodeLocalNvme, sssm).read_GBps);
+}
+
+// ---- HPDA engine --------------------------------------------------------------
+
+TEST(Hpda, MapFilterReduce) {
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 1);
+  auto ds = msa::hpda::Dataset<int>::from_vector(values, 8);
+  EXPECT_EQ(ds.num_partitions(), 8u);
+  EXPECT_EQ(ds.count(), 100u);
+  auto evens = ds.filter([](const int& v) { return v % 2 == 0; });
+  EXPECT_EQ(evens.count(), 50u);
+  auto squares = evens.map([](const int& v) { return v * v; });
+  const int total = squares.reduce(0, [](int a, int b) { return a + b; });
+  // sum of squares of even numbers 2..100
+  int expected = 0;
+  for (int v = 2; v <= 100; v += 2) expected += v * v;
+  EXPECT_EQ(total, expected);
+}
+
+TEST(Hpda, ReduceByKeyAggregates) {
+  std::vector<std::pair<int, double>> rows;
+  for (int i = 0; i < 60; ++i) {
+    rows.emplace_back(i % 3, 1.0 + i);
+  }
+  auto ds =
+      msa::hpda::Dataset<std::pair<int, double>>::from_vector(rows, 4);
+  auto grouped = ds.reduce_by_key(
+      [](const auto& r) { return r.first; },
+      [](const auto& r) { return r.second; },
+      [](double a, double b) { return a + b; });
+  auto result = grouped.collect();
+  ASSERT_EQ(result.size(), 3u);
+  double total = 0.0;
+  for (const auto& [k, v] : result) total += v;
+  EXPECT_DOUBLE_EQ(total, 60.0 + (59.0 * 60.0) / 2.0);
+}
+
+TEST(Hpda, CollectPreservesEverything) {
+  std::vector<int> values = {5, 3, 9, 1};
+  auto ds = msa::hpda::Dataset<int>::from_vector(values, 3);
+  auto out = ds.collect();
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<int>{1, 3, 5, 9}));
+}
+
+TEST(HpdaExecutor, DamAvoidsSpillClusterSpills) {
+  const auto deep = msa::core::make_deep_est();
+  const auto juwels = msa::core::make_juwels();
+  msa::hpda::StageCost stage;
+  stage.input_GB = 800.0;
+  stage.working_set_GB = 1600.0;  // 200 GB/node on 8 nodes
+  stage.flops_per_byte = 0.5;
+  const auto on_dam = msa::hpda::estimate_stage(
+      stage, deep.module(msa::core::ModuleKind::DataAnalytics), 8,
+      deep.storage());
+  const auto on_cm = msa::hpda::estimate_stage(
+      stage, juwels.module(msa::core::ModuleKind::Cluster), 8,
+      juwels.storage());
+  EXPECT_FALSE(on_dam.spilled);   // 200 < 384 GB DRAM
+  EXPECT_TRUE(on_cm.spilled);     // 200 > 96 GB DRAM
+  EXPECT_LT(on_dam.time_s, on_cm.time_s);
+}
+
+TEST(HpdaExecutor, WideStagePaysShuffle) {
+  const auto deep = msa::core::make_deep_est();
+  msa::hpda::StageCost narrow;
+  narrow.input_GB = 50.0;
+  msa::hpda::StageCost wide = narrow;
+  wide.wide = true;
+  wide.shuffle_GB = 50.0;
+  const auto& dam = deep.module(msa::core::ModuleKind::DataAnalytics);
+  const auto n = msa::hpda::estimate_stage(narrow, dam, 8, deep.storage());
+  const auto w = msa::hpda::estimate_stage(wide, dam, 8, deep.storage());
+  EXPECT_GT(w.shuffle_s, 0.0);
+  EXPECT_GT(w.time_s, n.time_s);
+}
+
+TEST(HpdaExecutor, PipelineSumsStages) {
+  const auto deep = msa::core::make_deep_est();
+  const auto& dam = deep.module(msa::core::ModuleKind::DataAnalytics);
+  msa::hpda::StageCost s1;
+  s1.input_GB = 10.0;
+  msa::hpda::StageCost s2;
+  s2.input_GB = 20.0;
+  const auto a = msa::hpda::estimate_stage(s1, dam, 4, deep.storage());
+  const auto b = msa::hpda::estimate_stage(s2, dam, 4, deep.storage());
+  const auto both = msa::hpda::estimate_pipeline({s1, s2}, dam, 4,
+                                                 deep.storage());
+  EXPECT_NEAR(both.time_s, a.time_s + b.time_s, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Tests for the classical ML stack: SMO SVM, cascade parallelisation,
+// random forest, k-means.
+#include <gtest/gtest.h>
+
+#include "comm/runtime.hpp"
+#include "data/synthetic.hpp"
+#include "ml/cascade.hpp"
+#include "ml/forest.hpp"
+#include "ml/svm.hpp"
+
+namespace {
+
+using namespace msa::ml;
+using msa::comm::Comm;
+using msa::comm::Runtime;
+using msa::simnet::ComputeProfile;
+using msa::simnet::Machine;
+using msa::simnet::MachineConfig;
+
+TEST(Kernel, Evaluations) {
+  KernelParams lin{KernelKind::Linear};
+  KernelParams rbf{KernelKind::Rbf, 1.0};
+  KernelParams poly{KernelKind::Polynomial, 1.0, 2.0, 1.0};
+  const float a[2] = {1.0f, 2.0f};
+  const float b[2] = {3.0f, -1.0f};
+  EXPECT_DOUBLE_EQ(kernel_eval(lin, a, b), 1.0);             // 3 - 2
+  EXPECT_NEAR(kernel_eval(rbf, a, a), 1.0, 1e-12);           // exp(0)
+  EXPECT_NEAR(kernel_eval(rbf, a, b), std::exp(-13.0), 1e-12);
+  EXPECT_DOUBLE_EQ(kernel_eval(poly, a, b), 4.0);            // (1+1)^2
+}
+
+TEST(Svm, LinearSeparableBlobs) {
+  auto train = msa::data::make_blobs(200, 4.0, 1);
+  auto test = msa::data::make_blobs(100, 4.0, 2);
+  SvmConfig cfg;
+  cfg.kernel.kind = KernelKind::Linear;
+  auto model = train_svm(train, cfg);
+  EXPECT_GT(model.accuracy(test), 0.95);
+  // Well-separated blobs need few support vectors.
+  EXPECT_LT(model.num_support_vectors(), train.size() / 2);
+}
+
+TEST(Svm, RbfSolvesMoons) {
+  auto train = msa::data::make_moons(300, 0.12, 3);
+  auto test = msa::data::make_moons(150, 0.12, 4);
+  SvmConfig cfg;
+  cfg.kernel = {KernelKind::Rbf, 2.0};
+  cfg.C = 5.0;
+  auto model = train_svm(train, cfg);
+  EXPECT_GT(model.accuracy(test), 0.9);
+}
+
+TEST(Svm, LinearKernelFailsMoonsWhereRbfSucceeds) {
+  auto train = msa::data::make_moons(300, 0.12, 3);
+  auto test = msa::data::make_moons(150, 0.12, 4);
+  SvmConfig lin;
+  lin.kernel.kind = KernelKind::Linear;
+  SvmConfig rbf;
+  rbf.kernel = {KernelKind::Rbf, 2.0};
+  rbf.C = 5.0;
+  const double acc_lin = train_svm(train, lin).accuracy(test);
+  const double acc_rbf = train_svm(train, rbf).accuracy(test);
+  EXPECT_GT(acc_rbf, acc_lin);
+}
+
+TEST(Svm, RejectsBadLabels) {
+  SvmProblem p;
+  p.x = Tensor({2, 1});
+  p.y = {1, 0};  // 0 is invalid
+  EXPECT_THROW(train_svm(p), std::invalid_argument);
+}
+
+TEST(Svm, DecisionIsSymmetricUnderLabelFlip) {
+  auto train = msa::data::make_blobs(120, 3.0, 9);
+  SvmConfig cfg;
+  cfg.kernel.kind = KernelKind::Linear;
+  auto model = train_svm(train, cfg);
+  SvmProblem flipped = train;
+  for (auto& y : flipped.y) y = static_cast<int8_t>(-y);
+  auto model_f = train_svm(flipped, cfg);
+  // Decision values should (approximately) negate.
+  int agree = 0;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    if (model.predict(train.row(i)) == -model_f.predict(train.row(i))) ++agree;
+  }
+  EXPECT_GT(agree, static_cast<int>(train.size() * 9 / 10));
+}
+
+class CascadeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CascadeTest, MatchesMonolithicAccuracy) {
+  const int P = GetParam();
+  auto full = msa::data::make_moons(400, 0.12, 11);
+  auto test = msa::data::make_moons(200, 0.12, 12);
+  SvmConfig cfg;
+  cfg.kernel = {KernelKind::Rbf, 2.0};
+  cfg.C = 5.0;
+  const double mono_acc = train_svm(full, cfg).accuracy(test);
+
+  auto shards = split_problem(full, P);
+  MachineConfig mc;
+  Runtime rt(Machine::homogeneous(P, 2, mc, ComputeProfile{}));
+  std::atomic<double> cascade_acc{0.0};
+  std::atomic<std::size_t> svs{0};
+  rt.run([&](Comm& comm) {
+    const auto result = train_cascade_svm(
+        comm, shards[static_cast<std::size_t>(comm.rank())], cfg);
+    if (comm.rank() == 0) {
+      cascade_acc = result.model.accuracy(test);
+      svs = result.final_sv_count;
+    }
+  });
+  EXPECT_GT(cascade_acc.load(), mono_acc - 0.05);
+  EXPECT_GT(svs.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, CascadeTest, ::testing::Values(1, 2, 4, 8));
+
+TEST(Cascade, SplitProblemPreservesAllRows) {
+  auto full = msa::data::make_blobs(103, 3.0, 13);
+  auto shards = split_problem(full, 4);
+  std::size_t total = 0;
+  for (const auto& s : shards) total += s.size();
+  EXPECT_EQ(total, full.size());
+  EXPECT_EQ(shards[3].size(), 103u - 3 * 25u);
+}
+
+TEST(Forest, LearnsTabularInteractions) {
+  auto train = msa::data::make_tabular(600, 8, 3, 21);
+  auto test = msa::data::make_tabular(300, 8, 3, 22);
+  RandomForest forest;
+  ForestConfig cfg;
+  cfg.trees = 40;
+  cfg.max_depth = 10;
+  forest.fit(train.x, train.y, train.num_classes, cfg);
+  const double train_acc = forest.accuracy(train.x, train.y);
+  const double test_acc = forest.accuracy(test.x, test.y);
+  EXPECT_GT(train_acc, 0.9);
+  EXPECT_GT(test_acc, 0.55);  // well above the 1/3 chance level
+}
+
+TEST(Forest, MoreTreesNoWorse) {
+  auto train = msa::data::make_tabular(400, 6, 2, 31);
+  auto test = msa::data::make_tabular(200, 6, 2, 32);
+  ForestConfig small;
+  small.trees = 2;
+  ForestConfig big;
+  big.trees = 48;
+  RandomForest f_small, f_big;
+  f_small.fit(train.x, train.y, 2, small);
+  f_big.fit(train.x, train.y, 2, big);
+  EXPECT_GE(f_big.accuracy(test.x, test.y),
+            f_small.accuracy(test.x, test.y) - 0.03);
+}
+
+TEST(KMeans, RecoversBlobCentroids) {
+  auto blobs = msa::data::make_blobs(300, 8.0, 41);
+  auto res = kmeans(blobs.x, 2, 50);
+  ASSERT_EQ(res.centroids.dim(0), 2u);
+  // The two centroids must sit near +/- separation/2 on the x-axis.
+  const float c0 = res.centroids.at2(0, 0);
+  const float c1 = res.centroids.at2(1, 0);
+  EXPECT_GT(std::max(c0, c1), 3.0f);
+  EXPECT_LT(std::min(c0, c1), -3.0f);
+  EXPECT_GT(res.iterations, 0);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  auto blobs = msa::data::make_blobs(200, 5.0, 43);
+  const double i2 = kmeans(blobs.x, 2).inertia;
+  const double i8 = kmeans(blobs.x, 8).inertia;
+  EXPECT_LT(i8, i2);
+}
+
+TEST(KMeans, RejectsBadK) {
+  auto blobs = msa::data::make_blobs(10, 5.0, 44);
+  EXPECT_THROW(kmeans(blobs.x, 0), std::invalid_argument);
+  EXPECT_THROW(kmeans(blobs.x, 11), std::invalid_argument);
+}
+
+}  // namespace

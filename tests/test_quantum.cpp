@@ -1,0 +1,194 @@
+// Tests for the quantum-annealer stack: QUBO mechanics, the simulated
+// annealer against a brute-force oracle, device budgets, and the QA-SVM
+// ensemble workflow of paper ref [11].
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "quantum/qa_svm.hpp"
+#include "quantum/qubo.hpp"
+
+namespace {
+
+using namespace msa::quantum;
+
+TEST(Qubo, EnergyMatchesDefinition) {
+  Qubo q(3);
+  q.add_linear(0, 1.0);
+  q.add_linear(2, -2.0);
+  q.add_quadratic(0, 1, 3.0);
+  q.add_quadratic(1, 2, -1.0);
+  EXPECT_DOUBLE_EQ(q.energy({0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(q.energy({1, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(q.energy({1, 1, 0}), 4.0);
+  EXPECT_DOUBLE_EQ(q.energy({1, 1, 1}), 1.0);  // 1 + 3 - 2 - 1
+}
+
+TEST(Qubo, FlipDeltaConsistentWithEnergy) {
+  msa::tensor::Rng rng(3);
+  Qubo q(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    q.add_linear(i, rng.normal());
+    for (std::size_t j = i + 1; j < 8; ++j) {
+      q.add_quadratic(i, j, rng.normal());
+    }
+  }
+  std::vector<std::uint8_t> x(8);
+  for (auto& b : x) b = rng.bernoulli(0.5);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double before = q.energy(x);
+    const double delta = q.flip_delta(x, i);
+    x[i] ^= 1u;
+    EXPECT_NEAR(q.energy(x), before + delta, 1e-9) << "bit " << i;
+    x[i] ^= 1u;
+  }
+}
+
+TEST(Qubo, QuadraticAccessorSymmetric) {
+  Qubo q(4);
+  q.add_quadratic(2, 1, 5.0);
+  EXPECT_DOUBLE_EQ(q.quadratic(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(q.quadratic(2, 1), 5.0);
+  EXPECT_THROW(q.add_quadratic(1, 1, 1.0), std::invalid_argument);
+}
+
+class AnnealOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnnealOracleTest, FindsBruteForceMinimum) {
+  // Random dense 12-variable QUBOs: SA with restarts must hit the global
+  // optimum (12 vars => 4096 states, SA explores far more configurations).
+  msa::tensor::Rng rng(GetParam());
+  Qubo q(12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    q.add_linear(i, rng.normal());
+    for (std::size_t j = i + 1; j < 12; ++j) {
+      q.add_quadratic(i, j, rng.normal());
+    }
+  }
+  const Sample oracle = brute_force_minimum(q);
+  AnnealConfig cfg;
+  cfg.reads = 30;
+  cfg.sweeps = 150;
+  cfg.seed = GetParam() * 7 + 1;
+  const auto samples = simulated_anneal(q, cfg);
+  EXPECT_NEAR(samples.front().energy, oracle.energy, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnnealOracleTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Anneal, SamplesSortedByEnergy) {
+  Qubo q(6);
+  q.add_linear(0, -1.0);
+  q.add_quadratic(0, 1, 2.0);
+  const auto samples = simulated_anneal(q, {});
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LE(samples[i - 1].energy, samples[i].energy);
+  }
+}
+
+TEST(Device, ProfilesMatchPaper) {
+  const auto q2000 = dwave_2000q();
+  const auto adv = dwave_advantage();
+  // Sec. III-C: "2000 qubits" then "5000 qubits and 35000 couplers".
+  EXPECT_GE(q2000.qubits, 2000u);
+  EXPECT_EQ(adv.qubits, 5000u);
+  EXPECT_EQ(adv.couplers, 35000u);
+}
+
+TEST(Device, FitsChecksQubitAndCouplerBudgets) {
+  Qubo small(100);
+  EXPECT_TRUE(dwave_2000q().fits(small));
+  Qubo big(3000);
+  EXPECT_FALSE(dwave_2000q().fits(big));
+  EXPECT_TRUE(dwave_advantage().fits(big));
+  // Dense coupling can exceed the coupler budget even when qubits fit.
+  Qubo dense(150);
+  for (std::size_t i = 0; i < 150; ++i) {
+    for (std::size_t j = i + 1; j < 150; ++j) dense.add_quadratic(i, j, 1.0);
+  }
+  EXPECT_FALSE(dwave_2000q().fits(dense));  // 11175 couplers > 6016
+  EXPECT_TRUE(dwave_advantage().fits(dense));
+}
+
+TEST(QaSvm, QuboDecodeRoundTrip) {
+  QaSvmConfig cfg;
+  cfg.encoding_bits = 3;
+  std::vector<std::uint8_t> x = {1, 0, 1,   0, 1, 0,  1, 1, 1};
+  const auto alphas = decode_alphas(x, 3, cfg);
+  EXPECT_DOUBLE_EQ(alphas[0], 1 + 4);
+  EXPECT_DOUBLE_EQ(alphas[1], 2);
+  EXPECT_DOUBLE_EQ(alphas[2], 7);
+}
+
+TEST(QaSvm, TrainsSeparableProblem) {
+  auto train = msa::data::make_blobs(24, 5.0, 51);
+  auto test = msa::data::make_blobs(60, 5.0, 52);
+  QaSvmConfig cfg;
+  cfg.kernel = {msa::ml::KernelKind::Rbf, 0.5};
+  cfg.anneal.reads = 20;
+  cfg.anneal.sweeps = 120;
+  const auto model = train_qa_svm(train, dwave_2000q(), cfg);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (model.svm.predict(test.row(i)) == test.y[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.85);
+  EXPECT_EQ(model.qubits_used, 24u * 3u);
+}
+
+TEST(QaSvm, ThrowsWhenProblemExceedsQubits) {
+  auto big = msa::data::make_blobs(800, 5.0, 53);
+  QaSvmConfig cfg;  // 800 * 3 bits = 2400 > 2048
+  EXPECT_THROW(train_qa_svm(big, dwave_2000q(), cfg), std::runtime_error);
+}
+
+TEST(QaSvm, EnsembleHandlesDatasetsBeyondDeviceSize) {
+  // The paper's workflow: dataset too large for the annealer -> subsample
+  // ensembles.  Use a small artificial device to keep the test fast.
+  auto train = msa::data::make_moons(120, 0.1, 54);
+  auto test = msa::data::make_moons(80, 0.1, 55);
+  AnnealerProfile tiny{"tiny annealer", 72, 10000, 20.0, 100.0};
+  QaSvmConfig cfg;
+  cfg.kernel = {msa::ml::KernelKind::Rbf, 2.0};
+  cfg.encoding_bits = 2;
+  cfg.anneal.reads = 15;
+  cfg.anneal.sweeps = 100;
+  QaSvmEnsemble ensemble;
+  ensemble.fit(train, tiny, /*members=*/7, cfg);
+  EXPECT_EQ(ensemble.size(), 7u);
+  EXPECT_EQ(ensemble.subsample_size(), 36u);  // 72 qubits / 2 bits
+  EXPECT_GT(ensemble.accuracy(test), 0.8);
+  EXPECT_GT(ensemble.total_anneal_time_s(), 0.0);
+}
+
+TEST(QaSvm, EnsembleBeatsSingleSubsampleMember) {
+  auto train = msa::data::make_moons(160, 0.15, 56);
+  auto test = msa::data::make_moons(120, 0.15, 57);
+  AnnealerProfile tiny{"tiny annealer", 48, 10000, 20.0, 100.0};
+  QaSvmConfig cfg;
+  cfg.kernel = {msa::ml::KernelKind::Rbf, 2.0};
+  cfg.encoding_bits = 2;
+  cfg.anneal.reads = 12;
+  cfg.anneal.sweeps = 80;
+  double single_best = 0.0;
+  for (int m = 1; m <= 1; ++m) {
+    QaSvmEnsemble e;
+    e.fit(train, tiny, m, cfg, /*seed=*/101);
+    single_best = std::max(single_best, e.accuracy(test));
+  }
+  QaSvmEnsemble big;
+  big.fit(train, tiny, 9, cfg, /*seed=*/101);
+  EXPECT_GE(big.accuracy(test), single_best - 0.02);
+}
+
+TEST(QaSvm, AdvantageAllowsLargerSubsamplesThan2000Q) {
+  // More qubits -> larger trainable subsets (Sec. III-C evolution).
+  QaSvmConfig cfg;
+  cfg.encoding_bits = 3;
+  const std::size_t cap_2000 = dwave_2000q().qubits / 3;
+  const std::size_t cap_adv = dwave_advantage().qubits / 3;
+  EXPECT_GT(cap_adv, cap_2000);
+  EXPECT_GE(cap_adv, 1666u);
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+// Tests for distributed k-means and multi-module workflow scheduling.
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "comm/runtime.hpp"
+#include "core/module.hpp"
+#include "core/scheduler.hpp"
+#include "data/synthetic.hpp"
+#include "ml/dkmeans.hpp"
+
+namespace {
+
+using msa::comm::Comm;
+using msa::comm::Runtime;
+using msa::simnet::ComputeProfile;
+using msa::simnet::Machine;
+using msa::simnet::MachineConfig;
+using msa::tensor::Tensor;
+
+Runtime make_runtime(int ranks) {
+  MachineConfig cfg;
+  return Runtime(Machine::homogeneous(ranks, 2, cfg, ComputeProfile{}));
+}
+
+// ---- distributed k-means -------------------------------------------------------
+
+class DistributedKMeansTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedKMeansTest, MatchesSerialOnUnionOfShards) {
+  const int P = GetParam();
+  const auto blobs = msa::data::make_blobs(240, 7.0, 97);
+  const std::size_t n = blobs.x.dim(0), d = blobs.x.dim(1);
+  const std::size_t per = n / static_cast<std::size_t>(P);
+
+  // Serial reference: Lloyd from the same initial centroids.  Initial
+  // centroids come from rank 0's shard, so mirror that.
+  Tensor shard0({per, d});
+  std::copy(blobs.x.data(), blobs.x.data() + per * d, shard0.data());
+  const Tensor init = msa::ml::kmeans(shard0, 2, /*max_iters=*/1, 11).centroids;
+
+  // Serial Lloyd on the union, seeded identically.
+  Tensor centroids = init;
+  std::vector<std::int32_t> labels(n, 0);
+  for (int it = 0; it < 100; ++it) {
+    bool changed = false;
+    std::vector<double> sums(2 * d, 0.0);
+    std::vector<std::size_t> counts(2, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = 1e300;
+      std::size_t bc = 0;
+      for (std::size_t c = 0; c < 2; ++c) {
+        double d2 = 0.0;
+        for (std::size_t j = 0; j < d; ++j) {
+          const double diff = blobs.x.at2(i, j) - centroids.at2(c, j);
+          d2 += diff * diff;
+        }
+        if (d2 < best) {
+          best = d2;
+          bc = c;
+        }
+      }
+      if (labels[i] != static_cast<std::int32_t>(bc)) {
+        changed = true;
+        labels[i] = static_cast<std::int32_t>(bc);
+      }
+      ++counts[bc];
+      for (std::size_t j = 0; j < d; ++j) sums[bc * d + j] += blobs.x.at2(i, j);
+    }
+    if (!changed && it > 0) break;
+    for (std::size_t c = 0; c < 2; ++c) {
+      if (counts[c] == 0) continue;
+      for (std::size_t j = 0; j < d; ++j) {
+        centroids.at2(c, j) = static_cast<float>(sums[c * d + j] / counts[c]);
+      }
+    }
+  }
+
+  // Distributed: contiguous shards.
+  std::vector<float> dist_centroids(2 * d);
+  Runtime rt = make_runtime(P);
+  std::mutex m;
+  rt.run([&](Comm& comm) {
+    Tensor shard({per, d});
+    const std::size_t lo = static_cast<std::size_t>(comm.rank()) * per;
+    std::copy(blobs.x.data() + lo * d, blobs.x.data() + (lo + per) * d,
+              shard.data());
+    auto res = msa::ml::distributed_kmeans(comm, shard, 2, 100, 11);
+    if (comm.rank() == 0) {
+      std::lock_guard lock(m);
+      std::copy(res.centroids.data(), res.centroids.data() + 2 * d,
+                dist_centroids.data());
+    }
+  });
+
+  for (std::size_t i = 0; i < 2 * d; ++i) {
+    EXPECT_NEAR(dist_centroids[i], centroids[i], 2e-3f) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistributedKMeansTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(DistributedKMeans, CentroidsIdenticalOnAllRanks) {
+  const auto blobs = msa::data::make_blobs(160, 6.0, 98);
+  const std::size_t d = blobs.x.dim(1);
+  Runtime rt = make_runtime(4);
+  rt.run([&](Comm& comm) {
+    Tensor shard({40, d});
+    const std::size_t lo = static_cast<std::size_t>(comm.rank()) * 40;
+    std::copy(blobs.x.data() + lo * d, blobs.x.data() + (lo + 40) * d,
+              shard.data());
+    auto res = msa::ml::distributed_kmeans(comm, shard, 3, 50, 12);
+    float checksum = res.centroids.sum();
+    auto all = comm.allgather(std::span<const float>(&checksum, 1));
+    for (float v : all) EXPECT_FLOAT_EQ(v, all[0]);
+    EXPECT_EQ(res.labels.size(), 40u);
+  });
+}
+
+// ---- workflow scheduling --------------------------------------------------------
+
+msa::core::Workflow train_then_infer() {
+  using namespace msa::core;
+  Workflow wf;
+  wf.name = "covid-net";
+  WorkflowPhase train;
+  train.workload = wl_resnet_training();
+  train.workload.name = "training";
+  train.workload.total_flops = 1e17;
+  WorkflowPhase infer;
+  infer.workload = wl_dl_inference();
+  infer.workload.name = "inference";
+  infer.required_module = ModuleKind::ExtremeScaleBooster;
+  wf.phases = {train, infer};
+  return wf;
+}
+
+TEST(WorkflowScheduler, PhasesRunInOrder) {
+  const auto deep = msa::core::make_deep_est();
+  const auto result =
+      msa::core::schedule_workflows({train_then_infer()}, deep);
+  ASSERT_TRUE(result.unschedulable.empty());
+  ASSERT_EQ(result.assignments.size(), 2u);
+  const auto& train = result.assignments[0];
+  const auto& infer = result.assignments[1];
+  EXPECT_EQ(train.job, "covid-net/training");
+  EXPECT_EQ(infer.job, "covid-net/inference");
+  EXPECT_GE(infer.start_s, train.finish_s - 1e-9);
+  EXPECT_EQ(infer.module, "ESB");  // honoured the pin
+}
+
+TEST(WorkflowScheduler, PinnedPhaseFailsWithoutThatModule) {
+  // JUWELS has no ESB module; the pinned inference phase cannot place.
+  const auto juwels = msa::core::make_juwels();
+  const auto result =
+      msa::core::schedule_workflows({train_then_infer()}, juwels);
+  ASSERT_EQ(result.unschedulable.size(), 1u);
+  EXPECT_EQ(result.unschedulable[0], "covid-net");
+  EXPECT_TRUE(result.assignments.empty());
+}
+
+TEST(WorkflowScheduler, RollbackFreesCapacityForLaterWorkflows) {
+  // A failing workflow must not leave phantom reservations behind: a
+  // subsequent identical (but feasible) workflow should schedule from t=0.
+  using namespace msa::core;
+  const auto deep = make_deep_est();
+  Workflow failing = train_then_infer();
+  failing.name = "failing";
+  failing.phases[1].required_module = ModuleKind::Quantum;  // absent on DEEP
+  Workflow ok = train_then_infer();
+  ok.name = "ok";
+  const auto result = schedule_workflows({failing, ok}, deep);
+  ASSERT_EQ(result.unschedulable.size(), 1u);
+  ASSERT_EQ(result.assignments.size(), 2u);
+  EXPECT_NEAR(result.assignments[0].start_s, 0.0, 1e-9);
+}
+
+TEST(WorkflowScheduler, TwoWorkflowsShareModulesOverTime) {
+  using namespace msa::core;
+  const auto deep = make_deep_est();
+  Workflow a = train_then_infer();
+  a.name = "wf-a";
+  Workflow b = train_then_infer();
+  b.name = "wf-b";
+  const auto result = schedule_workflows({a, b}, deep);
+  EXPECT_TRUE(result.unschedulable.empty());
+  EXPECT_EQ(result.assignments.size(), 4u);
+  EXPECT_GT(result.makespan_s, 0.0);
+  EXPECT_GT(result.total_energy_J, 0.0);
+}
+
+}  // namespace
