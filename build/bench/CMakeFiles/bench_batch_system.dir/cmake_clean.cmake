@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_system.dir/bench_batch_system.cpp.o"
+  "CMakeFiles/bench_batch_system.dir/bench_batch_system.cpp.o.d"
+  "bench_batch_system"
+  "bench_batch_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cloud_interop.dir/bench_cloud_interop.cpp.o"
+  "CMakeFiles/bench_cloud_interop.dir/bench_cloud_interop.cpp.o.d"
+  "bench_cloud_interop"
+  "bench_cloud_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cloud_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_gce_collectives.dir/bench_fig1_gce_collectives.cpp.o"
+  "CMakeFiles/bench_fig1_gce_collectives.dir/bench_fig1_gce_collectives.cpp.o.d"
+  "bench_fig1_gce_collectives"
+  "bench_fig1_gce_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_gce_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

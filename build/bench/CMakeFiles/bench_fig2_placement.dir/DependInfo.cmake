@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_placement.cpp" "bench/CMakeFiles/bench_fig2_placement.dir/bench_fig2_placement.cpp.o" "gcc" "bench/CMakeFiles/bench_fig2_placement.dir/bench_fig2_placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/msa_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/msa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/msa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/msa_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/msa_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantum/CMakeFiles/msa_quantum.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpda/CMakeFiles/msa_hpda.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/msa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/msa_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/msa_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

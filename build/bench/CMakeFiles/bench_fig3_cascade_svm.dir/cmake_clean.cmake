@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_cascade_svm.dir/bench_fig3_cascade_svm.cpp.o"
+  "CMakeFiles/bench_fig3_cascade_svm.dir/bench_fig3_cascade_svm.cpp.o.d"
+  "bench_fig3_cascade_svm"
+  "bench_fig3_cascade_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cascade_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

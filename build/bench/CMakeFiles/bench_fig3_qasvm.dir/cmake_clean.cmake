@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_qasvm.dir/bench_fig3_qasvm.cpp.o"
+  "CMakeFiles/bench_fig3_qasvm.dir/bench_fig3_qasvm.cpp.o.d"
+  "bench_fig3_qasvm"
+  "bench_fig3_qasvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_qasvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

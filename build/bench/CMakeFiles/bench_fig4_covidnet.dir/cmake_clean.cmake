@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_covidnet.dir/bench_fig4_covidnet.cpp.o"
+  "CMakeFiles/bench_fig4_covidnet.dir/bench_fig4_covidnet.cpp.o.d"
+  "bench_fig4_covidnet"
+  "bench_fig4_covidnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_covidnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

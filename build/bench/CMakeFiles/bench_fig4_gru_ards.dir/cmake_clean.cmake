@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_gru_ards.dir/bench_fig4_gru_ards.cpp.o"
+  "CMakeFiles/bench_fig4_gru_ards.dir/bench_fig4_gru_ards.cpp.o.d"
+  "bench_fig4_gru_ards"
+  "bench_fig4_gru_ards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_gru_ards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

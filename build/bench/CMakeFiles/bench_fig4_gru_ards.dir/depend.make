@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_gru_ards.
+# This may be replaced when dependencies are built.

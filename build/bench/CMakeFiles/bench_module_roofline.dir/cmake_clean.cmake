@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_module_roofline.dir/bench_module_roofline.cpp.o"
+  "CMakeFiles/bench_module_roofline.dir/bench_module_roofline.cpp.o.d"
+  "bench_module_roofline"
+  "bench_module_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_module_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

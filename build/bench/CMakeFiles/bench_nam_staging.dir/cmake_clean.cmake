@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nam_staging.dir/bench_nam_staging.cpp.o"
+  "CMakeFiles/bench_nam_staging.dir/bench_nam_staging.cpp.o.d"
+  "bench_nam_staging"
+  "bench_nam_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nam_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

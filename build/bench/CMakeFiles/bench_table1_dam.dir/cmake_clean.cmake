@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_dam.dir/bench_table1_dam.cpp.o"
+  "CMakeFiles/bench_table1_dam.dir/bench_table1_dam.cpp.o.d"
+  "bench_table1_dam"
+  "bench_table1_dam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_dam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ards_imputation.dir/ards_imputation.cpp.o"
+  "CMakeFiles/ards_imputation.dir/ards_imputation.cpp.o.d"
+  "ards_imputation"
+  "ards_imputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ards_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covid_xray.dir/covid_xray.cpp.o"
+  "CMakeFiles/covid_xray.dir/covid_xray.cpp.o.d"
+  "covid_xray"
+  "covid_xray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covid_xray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for covid_xray.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_parallel.dir/pipeline_parallel.cpp.o"
+  "CMakeFiles/pipeline_parallel.dir/pipeline_parallel.cpp.o.d"
+  "pipeline_parallel"
+  "pipeline_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_svm.dir/qa_svm.cpp.o"
+  "CMakeFiles/qa_svm.dir/qa_svm.cpp.o.d"
+  "qa_svm"
+  "qa_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

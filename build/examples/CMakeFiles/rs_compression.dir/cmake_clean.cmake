@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_compression.dir/rs_compression.cpp.o"
+  "CMakeFiles/rs_compression.dir/rs_compression.cpp.o.d"
+  "rs_compression"
+  "rs_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

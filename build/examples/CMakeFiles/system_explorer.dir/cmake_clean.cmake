@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_explorer.dir/system_explorer.cpp.o"
+  "CMakeFiles/system_explorer.dir/system_explorer.cpp.o.d"
+  "system_explorer"
+  "system_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

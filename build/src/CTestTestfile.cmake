@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("simnet")
+subdirs("tensor")
+subdirs("comm")
+subdirs("core")
+subdirs("nn")
+subdirs("dist")
+subdirs("ml")
+subdirs("quantum")
+subdirs("hpda")
+subdirs("data")
+subdirs("hpc")

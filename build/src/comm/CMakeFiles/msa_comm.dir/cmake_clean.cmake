@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msa_comm.dir/comm.cpp.o"
+  "CMakeFiles/msa_comm.dir/comm.cpp.o.d"
+  "CMakeFiles/msa_comm.dir/mailbox.cpp.o"
+  "CMakeFiles/msa_comm.dir/mailbox.cpp.o.d"
+  "CMakeFiles/msa_comm.dir/runtime.cpp.o"
+  "CMakeFiles/msa_comm.dir/runtime.cpp.o.d"
+  "libmsa_comm.a"
+  "libmsa_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msa_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch.cpp" "src/core/CMakeFiles/msa_core.dir/batch.cpp.o" "gcc" "src/core/CMakeFiles/msa_core.dir/batch.cpp.o.d"
+  "/root/repo/src/core/cloud.cpp" "src/core/CMakeFiles/msa_core.dir/cloud.cpp.o" "gcc" "src/core/CMakeFiles/msa_core.dir/cloud.cpp.o.d"
+  "/root/repo/src/core/hardware.cpp" "src/core/CMakeFiles/msa_core.dir/hardware.cpp.o" "gcc" "src/core/CMakeFiles/msa_core.dir/hardware.cpp.o.d"
+  "/root/repo/src/core/machine_builder.cpp" "src/core/CMakeFiles/msa_core.dir/machine_builder.cpp.o" "gcc" "src/core/CMakeFiles/msa_core.dir/machine_builder.cpp.o.d"
+  "/root/repo/src/core/module.cpp" "src/core/CMakeFiles/msa_core.dir/module.cpp.o" "gcc" "src/core/CMakeFiles/msa_core.dir/module.cpp.o.d"
+  "/root/repo/src/core/perfmodel.cpp" "src/core/CMakeFiles/msa_core.dir/perfmodel.cpp.o" "gcc" "src/core/CMakeFiles/msa_core.dir/perfmodel.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/msa_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/msa_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/core/CMakeFiles/msa_core.dir/workload.cpp.o" "gcc" "src/core/CMakeFiles/msa_core.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/msa_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/msa_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

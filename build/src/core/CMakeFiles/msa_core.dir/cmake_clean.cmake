@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msa_core.dir/batch.cpp.o"
+  "CMakeFiles/msa_core.dir/batch.cpp.o.d"
+  "CMakeFiles/msa_core.dir/cloud.cpp.o"
+  "CMakeFiles/msa_core.dir/cloud.cpp.o.d"
+  "CMakeFiles/msa_core.dir/hardware.cpp.o"
+  "CMakeFiles/msa_core.dir/hardware.cpp.o.d"
+  "CMakeFiles/msa_core.dir/machine_builder.cpp.o"
+  "CMakeFiles/msa_core.dir/machine_builder.cpp.o.d"
+  "CMakeFiles/msa_core.dir/module.cpp.o"
+  "CMakeFiles/msa_core.dir/module.cpp.o.d"
+  "CMakeFiles/msa_core.dir/perfmodel.cpp.o"
+  "CMakeFiles/msa_core.dir/perfmodel.cpp.o.d"
+  "CMakeFiles/msa_core.dir/scheduler.cpp.o"
+  "CMakeFiles/msa_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/msa_core.dir/workload.cpp.o"
+  "CMakeFiles/msa_core.dir/workload.cpp.o.d"
+  "libmsa_core.a"
+  "libmsa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msa_data.dir/storage.cpp.o"
+  "CMakeFiles/msa_data.dir/storage.cpp.o.d"
+  "CMakeFiles/msa_data.dir/synthetic.cpp.o"
+  "CMakeFiles/msa_data.dir/synthetic.cpp.o.d"
+  "libmsa_data.a"
+  "libmsa_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msa_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

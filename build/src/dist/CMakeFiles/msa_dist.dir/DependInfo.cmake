@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/compression.cpp" "src/dist/CMakeFiles/msa_dist.dir/compression.cpp.o" "gcc" "src/dist/CMakeFiles/msa_dist.dir/compression.cpp.o.d"
+  "/root/repo/src/dist/distributed.cpp" "src/dist/CMakeFiles/msa_dist.dir/distributed.cpp.o" "gcc" "src/dist/CMakeFiles/msa_dist.dir/distributed.cpp.o.d"
+  "/root/repo/src/dist/pipeline.cpp" "src/dist/CMakeFiles/msa_dist.dir/pipeline.cpp.o" "gcc" "src/dist/CMakeFiles/msa_dist.dir/pipeline.cpp.o.d"
+  "/root/repo/src/dist/sync_batchnorm.cpp" "src/dist/CMakeFiles/msa_dist.dir/sync_batchnorm.cpp.o" "gcc" "src/dist/CMakeFiles/msa_dist.dir/sync_batchnorm.cpp.o.d"
+  "/root/repo/src/dist/zero.cpp" "src/dist/CMakeFiles/msa_dist.dir/zero.cpp.o" "gcc" "src/dist/CMakeFiles/msa_dist.dir/zero.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/msa_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/msa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/msa_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/msa_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msa_dist.dir/compression.cpp.o"
+  "CMakeFiles/msa_dist.dir/compression.cpp.o.d"
+  "CMakeFiles/msa_dist.dir/distributed.cpp.o"
+  "CMakeFiles/msa_dist.dir/distributed.cpp.o.d"
+  "CMakeFiles/msa_dist.dir/pipeline.cpp.o"
+  "CMakeFiles/msa_dist.dir/pipeline.cpp.o.d"
+  "CMakeFiles/msa_dist.dir/sync_batchnorm.cpp.o"
+  "CMakeFiles/msa_dist.dir/sync_batchnorm.cpp.o.d"
+  "CMakeFiles/msa_dist.dir/zero.cpp.o"
+  "CMakeFiles/msa_dist.dir/zero.cpp.o.d"
+  "libmsa_dist.a"
+  "libmsa_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msa_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msa_hpc.dir/jacobi.cpp.o"
+  "CMakeFiles/msa_hpc.dir/jacobi.cpp.o.d"
+  "libmsa_hpc.a"
+  "libmsa_hpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msa_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

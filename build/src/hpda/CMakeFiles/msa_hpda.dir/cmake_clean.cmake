@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msa_hpda.dir/executor.cpp.o"
+  "CMakeFiles/msa_hpda.dir/executor.cpp.o.d"
+  "libmsa_hpda.a"
+  "libmsa_hpda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msa_hpda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

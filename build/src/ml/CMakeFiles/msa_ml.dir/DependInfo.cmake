@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cascade.cpp" "src/ml/CMakeFiles/msa_ml.dir/cascade.cpp.o" "gcc" "src/ml/CMakeFiles/msa_ml.dir/cascade.cpp.o.d"
+  "/root/repo/src/ml/dkmeans.cpp" "src/ml/CMakeFiles/msa_ml.dir/dkmeans.cpp.o" "gcc" "src/ml/CMakeFiles/msa_ml.dir/dkmeans.cpp.o.d"
+  "/root/repo/src/ml/forest.cpp" "src/ml/CMakeFiles/msa_ml.dir/forest.cpp.o" "gcc" "src/ml/CMakeFiles/msa_ml.dir/forest.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/msa_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/msa_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/msa_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/msa_ml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/msa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/msa_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/msa_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

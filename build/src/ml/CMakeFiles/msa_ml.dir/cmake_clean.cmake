@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msa_ml.dir/cascade.cpp.o"
+  "CMakeFiles/msa_ml.dir/cascade.cpp.o.d"
+  "CMakeFiles/msa_ml.dir/dkmeans.cpp.o"
+  "CMakeFiles/msa_ml.dir/dkmeans.cpp.o.d"
+  "CMakeFiles/msa_ml.dir/forest.cpp.o"
+  "CMakeFiles/msa_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/msa_ml.dir/metrics.cpp.o"
+  "CMakeFiles/msa_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/msa_ml.dir/svm.cpp.o"
+  "CMakeFiles/msa_ml.dir/svm.cpp.o.d"
+  "libmsa_ml.a"
+  "libmsa_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msa_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/msa_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/msa_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/msa_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/msa_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/gru.cpp" "src/nn/CMakeFiles/msa_nn.dir/gru.cpp.o" "gcc" "src/nn/CMakeFiles/msa_nn.dir/gru.cpp.o.d"
+  "/root/repo/src/nn/layers_basic.cpp" "src/nn/CMakeFiles/msa_nn.dir/layers_basic.cpp.o" "gcc" "src/nn/CMakeFiles/msa_nn.dir/layers_basic.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/msa_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/msa_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/msa_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/msa_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/nn/CMakeFiles/msa_nn.dir/models.cpp.o" "gcc" "src/nn/CMakeFiles/msa_nn.dir/models.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/nn/CMakeFiles/msa_nn.dir/norm.cpp.o" "gcc" "src/nn/CMakeFiles/msa_nn.dir/norm.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/msa_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/msa_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/nn/CMakeFiles/msa_nn.dir/residual.cpp.o" "gcc" "src/nn/CMakeFiles/msa_nn.dir/residual.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/msa_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/msa_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/msa_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msa_nn.dir/activations.cpp.o"
+  "CMakeFiles/msa_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/msa_nn.dir/conv.cpp.o"
+  "CMakeFiles/msa_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/msa_nn.dir/gru.cpp.o"
+  "CMakeFiles/msa_nn.dir/gru.cpp.o.d"
+  "CMakeFiles/msa_nn.dir/layers_basic.cpp.o"
+  "CMakeFiles/msa_nn.dir/layers_basic.cpp.o.d"
+  "CMakeFiles/msa_nn.dir/loss.cpp.o"
+  "CMakeFiles/msa_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/msa_nn.dir/lstm.cpp.o"
+  "CMakeFiles/msa_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/msa_nn.dir/models.cpp.o"
+  "CMakeFiles/msa_nn.dir/models.cpp.o.d"
+  "CMakeFiles/msa_nn.dir/norm.cpp.o"
+  "CMakeFiles/msa_nn.dir/norm.cpp.o.d"
+  "CMakeFiles/msa_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/msa_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/msa_nn.dir/residual.cpp.o"
+  "CMakeFiles/msa_nn.dir/residual.cpp.o.d"
+  "CMakeFiles/msa_nn.dir/serialize.cpp.o"
+  "CMakeFiles/msa_nn.dir/serialize.cpp.o.d"
+  "libmsa_nn.a"
+  "libmsa_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msa_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

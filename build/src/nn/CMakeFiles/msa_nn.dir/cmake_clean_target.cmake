@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmsa_nn.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quantum/qa_svm.cpp" "src/quantum/CMakeFiles/msa_quantum.dir/qa_svm.cpp.o" "gcc" "src/quantum/CMakeFiles/msa_quantum.dir/qa_svm.cpp.o.d"
+  "/root/repo/src/quantum/qubo.cpp" "src/quantum/CMakeFiles/msa_quantum.dir/qubo.cpp.o" "gcc" "src/quantum/CMakeFiles/msa_quantum.dir/qubo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/msa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/msa_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/msa_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/msa_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

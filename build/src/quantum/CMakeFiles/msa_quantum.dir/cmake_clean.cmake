@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msa_quantum.dir/qa_svm.cpp.o"
+  "CMakeFiles/msa_quantum.dir/qa_svm.cpp.o.d"
+  "CMakeFiles/msa_quantum.dir/qubo.cpp.o"
+  "CMakeFiles/msa_quantum.dir/qubo.cpp.o.d"
+  "libmsa_quantum.a"
+  "libmsa_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msa_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

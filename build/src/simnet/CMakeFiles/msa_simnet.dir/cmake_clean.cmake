@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msa_simnet.dir/collective.cpp.o"
+  "CMakeFiles/msa_simnet.dir/collective.cpp.o.d"
+  "CMakeFiles/msa_simnet.dir/fabric.cpp.o"
+  "CMakeFiles/msa_simnet.dir/fabric.cpp.o.d"
+  "CMakeFiles/msa_simnet.dir/machine.cpp.o"
+  "CMakeFiles/msa_simnet.dir/machine.cpp.o.d"
+  "libmsa_simnet.a"
+  "libmsa_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msa_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

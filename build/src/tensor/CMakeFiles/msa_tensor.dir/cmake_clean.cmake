@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msa_tensor.dir/ops.cpp.o"
+  "CMakeFiles/msa_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/msa_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/msa_tensor.dir/tensor.cpp.o.d"
+  "libmsa_tensor.a"
+  "libmsa_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msa_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

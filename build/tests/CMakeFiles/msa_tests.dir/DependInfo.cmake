@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_batch.cpp" "tests/CMakeFiles/msa_tests.dir/test_batch.cpp.o" "gcc" "tests/CMakeFiles/msa_tests.dir/test_batch.cpp.o.d"
+  "/root/repo/tests/test_cloud.cpp" "tests/CMakeFiles/msa_tests.dir/test_cloud.cpp.o" "gcc" "tests/CMakeFiles/msa_tests.dir/test_cloud.cpp.o.d"
+  "/root/repo/tests/test_comm.cpp" "tests/CMakeFiles/msa_tests.dir/test_comm.cpp.o" "gcc" "tests/CMakeFiles/msa_tests.dir/test_comm.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/msa_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/msa_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_data_hpda.cpp" "tests/CMakeFiles/msa_tests.dir/test_data_hpda.cpp.o" "gcc" "tests/CMakeFiles/msa_tests.dir/test_data_hpda.cpp.o.d"
+  "/root/repo/tests/test_dist.cpp" "tests/CMakeFiles/msa_tests.dir/test_dist.cpp.o" "gcc" "tests/CMakeFiles/msa_tests.dir/test_dist.cpp.o.d"
+  "/root/repo/tests/test_dist_advanced.cpp" "tests/CMakeFiles/msa_tests.dir/test_dist_advanced.cpp.o" "gcc" "tests/CMakeFiles/msa_tests.dir/test_dist_advanced.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/msa_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/msa_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_hpc.cpp" "tests/CMakeFiles/msa_tests.dir/test_hpc.cpp.o" "gcc" "tests/CMakeFiles/msa_tests.dir/test_hpc.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/msa_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/msa_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_ml.cpp" "tests/CMakeFiles/msa_tests.dir/test_ml.cpp.o" "gcc" "tests/CMakeFiles/msa_tests.dir/test_ml.cpp.o.d"
+  "/root/repo/tests/test_nn_gradcheck.cpp" "tests/CMakeFiles/msa_tests.dir/test_nn_gradcheck.cpp.o" "gcc" "tests/CMakeFiles/msa_tests.dir/test_nn_gradcheck.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/msa_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/msa_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_quantum.cpp" "tests/CMakeFiles/msa_tests.dir/test_quantum.cpp.o" "gcc" "tests/CMakeFiles/msa_tests.dir/test_quantum.cpp.o.d"
+  "/root/repo/tests/test_simnet.cpp" "tests/CMakeFiles/msa_tests.dir/test_simnet.cpp.o" "gcc" "tests/CMakeFiles/msa_tests.dir/test_simnet.cpp.o.d"
+  "/root/repo/tests/test_workflows.cpp" "tests/CMakeFiles/msa_tests.dir/test_workflows.cpp.o" "gcc" "tests/CMakeFiles/msa_tests.dir/test_workflows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/msa_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/msa_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/msa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/msa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/msa_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/msa_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantum/CMakeFiles/msa_quantum.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpda/CMakeFiles/msa_hpda.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/msa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/msa_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/msa_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
