@@ -124,6 +124,21 @@ void BM_AnnealerSweeps(benchmark::State& state) {
 }
 BENCHMARK(BM_AnnealerSweeps)->Arg(32)->Arg(64)->Arg(128);
 
+void BM_Transpose(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Rng rng(12);
+  tensor::Tensor a = tensor::Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    auto t = tensor::transpose(a);
+    benchmark::DoNotOptimize(t.data());
+  }
+  state.counters["GB/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * static_cast<double>(n) * sizeof(float) *
+          static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Transpose)->Arg(256)->Arg(1024);
+
 void BM_Im2Col(benchmark::State& state) {
   tensor::Rng rng(11);
   tensor::Tensor x = tensor::Tensor::randn({8, 32, 32}, rng);

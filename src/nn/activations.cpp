@@ -3,35 +3,50 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "par/pool.hpp"
+
 namespace msa::nn {
+
+namespace {
+// Grain for elementwise loops: large enough that chunk dispatch is noise.
+constexpr std::size_t kEwGrain = 1 << 14;
+}  // namespace
 
 Tensor Sigmoid::forward(const Tensor& x, bool /*training*/) {
   y_ = Tensor(x.shape());
-  for (std::size_t i = 0; i < x.numel(); ++i) {
-    y_[i] = 1.0f / (1.0f + std::exp(-x[i]));
-  }
+  par::parallel_for(0, x.numel(), kEwGrain, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      y_[i] = 1.0f / (1.0f + std::exp(-x[i]));
+    }
+  });
   return y_;
 }
 
 Tensor Sigmoid::backward(const Tensor& grad_out) {
   Tensor gx(grad_out.shape());
-  for (std::size_t i = 0; i < gx.numel(); ++i) {
-    gx[i] = grad_out[i] * y_[i] * (1.0f - y_[i]);
-  }
+  par::parallel_for(0, gx.numel(), kEwGrain, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      gx[i] = grad_out[i] * y_[i] * (1.0f - y_[i]);
+    }
+  });
   return gx;
 }
 
 Tensor Tanh::forward(const Tensor& x, bool /*training*/) {
   y_ = Tensor(x.shape());
-  for (std::size_t i = 0; i < x.numel(); ++i) y_[i] = std::tanh(x[i]);
+  par::parallel_for(0, x.numel(), kEwGrain, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) y_[i] = std::tanh(x[i]);
+  });
   return y_;
 }
 
 Tensor Tanh::backward(const Tensor& grad_out) {
   Tensor gx(grad_out.shape());
-  for (std::size_t i = 0; i < gx.numel(); ++i) {
-    gx[i] = grad_out[i] * (1.0f - y_[i] * y_[i]);
-  }
+  par::parallel_for(0, gx.numel(), kEwGrain, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      gx[i] = grad_out[i] * (1.0f - y_[i] * y_[i]);
+    }
+  });
   return gx;
 }
 
@@ -53,26 +68,28 @@ Tensor LayerNorm::forward(const Tensor& x, bool /*training*/) {
   Tensor y(x.shape());
   xhat_ = Tensor(x.shape());
   inv_std_.assign(rows, 0.0f);
-  for (std::size_t r = 0; r < rows; ++r) {
-    const float* in = x.data() + r * features_;
-    double mean = 0.0;
-    for (std::size_t j = 0; j < features_; ++j) mean += in[j];
-    mean /= static_cast<double>(features_);
-    double var = 0.0;
-    for (std::size_t j = 0; j < features_; ++j) {
-      const double d = in[j] - mean;
-      var += d * d;
+  par::parallel_for(0, rows, 8, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t r = rb; r < re; ++r) {
+      const float* in = x.data() + r * features_;
+      double mean = 0.0;
+      for (std::size_t j = 0; j < features_; ++j) mean += in[j];
+      mean /= static_cast<double>(features_);
+      double var = 0.0;
+      for (std::size_t j = 0; j < features_; ++j) {
+        const double d = in[j] - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(features_);
+      const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+      inv_std_[r] = inv;
+      float* xh = xhat_.data() + r * features_;
+      float* out = y.data() + r * features_;
+      for (std::size_t j = 0; j < features_; ++j) {
+        xh[j] = (in[j] - static_cast<float>(mean)) * inv;
+        out[j] = gamma_[j] * xh[j] + beta_[j];
+      }
     }
-    var /= static_cast<double>(features_);
-    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
-    inv_std_[r] = inv;
-    float* xh = xhat_.data() + r * features_;
-    float* out = y.data() + r * features_;
-    for (std::size_t j = 0; j < features_; ++j) {
-      xh[j] = (in[j] - static_cast<float>(mean)) * inv;
-      out[j] = gamma_[j] * xh[j] + beta_[j];
-    }
-  }
+  });
   return y;
 }
 
@@ -80,23 +97,39 @@ Tensor LayerNorm::backward(const Tensor& grad_out) {
   const std::size_t rows = grad_out.numel() / features_;
   const auto n = static_cast<float>(features_);
   Tensor gx(in_shape_);
-  for (std::size_t r = 0; r < rows; ++r) {
-    const float* g = grad_out.data() + r * features_;
-    const float* xh = xhat_.data() + r * features_;
-    float sum_g = 0.0f, sum_gx = 0.0f;
-    for (std::size_t j = 0; j < features_; ++j) {
-      const float gg = g[j] * gamma_[j];
-      sum_g += gg;
-      sum_gx += gg * xh[j];
-      ggamma_[j] += g[j] * xh[j];
-      gbeta_[j] += g[j];
+  // Pass 1: input gradients, parallel over rows (disjoint outputs).
+  par::parallel_for(0, rows, 8, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t r = rb; r < re; ++r) {
+      const float* g = grad_out.data() + r * features_;
+      const float* xh = xhat_.data() + r * features_;
+      float sum_g = 0.0f, sum_gx = 0.0f;
+      for (std::size_t j = 0; j < features_; ++j) {
+        const float gg = g[j] * gamma_[j];
+        sum_g += gg;
+        sum_gx += gg * xh[j];
+      }
+      float* out = gx.data() + r * features_;
+      for (std::size_t j = 0; j < features_; ++j) {
+        const float gg = g[j] * gamma_[j];
+        out[j] = inv_std_[r] * (gg - (sum_g + xh[j] * sum_gx) / n);
+      }
     }
-    float* out = gx.data() + r * features_;
-    for (std::size_t j = 0; j < features_; ++j) {
-      const float gg = g[j] * gamma_[j];
-      out[j] = inv_std_[r] * (gg - (sum_g + xh[j] * sum_gx) / n);
+  });
+  // Pass 2: parameter gradients, parallel over features; each feature sums
+  // its column over rows in fixed row order (deterministic for any pool
+  // size).
+  par::parallel_for(0, features_, 16, [&](std::size_t jb, std::size_t je) {
+    for (std::size_t j = jb; j < je; ++j) {
+      float gg = 0.0f, gb = 0.0f;
+      for (std::size_t r = 0; r < rows; ++r) {
+        const float g = grad_out[r * features_ + j];
+        gg += g * xhat_[r * features_ + j];
+        gb += g;
+      }
+      ggamma_[j] += gg;
+      gbeta_[j] += gb;
     }
-  }
+  });
   return gx;
 }
 

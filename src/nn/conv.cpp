@@ -1,11 +1,26 @@
 #include "nn/conv.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <vector>
 
+#include "par/pool.hpp"
 #include "tensor/ops.hpp"
 
 namespace msa::nn {
+
+namespace {
+// Fixed upper bound on the number of per-chunk gradient partial buffers.
+// The chunk decomposition depends only on the batch size (never on
+// MSA_THREADS), and partials are reduced in chunk order, so weight/bias
+// gradients are bit-identical for every pool size.
+constexpr std::size_t kGradChunks = 8;
+
+std::size_t grad_grain(std::size_t batch) {
+  return (batch + kGradChunks - 1) / kGradChunks;
+}
+}  // namespace
 
 // ---- Conv2D ------------------------------------------------------------------
 
@@ -33,23 +48,29 @@ Tensor Conv2D::forward(const Tensor& x, bool /*training*/) {
   const std::size_t oh = tensor::conv_out_size(H, kernel_, stride_, pad_);
   const std::size_t ow = tensor::conv_out_size(W, kernel_, stride_, pad_);
   const std::size_t rows = in_ch_ * kernel_ * kernel_;
+  const std::size_t ohw = oh * ow;
   Tensor out({B, out_ch_, oh, ow});
-  Tensor cols({rows, oh * ow});
-  Tensor out_s({out_ch_, oh * ow});
-  for (std::size_t s = 0; s < B; ++s) {
-    tensor::im2col(x.data() + s * in_ch_ * H * W, in_ch_, H, W, kernel_,
-                   kernel_, stride_, pad_, cols.data());
-    tensor::gemm(false, false, 1.0f, w_, cols, 0.0f, out_s);
-    float* dst = out.data() + s * out_ch_ * oh * ow;
-    const float* src = out_s.data();
-    for (std::size_t c = 0; c < out_ch_; ++c) {
-      const float bias = has_bias_ ? b_[c] : 0.0f;
-      for (std::size_t i = 0; i < oh * ow; ++i) {
-        dst[c * oh * ow + i] = src[c * oh * ow + i] + bias;
+  // Parallel over samples: each chunk owns a disjoint output slice and uses
+  // per-thread im2col / GEMM scratch from the arena.
+  par::parallel_for(0, B, 1, [&](std::size_t sb, std::size_t se) {
+    par::Scratch scratch;
+    float* cols = scratch.floats(rows * ohw);
+    float* out_s = scratch.floats(out_ch_ * ohw);
+    for (std::size_t s = sb; s < se; ++s) {
+      tensor::im2col(x.data() + s * in_ch_ * H * W, in_ch_, H, W, kernel_,
+                     kernel_, stride_, pad_, cols);
+      tensor::gemm_raw(false, false, out_ch_, ohw, rows, 1.0f, w_.data(),
+                       rows, cols, ohw, 0.0f, out_s);
+      float* dst = out.data() + s * out_ch_ * ohw;
+      for (std::size_t c = 0; c < out_ch_; ++c) {
+        const float bias = has_bias_ ? b_[c] : 0.0f;
+        for (std::size_t i = 0; i < ohw; ++i) {
+          dst[c * ohw + i] = out_s[c * ohw + i] + bias;
+        }
       }
     }
-  }
-  flops_ = static_cast<double>(B) * tensor::gemm_flops(out_ch_, oh * ow, rows);
+  });
+  flops_ = static_cast<double>(B) * tensor::gemm_flops(out_ch_, ohw, rows);
   return out;
 }
 
@@ -58,27 +79,57 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
   const std::size_t B = x.dim(0), H = x.dim(2), W = x.dim(3);
   const std::size_t oh = grad_out.dim(2), ow = grad_out.dim(3);
   const std::size_t rows = in_ch_ * kernel_ * kernel_;
+  const std::size_t ohw = oh * ow;
+  const std::size_t wsize = w_.numel();
   Tensor gx(x.shape());
-  Tensor cols({rows, oh * ow});
-  Tensor gcols({rows, oh * ow});
-  Tensor g_s({out_ch_, oh * ow});
-  for (std::size_t s = 0; s < B; ++s) {
-    // Recompute im2col (memory-cheaper than caching per-sample columns).
-    tensor::im2col(x.data() + s * in_ch_ * H * W, in_ch_, H, W, kernel_,
-                   kernel_, stride_, pad_, cols.data());
-    std::copy(grad_out.data() + s * out_ch_ * oh * ow,
-              grad_out.data() + (s + 1) * out_ch_ * oh * ow, g_s.data());
-    // gW += g_s cols^T
-    tensor::gemm(false, /*trans_b=*/true, 1.0f, g_s, cols, 1.0f, gw_);
-    if (has_bias_) {
-      for (std::size_t c = 0; c < out_ch_; ++c) {
-        for (std::size_t i = 0; i < oh * ow; ++i) gb_[c] += g_s.at2(c, i);
-      }
+  // Input gradients are disjoint per sample; weight/bias gradients
+  // accumulate into per-chunk partials reduced afterwards in chunk order.
+  const std::size_t grain = grad_grain(B);
+  const std::size_t nchunks = par::chunk_count(0, B, grain);
+  std::vector<float> gw_part(nchunks * wsize, 0.0f);
+  std::vector<float> gb_part(has_bias_ ? nchunks * out_ch_ : 0, 0.0f);
+  par::parallel_for_chunked(
+      0, B, grain, [&](std::size_t chunk, std::size_t sb, std::size_t se) {
+        par::Scratch scratch;
+        float* cols = scratch.floats(rows * ohw);
+        float* gcols = scratch.floats(rows * ohw);
+        float* gwp = gw_part.data() + chunk * wsize;
+        for (std::size_t s = sb; s < se; ++s) {
+          // Recompute im2col (memory-cheaper than caching per-sample
+          // columns).
+          tensor::im2col(x.data() + s * in_ch_ * H * W, in_ch_, H, W,
+                         kernel_, kernel_, stride_, pad_, cols);
+          const float* g_s = grad_out.data() + s * out_ch_ * ohw;
+          // gW += g_s cols^T
+          tensor::gemm_raw(false, /*trans_b=*/true, out_ch_, rows, ohw, 1.0f,
+                           g_s, ohw, cols, ohw, 1.0f, gwp);
+          if (has_bias_) {
+            float* gbp = gb_part.data() + chunk * out_ch_;
+            for (std::size_t c = 0; c < out_ch_; ++c) {
+              for (std::size_t i = 0; i < ohw; ++i) gbp[c] += g_s[c * ohw + i];
+            }
+          }
+          // gcols = W^T g_s ; scatter back with col2im.
+          tensor::gemm_raw(/*trans_a=*/true, false, rows, ohw, out_ch_, 1.0f,
+                           w_.data(), rows, g_s, ohw, 0.0f, gcols);
+          tensor::col2im(gcols, in_ch_, H, W, kernel_, kernel_, stride_, pad_,
+                         gx.data() + s * in_ch_ * H * W);
+        }
+      });
+  // Fixed-order reduction of the partials (parallel over elements, chunk
+  // order fixed per element).
+  float* gw = gw_.data();
+  par::parallel_for(0, wsize, 1 << 14, [&](std::size_t b, std::size_t e) {
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      const float* part = gw_part.data() + c * wsize;
+      for (std::size_t i = b; i < e; ++i) gw[i] += part[i];
     }
-    // gcols = W^T g_s ; scatter back with col2im.
-    tensor::gemm(/*trans_a=*/true, false, 1.0f, w_, g_s, 0.0f, gcols);
-    tensor::col2im(gcols.data(), in_ch_, H, W, kernel_, kernel_, stride_,
-                   pad_, gx.data() + s * in_ch_ * H * W);
+  });
+  if (has_bias_) {
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      const float* part = gb_part.data() + c * out_ch_;
+      for (std::size_t i = 0; i < out_ch_; ++i) gb_[i] += part[i];
+    }
   }
   return gx;
 }
@@ -116,24 +167,26 @@ Tensor Conv1D::forward(const Tensor& x, bool /*training*/) {
   const std::size_t B = x.dim(0), T = x.dim(2);
   const std::size_t ot = tensor::conv_out_size(T, kernel_, stride_, pad_);
   Tensor out({B, out_ch_, ot});
-  for (std::size_t s = 0; s < B; ++s) {
-    for (std::size_t f = 0; f < out_ch_; ++f) {
-      for (std::size_t o = 0; o < ot; ++o) {
-        float acc = b_[f];
-        for (std::size_t c = 0; c < in_ch_; ++c) {
-          for (std::size_t k = 0; k < kernel_; ++k) {
-            const std::ptrdiff_t t =
-                static_cast<std::ptrdiff_t>(o * stride_ + k) -
-                static_cast<std::ptrdiff_t>(pad_);
-            if (t < 0 || t >= static_cast<std::ptrdiff_t>(T)) continue;
-            acc += w_.at3(f, c, k) *
-                   x.at3(s, c, static_cast<std::size_t>(t));
+  par::parallel_for(0, B, 1, [&](std::size_t sb, std::size_t se) {
+    for (std::size_t s = sb; s < se; ++s) {
+      for (std::size_t f = 0; f < out_ch_; ++f) {
+        for (std::size_t o = 0; o < ot; ++o) {
+          float acc = b_[f];
+          for (std::size_t c = 0; c < in_ch_; ++c) {
+            for (std::size_t k = 0; k < kernel_; ++k) {
+              const std::ptrdiff_t t =
+                  static_cast<std::ptrdiff_t>(o * stride_ + k) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (t < 0 || t >= static_cast<std::ptrdiff_t>(T)) continue;
+              acc += w_.at3(f, c, k) *
+                     x.at3(s, c, static_cast<std::size_t>(t));
+            }
           }
+          out.at3(s, f, o) = acc;
         }
-        out.at3(s, f, o) = acc;
       }
     }
-  }
+  });
   flops_ = 2.0 * static_cast<double>(B * out_ch_ * ot * in_ch_ * kernel_);
   return out;
 }
@@ -142,24 +195,44 @@ Tensor Conv1D::backward(const Tensor& grad_out) {
   const Tensor& x = x_cache_;
   const std::size_t B = x.dim(0), T = x.dim(2);
   const std::size_t ot = grad_out.dim(2);
+  const std::size_t wsize = w_.numel();
   Tensor gx(x.shape());
-  for (std::size_t s = 0; s < B; ++s) {
-    for (std::size_t f = 0; f < out_ch_; ++f) {
-      for (std::size_t o = 0; o < ot; ++o) {
-        const float g = grad_out.at3(s, f, o);
-        gb_[f] += g;
-        for (std::size_t c = 0; c < in_ch_; ++c) {
-          for (std::size_t k = 0; k < kernel_; ++k) {
-            const std::ptrdiff_t t =
-                static_cast<std::ptrdiff_t>(o * stride_ + k) -
-                static_cast<std::ptrdiff_t>(pad_);
-            if (t < 0 || t >= static_cast<std::ptrdiff_t>(T)) continue;
-            gw_.at3(f, c, k) += g * x.at3(s, c, static_cast<std::size_t>(t));
-            gx.at3(s, c, static_cast<std::size_t>(t)) += g * w_.at3(f, c, k);
+  // Same scheme as Conv2D::backward: disjoint gx per sample, per-chunk
+  // weight/bias partials reduced in fixed chunk order.
+  const std::size_t grain = grad_grain(B);
+  const std::size_t nchunks = par::chunk_count(0, B, grain);
+  std::vector<float> gw_part(nchunks * wsize, 0.0f);
+  std::vector<float> gb_part(nchunks * out_ch_, 0.0f);
+  par::parallel_for_chunked(
+      0, B, grain, [&](std::size_t chunk, std::size_t sb, std::size_t se) {
+        float* gwp = gw_part.data() + chunk * wsize;
+        float* gbp = gb_part.data() + chunk * out_ch_;
+        for (std::size_t s = sb; s < se; ++s) {
+          for (std::size_t f = 0; f < out_ch_; ++f) {
+            for (std::size_t o = 0; o < ot; ++o) {
+              const float g = grad_out.at3(s, f, o);
+              gbp[f] += g;
+              for (std::size_t c = 0; c < in_ch_; ++c) {
+                for (std::size_t k = 0; k < kernel_; ++k) {
+                  const std::ptrdiff_t t =
+                      static_cast<std::ptrdiff_t>(o * stride_ + k) -
+                      static_cast<std::ptrdiff_t>(pad_);
+                  if (t < 0 || t >= static_cast<std::ptrdiff_t>(T)) continue;
+                  gwp[(f * in_ch_ + c) * kernel_ + k] +=
+                      g * x.at3(s, c, static_cast<std::size_t>(t));
+                  gx.at3(s, c, static_cast<std::size_t>(t)) +=
+                      g * w_.at3(f, c, k);
+                }
+              }
+            }
           }
         }
-      }
-    }
+      });
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const float* gwp = gw_part.data() + c * wsize;
+    const float* gbp = gb_part.data() + c * out_ch_;
+    for (std::size_t i = 0; i < wsize; ++i) gw_[i] += gwp[i];
+    for (std::size_t i = 0; i < out_ch_; ++i) gb_[i] += gbp[i];
   }
   return gx;
 }
@@ -176,10 +249,12 @@ Tensor MaxPool2D::forward(const Tensor& x, bool /*training*/) {
   const std::size_t ow = tensor::conv_out_size(W, kernel_, stride_, 0);
   Tensor out({B, C, oh, ow});
   argmax_.assign(out.numel(), 0);
-  std::size_t oi = 0;
-  for (std::size_t s = 0; s < B; ++s) {
-    for (std::size_t c = 0; c < C; ++c) {
-      const float* plane = x.data() + (s * C + c) * H * W;
+  // Parallel over (sample, channel) planes; each plane's outputs are
+  // disjoint.
+  par::parallel_for(0, B * C, 1, [&](std::size_t pb, std::size_t pe) {
+    for (std::size_t p = pb; p < pe; ++p) {
+      const float* plane = x.data() + p * H * W;
+      std::size_t oi = p * oh * ow;
       for (std::size_t i = 0; i < oh; ++i) {
         for (std::size_t j = 0; j < ow; ++j, ++oi) {
           float best = -std::numeric_limits<float>::infinity();
@@ -192,7 +267,7 @@ Tensor MaxPool2D::forward(const Tensor& x, bool /*training*/) {
               const float v = plane[ii * W + jj];
               if (v > best) {
                 best = v;
-                best_idx = (s * C + c) * H * W + ii * W + jj;
+                best_idx = p * H * W + ii * W + jj;
               }
             }
           }
@@ -201,15 +276,22 @@ Tensor MaxPool2D::forward(const Tensor& x, bool /*training*/) {
         }
       }
     }
-  }
+  });
   return out;
 }
 
 Tensor MaxPool2D::backward(const Tensor& grad_out) {
   Tensor gx(in_shape_);
-  for (std::size_t i = 0; i < grad_out.numel(); ++i) {
-    gx[argmax_[i]] += grad_out[i];
-  }
+  // Argmax indices of one output plane all fall inside the matching input
+  // plane, so scattering parallel over planes is race-free.
+  const std::size_t plane_out =
+      grad_out.numel() / (in_shape_[0] * in_shape_[1]);
+  par::parallel_for(
+      0, in_shape_[0] * in_shape_[1], 1, [&](std::size_t pb, std::size_t pe) {
+        for (std::size_t i = pb * plane_out; i < pe * plane_out; ++i) {
+          gx[argmax_[i]] += grad_out[i];
+        }
+      });
   return gx;
 }
 
@@ -220,14 +302,14 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool /*training*/) {
   const std::size_t B = x.dim(0), C = x.dim(1), HW = x.dim(2) * x.dim(3);
   Tensor out({B, C});
   const float inv = 1.0f / static_cast<float>(HW);
-  for (std::size_t s = 0; s < B; ++s) {
-    for (std::size_t c = 0; c < C; ++c) {
-      const float* plane = x.data() + (s * C + c) * HW;
+  par::parallel_for(0, B * C, 4, [&](std::size_t pb, std::size_t pe) {
+    for (std::size_t p = pb; p < pe; ++p) {
+      const float* plane = x.data() + p * HW;
       float acc = 0.0f;
       for (std::size_t i = 0; i < HW; ++i) acc += plane[i];
-      out.at2(s, c) = acc * inv;
+      out[p] = acc * inv;
     }
-  }
+  });
   return out;
 }
 
@@ -236,13 +318,13 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
   Tensor gx(in_shape_);
   const float inv = 1.0f / static_cast<float>(HW);
   const std::size_t B = in_shape_[0], C = in_shape_[1];
-  for (std::size_t s = 0; s < B; ++s) {
-    for (std::size_t c = 0; c < C; ++c) {
-      const float g = grad_out.at2(s, c) * inv;
-      float* plane = gx.data() + (s * C + c) * HW;
+  par::parallel_for(0, B * C, 4, [&](std::size_t pb, std::size_t pe) {
+    for (std::size_t p = pb; p < pe; ++p) {
+      const float g = grad_out[p] * inv;
+      float* plane = gx.data() + p * HW;
       for (std::size_t i = 0; i < HW; ++i) plane[i] = g;
     }
-  }
+  });
   return gx;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "par/pool.hpp"
+
 namespace msa::nn {
 
 BatchNorm2D::BatchNorm2D(std::size_t channels, float momentum, float eps)
@@ -25,7 +27,10 @@ Tensor BatchNorm2D::forward(const Tensor& x, bool training) {
   Tensor y(x.shape());
   xhat_ = Tensor(x.shape());
   inv_std_.assign(C, 0.0f);
-  for (std::size_t c = 0; c < C; ++c) {
+  // Every channel's statistics, running-stat update and normalisation are
+  // independent, so parallelising over channels is deterministic.
+  par::parallel_for(0, C, 1, [&](std::size_t cb, std::size_t ce) {
+  for (std::size_t c = cb; c < ce; ++c) {
     float mean, var;
     if (training) {
       double m = 0.0;
@@ -62,6 +67,7 @@ Tensor BatchNorm2D::forward(const Tensor& x, bool training) {
       }
     }
   }
+  });
   return y;
 }
 
@@ -70,7 +76,8 @@ Tensor BatchNorm2D::backward(const Tensor& grad_out) {
                     HW = in_shape_[2] * in_shape_[3];
   const auto n = static_cast<float>(B * HW);
   Tensor gx(in_shape_);
-  for (std::size_t c = 0; c < C; ++c) {
+  par::parallel_for(0, C, 1, [&](std::size_t cb, std::size_t ce) {
+  for (std::size_t c = cb; c < ce; ++c) {
     // Accumulate sum(g) and sum(g * xhat) for the channel.
     double sum_g = 0.0, sum_gx = 0.0;
     for (std::size_t s = 0; s < B; ++s) {
@@ -95,6 +102,7 @@ Tensor BatchNorm2D::backward(const Tensor& grad_out) {
       }
     }
   }
+  });
   return gx;
 }
 

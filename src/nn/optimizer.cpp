@@ -3,9 +3,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "par/pool.hpp"
+
 namespace msa::nn {
 
 namespace {
+// Parameter updates are elementwise, so chunked execution is deterministic.
+constexpr std::size_t kOptGrain = 1 << 14;
+
 void ensure_state(std::vector<Tensor>& state,
                   const std::vector<Tensor*>& params) {
   if (state.empty()) {
@@ -30,12 +35,16 @@ void Sgd::step(const std::vector<Tensor*>& params,
     const auto lr = static_cast<float>(lr_);
     const auto mu = static_cast<float>(momentum_);
     const auto wd = static_cast<float>(weight_decay_);
-    for (std::size_t j = 0; j < p.numel(); ++j) {
-      const float grad = g[j] + wd * p[j];
-      v[j] = mu * v[j] + grad;
-      const float update = nesterov_ ? grad + mu * v[j] : v[j];
-      p[j] -= lr * update;
-    }
+    par::parallel_for(0, p.numel(), kOptGrain,
+                      [&](std::size_t b, std::size_t e) {
+                        for (std::size_t j = b; j < e; ++j) {
+                          const float grad = g[j] + wd * p[j];
+                          v[j] = mu * v[j] + grad;
+                          const float update =
+                              nesterov_ ? grad + mu * v[j] : v[j];
+                          p[j] -= lr * update;
+                        }
+                      });
   }
 }
 
@@ -59,12 +68,15 @@ void Adam::step(const std::vector<Tensor*>& params,
     const auto b2 = static_cast<float>(beta2_);
     const auto wd = static_cast<float>(weight_decay_);
     const auto eps = static_cast<float>(eps_);
-    for (std::size_t j = 0; j < p.numel(); ++j) {
-      const float grad = g[j] + wd * p[j];
-      m[j] = b1 * m[j] + (1.0f - b1) * grad;
-      v[j] = b2 * v[j] + (1.0f - b2) * grad * grad;
-      p[j] -= lr * m[j] / (std::sqrt(v[j]) + eps);
-    }
+    par::parallel_for(
+        0, p.numel(), kOptGrain, [&](std::size_t b, std::size_t e) {
+          for (std::size_t j = b; j < e; ++j) {
+            const float grad = g[j] + wd * p[j];
+            m[j] = b1 * m[j] + (1.0f - b1) * grad;
+            v[j] = b2 * v[j] + (1.0f - b2) * grad * grad;
+            p[j] -= lr * m[j] / (std::sqrt(v[j]) + eps);
+          }
+        });
   }
 }
 

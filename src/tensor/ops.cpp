@@ -4,39 +4,48 @@
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
+
+#include "par/pool.hpp"
 
 namespace msa::tensor {
 
 namespace {
-constexpr std::size_t kBlock = 64;  // fits comfortably in L1/L2
+constexpr std::size_t kBlock = 64;  // scalar-fallback cache block
+constexpr std::size_t kMR = 4;      // micro-kernel rows
+// Micro-kernel width: 4 x kNR accumulators must fit the register file of
+// the SIMD ISA this TU is compiled for, with room left for operand loads.
+// 8 accumulator vectors also cover FMA latency on all three tiers.
+#if defined(__AVX512F__)
+constexpr std::size_t kNR = 32;  // 8 zmm accumulators
+#elif defined(__AVX__)
+constexpr std::size_t kNR = 16;  // 8 ymm accumulators
+#else
+constexpr std::size_t kNR = 8;  // 8 xmm accumulators (SSE2 baseline)
+#endif
+constexpr std::size_t kKC = 256;  // packed-panel depth
+// Below this many multiply-adds the packing overhead dominates; use the
+// serial scalar kernel.
+constexpr std::size_t kPackedThreshold = 48 * 48 * 48;
+
+// Scale C by beta (beta == 1 is the caller's no-op case).
+void scale_c(float* C, std::size_t count, float beta) {
+  if (beta == 1.0f) return;
+  if (beta == 0.0f) {
+    std::memset(C, 0, count * sizeof(float));
+    return;
+  }
+  par::parallel_for(0, count, 1 << 15, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) C[i] *= beta;
+  });
 }
 
-void gemm(bool trans_a, bool trans_b, float alpha, const Tensor& a,
-          const Tensor& b, float beta, Tensor& c) {
-  if (a.ndim() != 2 || b.ndim() != 2 || c.ndim() != 2) {
-    throw std::invalid_argument("gemm: all operands must be 2-D");
-  }
-  const std::size_t m = trans_a ? a.dim(1) : a.dim(0);
-  const std::size_t k = trans_a ? a.dim(0) : a.dim(1);
-  const std::size_t kb = trans_b ? b.dim(1) : b.dim(0);
-  const std::size_t n = trans_b ? b.dim(0) : b.dim(1);
-  if (k != kb || c.dim(0) != m || c.dim(1) != n) {
-    throw std::invalid_argument("gemm: dimension mismatch");
-  }
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = c.data();
-  const std::size_t lda = a.dim(1);
-  const std::size_t ldb = b.dim(1);
-
-  if (beta != 1.0f) {
-    if (beta == 0.0f) {
-      std::memset(C, 0, m * n * sizeof(float));
-    } else {
-      for (std::size_t i = 0; i < m * n; ++i) C[i] *= beta;
-    }
-  }
-
+// Serial cache-blocked scalar kernel, branch-free inner loop.  Handles all
+// four transpose combinations via accessor lambdas; used for problems too
+// small to amortise packing.
+void gemm_scalar(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+                 std::size_t k, float alpha, const float* A, std::size_t lda,
+                 const float* B, std::size_t ldb, float* C) {
   auto a_at = [&](std::size_t i, std::size_t p) {
     return trans_a ? A[p * lda + i] : A[i * lda + p];
   };
@@ -53,7 +62,6 @@ void gemm(bool trans_a, bool trans_b, float alpha, const Tensor& a,
         for (std::size_t i = i0; i < i1; ++i) {
           for (std::size_t p = p0; p < p1; ++p) {
             const float av = alpha * A[i * lda + p];
-            if (av == 0.0f) continue;
             const float* brow = B + p * ldb;
             float* crow = C + i * n;
             for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
@@ -64,7 +72,6 @@ void gemm(bool trans_a, bool trans_b, float alpha, const Tensor& a,
     return;
   }
 
-  // General path (transposed operands): blocked with accessor lambdas.
   for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
     const std::size_t i1 = std::min(i0 + kBlock, m);
     for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
@@ -83,6 +90,135 @@ void gemm(bool trans_a, bool trans_b, float alpha, const Tensor& a,
   }
 }
 
+// Pack one kMR-row micro-panel of alpha * op(A) for depth [p0, p1), rows
+// [i0, i0 + kMR) clamped to m and zero-padded, laid out so the micro-kernel
+// reads kMR consecutive floats per depth step.
+void pack_a_panel(const float* A, std::size_t lda, bool trans, float alpha,
+                  std::size_t i0, std::size_t m, std::size_t p0,
+                  std::size_t p1, float* Ap) {
+  const std::size_t kc = p1 - p0;
+  const std::size_t mr = std::min(kMR, m - i0);
+  for (std::size_t p = 0; p < kc; ++p) {
+    const std::size_t pp = p0 + p;
+    float* dst = Ap + p * kMR;
+    for (std::size_t r = 0; r < mr; ++r) {
+      const std::size_t i = i0 + r;
+      dst[r] = alpha * (trans ? A[pp * lda + i] : A[i * lda + pp]);
+    }
+    for (std::size_t r = mr; r < kMR; ++r) dst[r] = 0.0f;
+  }
+}
+
+// Pack op(B) rows [p0, p1) across the full width n into kNR-wide panels,
+// zero-padded in the column direction.
+void pack_b(const float* B, std::size_t ldb, bool trans, std::size_t p0,
+            std::size_t p1, std::size_t n, float* Bp) {
+  const std::size_t kc = p1 - p0;
+  const std::size_t npanels = (n + kNR - 1) / kNR;
+  par::parallel_for(0, npanels, 4, [&](std::size_t jb, std::size_t je) {
+    for (std::size_t jp = jb; jp < je; ++jp) {
+      const std::size_t j0 = jp * kNR;
+      const std::size_t jn = std::min(kNR, n - j0);
+      float* panel = Bp + jp * kc * kNR;
+      for (std::size_t p = 0; p < kc; ++p) {
+        const std::size_t pp = p0 + p;
+        float* dst = panel + p * kNR;
+        if (!trans) {
+          const float* src = B + pp * ldb + j0;
+          for (std::size_t jr = 0; jr < jn; ++jr) dst[jr] = src[jr];
+        } else {
+          for (std::size_t jr = 0; jr < jn; ++jr) {
+            dst[jr] = B[(j0 + jr) * ldb + pp];
+          }
+        }
+        for (std::size_t jr = jn; jr < kNR; ++jr) dst[jr] = 0.0f;
+      }
+    }
+  });
+}
+
+// kMR x kNR register-blocked micro-kernel: acc = Ap * Bp over kc depth
+// steps.  No data-dependent branches; the j loop is one vector op under
+// -march=native.
+inline void microkernel(const float* Ap, const float* Bp, std::size_t kc,
+                        float acc[kMR][kNR]) {
+  for (std::size_t r = 0; r < kMR; ++r) {
+    for (std::size_t j = 0; j < kNR; ++j) acc[r][j] = 0.0f;
+  }
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* a = Ap + p * kMR;
+    const float* b = Bp + p * kNR;
+    for (std::size_t r = 0; r < kMR; ++r) {
+      const float av = a[r];
+      for (std::size_t j = 0; j < kNR; ++j) acc[r][j] += av * b[j];
+    }
+  }
+}
+
+// Packed path: pack op(B) per depth block, then parallelise row panels of C
+// across the pool.  Each chunk owns disjoint C rows and the depth-block
+// order is fixed, so the result is bit-identical for any pool size.
+void gemm_packed(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+                 std::size_t k, float alpha, const float* A, std::size_t lda,
+                 const float* B, std::size_t ldb, float* C) {
+  const std::size_t npanels_n = (n + kNR - 1) / kNR;
+  const std::size_t nrow_panels = (m + kMR - 1) / kMR;
+  std::vector<float> Bp(std::min(kKC, k) * npanels_n * kNR);
+  for (std::size_t p0 = 0; p0 < k; p0 += kKC) {
+    const std::size_t p1 = std::min(k, p0 + kKC);
+    const std::size_t kc = p1 - p0;
+    pack_b(B, ldb, trans_b, p0, p1, n, Bp.data());
+    par::parallel_for(0, nrow_panels, 4, [&](std::size_t rb, std::size_t re) {
+      par::Scratch scratch;
+      float* Ap = scratch.floats(kc * kMR);
+      float acc[kMR][kNR];
+      for (std::size_t rp = rb; rp < re; ++rp) {
+        const std::size_t i0 = rp * kMR;
+        const std::size_t mr = std::min(kMR, m - i0);
+        pack_a_panel(A, lda, trans_a, alpha, i0, m, p0, p1, Ap);
+        for (std::size_t jp = 0; jp < npanels_n; ++jp) {
+          microkernel(Ap, Bp.data() + jp * kc * kNR, kc, acc);
+          const std::size_t j0 = jp * kNR;
+          const std::size_t jn = std::min(kNR, n - j0);
+          for (std::size_t r = 0; r < mr; ++r) {
+            float* crow = C + (i0 + r) * n + j0;
+            for (std::size_t jr = 0; jr < jn; ++jr) crow[jr] += acc[r][jr];
+          }
+        }
+      }
+    });
+  }
+}
+
+}  // namespace
+
+void gemm_raw(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+              std::size_t k, float alpha, const float* A, std::size_t lda,
+              const float* B, std::size_t ldb, float beta, float* C) {
+  scale_c(C, m * n, beta);
+  if (m * n * k <= kPackedThreshold) {
+    gemm_scalar(trans_a, trans_b, m, n, k, alpha, A, lda, B, ldb, C);
+  } else {
+    gemm_packed(trans_a, trans_b, m, n, k, alpha, A, lda, B, ldb, C);
+  }
+}
+
+void gemm(bool trans_a, bool trans_b, float alpha, const Tensor& a,
+          const Tensor& b, float beta, Tensor& c) {
+  if (a.ndim() != 2 || b.ndim() != 2 || c.ndim() != 2) {
+    throw std::invalid_argument("gemm: all operands must be 2-D");
+  }
+  const std::size_t m = trans_a ? a.dim(1) : a.dim(0);
+  const std::size_t k = trans_a ? a.dim(0) : a.dim(1);
+  const std::size_t kb = trans_b ? b.dim(1) : b.dim(0);
+  const std::size_t n = trans_b ? b.dim(0) : b.dim(1);
+  if (k != kb || c.dim(0) != m || c.dim(1) != n) {
+    throw std::invalid_argument("gemm: dimension mismatch");
+  }
+  gemm_raw(trans_a, trans_b, m, n, k, alpha, a.data(), a.dim(1), b.data(),
+           b.dim(1), beta, c.data());
+}
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
   Tensor c({a.dim(0), b.dim(1)});
   gemm(false, false, 1.0f, a, b, 0.0f, c);
@@ -91,12 +227,27 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 
 Tensor transpose(const Tensor& a) {
   if (a.ndim() != 2) throw std::invalid_argument("transpose: need 2-D");
-  Tensor t({a.dim(1), a.dim(0)});
-  for (std::size_t i = 0; i < a.dim(0); ++i) {
-    for (std::size_t j = 0; j < a.dim(1); ++j) {
-      t.at2(j, i) = a.at2(i, j);
+  const std::size_t rows = a.dim(0), cols = a.dim(1);
+  Tensor t({cols, rows});
+  const float* src = a.data();
+  float* dst = t.data();
+  // Cache-blocked tile copy, parallel over source-row blocks (each block
+  // writes a disjoint set of destination columns).
+  constexpr std::size_t kTile = 32;
+  const std::size_t row_blocks = (rows + kTile - 1) / kTile;
+  par::parallel_for(0, row_blocks, 2, [&](std::size_t bb, std::size_t be) {
+    for (std::size_t rb = bb; rb < be; ++rb) {
+      const std::size_t i0 = rb * kTile;
+      const std::size_t i1 = std::min(i0 + kTile, rows);
+      for (std::size_t j0 = 0; j0 < cols; j0 += kTile) {
+        const std::size_t j1 = std::min(j0 + kTile, cols);
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* srow = src + i * cols;
+          for (std::size_t j = j0; j < j1; ++j) dst[j * rows + i] = srow[j];
+        }
+      }
     }
-  }
+  });
   return t;
 }
 
@@ -181,17 +332,19 @@ void softmax_rows(Tensor& logits) {
   const std::size_t rows = logits.dim(0);
   const std::size_t cols = logits.dim(1);
   float* d = logits.data();
-  for (std::size_t r = 0; r < rows; ++r) {
-    float* row = d + r * cols;
-    const float mx = *std::max_element(row, row + cols);
-    float denom = 0.0f;
-    for (std::size_t c = 0; c < cols; ++c) {
-      row[c] = std::exp(row[c] - mx);
-      denom += row[c];
+  par::parallel_for(0, rows, 16, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t r = rb; r < re; ++r) {
+      float* row = d + r * cols;
+      const float mx = *std::max_element(row, row + cols);
+      float denom = 0.0f;
+      for (std::size_t c = 0; c < cols; ++c) {
+        row[c] = std::exp(row[c] - mx);
+        denom += row[c];
+      }
+      const float inv = 1.0f / denom;
+      for (std::size_t c = 0; c < cols; ++c) row[c] *= inv;
     }
-    const float inv = 1.0f / denom;
-    for (std::size_t c = 0; c < cols; ++c) row[c] *= inv;
-  }
+  });
 }
 
 }  // namespace msa::tensor

@@ -1,8 +1,14 @@
-// Dense kernels: blocked GEMM, transpose, im2col/col2im, row softmax.
+// Dense kernels: packed multi-threaded GEMM, blocked transpose,
+// im2col/col2im, row softmax.
 //
-// These are the computational core under every DL layer in msa_nn.  GEMM is
-// a cache-blocked triple loop — no SIMD intrinsics, but the blocking keeps
-// it respectable and, more importantly, bit-reproducible across runs.
+// These are the computational core under every DL layer in msa_nn.  GEMM
+// packs op(B) into contiguous kNR-wide panels and op(A) into kMR-tall
+// micro-panels (transposes and alpha folded into the packing), then runs a
+// branch-free 4xN register-blocked micro-kernel, parallelised over row
+// panels on the msa::par pool.  Rows of C are disjoint across chunks and
+// the k-blocking order is fixed, so results are bit-identical for every
+// MSA_THREADS setting.  Small problems fall back to a serial cache-blocked
+// scalar kernel (also branch-free).
 #pragma once
 
 #include <cstddef>
@@ -16,10 +22,19 @@ namespace msa::tensor {
 void gemm(bool trans_a, bool trans_b, float alpha, const Tensor& a,
           const Tensor& b, float beta, Tensor& c);
 
+/// Raw-pointer gemm on row-major buffers: C (m x n, leading dim n) =
+/// alpha * op(A) * op(B) + beta * C, where lda/ldb are the leading
+/// dimensions of A and B *as stored* (before the logical transpose).
+/// Lets layers run GEMM on scratch-arena buffers without wrapping them in
+/// Tensors.
+void gemm_raw(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+              std::size_t k, float alpha, const float* A, std::size_t lda,
+              const float* B, std::size_t ldb, float beta, float* C);
+
 /// Convenience: returns A * B for 2-D tensors.
 [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
 
-/// 2-D transpose.
+/// Cache-blocked 2-D transpose.
 [[nodiscard]] Tensor transpose(const Tensor& a);
 
 /// Flop count of a gemm with these dimensions (for simulated-time charging).
