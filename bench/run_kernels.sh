@@ -13,27 +13,37 @@ BUILD=${BUILD_DIR:-build-bench}
 LABEL=${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabelled)}
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release -DMSA_NATIVE_ARCH=ON >/dev/null
-cmake --build "$BUILD" -j --target bench_kernels >/dev/null
+cmake --build "$BUILD" -j --target bench_kernels --target bench_dist_step >/dev/null
 
 RAW="$BUILD/bench_kernels_raw.json"
 "$BUILD/bench/bench_kernels" \
   --benchmark_filter='BM_Gemm|BM_Conv2D|BM_Transpose|BM_Im2Col' \
   --benchmark_format=json >"$RAW"
 
-python3 - "$RAW" BENCH_kernels.json "$LABEL" <<'PY'
+RAW_DIST="$BUILD/bench_dist_step_raw.json"
+"$BUILD/bench/bench_dist_step" \
+  --benchmark_filter='BM_DistStep' \
+  --benchmark_format=json >"$RAW_DIST"
+
+python3 - "$RAW" "$RAW_DIST" BENCH_kernels.json "$LABEL" <<'PY'
 import json, os, sys
 
-raw_path, out_path, label = sys.argv[1], sys.argv[2], sys.argv[3]
-raw = json.load(open(raw_path))
+raw_paths, out_path, label = sys.argv[1:3], sys.argv[3], sys.argv[4]
+raw = json.load(open(raw_paths[0]))
 
 results = {}
-for b in raw.get("benchmarks", []):
-    entry = {"real_time_ns": round(b["real_time"], 1)}
-    if "GFLOP/s" in b:
-        entry["gflops"] = round(b["GFLOP/s"], 3)
-    if "GB/s" in b:
-        entry["gbps"] = round(b["GB/s"], 3)
-    results[b["name"]] = entry
+for raw_path in raw_paths:
+    for b in json.load(open(raw_path)).get("benchmarks", []):
+        # bench_dist_step reports in ms; normalise everything to ns.
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[b.get("time_unit", "ns")]
+        entry = {"real_time_ns": round(b["real_time"] * scale, 1)}
+        if "GFLOP/s" in b:
+            entry["gflops"] = round(b["GFLOP/s"], 3)
+        if "GB/s" in b:
+            entry["gbps"] = round(b["GB/s"], 3)
+        if "grad GB/s" in b:
+            entry["grad_gbps"] = round(b["grad GB/s"], 3)
+        results[b["name"]] = entry
 
 run = {
     "label": label,

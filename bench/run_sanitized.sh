@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Sanitized tier-1 run: build the whole tree with ASan+UBSan (MSA_SANITIZE)
+# and run the tier-1 ctest suite under it.  Catches lifetime/aliasing bugs
+# the plain build can't — the Storage/ParamStore slab model hands out views
+# into shared buffers, exactly the kind of code sanitizers exist for.
+#
+# Usage: bench/run_sanitized.sh
+# Env:   BUILD_DIR (default build-asan), MSA_THREADS (default: all cores)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD_DIR:-build-asan}
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMSA_SANITIZE=ON >/dev/null
+cmake --build "$BUILD" -j --target msa_tests >/dev/null
+
+# halt_on_error so a sanitizer report fails the run rather than scrolling by.
+export ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}
+export UBSAN_OPTIONS=${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}
+
+cd "$BUILD" && ctest --output-on-failure -j "$(nproc)"

@@ -126,7 +126,11 @@ class Comm {
     if (env.payload.size() != out.size_bytes()) {
       throw std::runtime_error("recv: size mismatch");
     }
-    std::memcpy(out.data(), env.payload.data(), env.payload.size());
+    // memcpy with a null source is UB even for zero bytes (empty chunks
+    // happen in ring phases when the payload is smaller than the ring).
+    if (!env.payload.empty()) {
+      std::memcpy(out.data(), env.payload.data(), env.payload.size());
+    }
   }
 
   /// Receive a message of unknown size.
@@ -138,7 +142,9 @@ class Comm {
       throw std::runtime_error("recv_any_size: payload not a multiple of T");
     }
     std::vector<T> out(env.payload.size() / sizeof(T));
-    std::memcpy(out.data(), env.payload.data(), env.payload.size());
+    if (!env.payload.empty()) {
+      std::memcpy(out.data(), env.payload.data(), env.payload.size());
+    }
     return out;
   }
 
@@ -567,7 +573,9 @@ void Comm::gce_allreduce(std::span<T> data, ReduceOp op) {
   std::vector<T> incoming(data.size());
   for (int child : children_of(vrank)) {
     Envelope env = recv_envelope(child, tag);
-    std::memcpy(incoming.data(), env.payload.data(), env.payload.size());
+    if (!env.payload.empty()) {
+      std::memcpy(incoming.data(), env.payload.data(), env.payload.size());
+    }
     for (std::size_t i = 0; i < data.size(); ++i) {
       data[i] = apply_reduce(op, data[i], incoming[i]);
     }
@@ -579,7 +587,9 @@ void Comm::gce_allreduce(std::span<T> data, ReduceOp op) {
   // Broadcast back, still uncharged.
   if (vrank != 0) {
     Envelope env = recv_envelope(parent_of(vrank), tag);
-    std::memcpy(data.data(), env.payload.data(), env.payload.size());
+    if (!env.payload.empty()) {
+      std::memcpy(data.data(), env.payload.data(), env.payload.size());
+    }
   }
   for (int child : children_of(vrank)) {
     send_bytes(as_bytes(std::span<const T>(data.data(), data.size())), child,

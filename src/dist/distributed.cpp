@@ -15,6 +15,10 @@ void broadcast_parameters(comm::Comm& comm, nn::Layer& model, int root) {
   }
 }
 
+void broadcast_parameters(comm::Comm& comm, nn::ParamStore& store, int root) {
+  comm.bcast(store.param_span(), root);
+}
+
 namespace {
 
 /// Visits gradient tensors grouped into flat buckets of at most bucket_bytes,
@@ -85,6 +89,32 @@ void allreduce_gradients(comm::Comm& comm, nn::Layer& model,
   bucketed_allreduce(comm, grads, options);
 }
 
+void allreduce_gradients(comm::Comm& comm, nn::ParamStore& store,
+                         const AllreduceOptions& options) {
+  if (comm.size() == 1) return;
+  std::span<float> slab = store.grad_span();
+  const std::size_t bucket_elems =
+      std::max<std::size_t>(1, options.bucket_bytes / sizeof(float));
+  const float inv_world = 1.0f / static_cast<float>(comm.size());
+  std::vector<Half> half;  // fp16 scratch, reused across ranges
+  for (std::size_t offset = 0; offset < slab.size(); offset += bucket_elems) {
+    std::span<float> range =
+        slab.subspan(offset, std::min(bucket_elems, slab.size() - offset));
+    if (options.fp16_compression) {
+      half.resize(range.size());
+      for (std::size_t i = 0; i < range.size(); ++i) half[i] = Half(range[i]);
+      comm.allreduce(std::span<Half>(half), comm::ReduceOp::Sum,
+                     options.algorithm);
+      for (std::size_t i = 0; i < range.size(); ++i) {
+        range[i] = half[i].to_float() * inv_world;
+      }
+    } else {
+      comm.allreduce(range, comm::ReduceOp::Sum, options.algorithm);
+      for (float& g : range) g *= inv_world;
+    }
+  }
+}
+
 ShardedSampler::ShardedSampler(std::size_t dataset_size, int rank, int world,
                                std::uint64_t seed)
     : dataset_size_(dataset_size),
@@ -115,18 +145,22 @@ std::vector<std::size_t> ShardedSampler::epoch_indices(
 DistributedTrainer::DistributedTrainer(comm::Comm& comm, nn::Layer& model,
                                        nn::Optimizer& opt,
                                        AllreduceOptions options)
-    : comm_(comm), model_(model), opt_(opt), options_(options) {}
+    : comm_(comm), model_(model), opt_(opt), store_(model), options_(options) {
+  store_.attach_optimizer(opt_);
+}
 
 void DistributedTrainer::reduce_and_apply() {
   // Gradients are per-microbatch means, so the cross-rank average equals the
   // gradient of the global batch; size()==1 needs no reduction at all.
-  allreduce_gradients(comm_, model_, options_);
-  opt_.step(model_.params(), model_.grads());
+  // Both stages run on the contiguous slabs: allreduce over grad-slab
+  // ranges in place, then one flat optimizer sweep.
+  allreduce_gradients(comm_, store_, options_);
+  store_.step(opt_);
 }
 
 StepResult DistributedTrainer::step_classification(
     const nn::Tensor& x, const std::vector<std::int32_t>& labels) {
-  model_.zero_grads();
+  store_.zero_grads();
   nn::Tensor logits = model_.forward(x, /*training=*/true);
   auto res = nn::softmax_cross_entropy(logits, labels);
   model_.backward(res.grad);
@@ -140,7 +174,7 @@ StepResult DistributedTrainer::step_classification(
 StepResult DistributedTrainer::step_regression(const nn::Tensor& x,
                                                const nn::Tensor& target,
                                                bool use_mae) {
-  model_.zero_grads();
+  store_.zero_grads();
   nn::Tensor pred = model_.forward(x, /*training=*/true);
   auto res = use_mae ? nn::mae_loss(pred, target) : nn::mse_loss(pred, target);
   model_.backward(res.grad);

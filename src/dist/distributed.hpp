@@ -20,6 +20,7 @@
 #include "nn/layer.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "nn/param_store.hpp"
 
 namespace msa::dist {
 
@@ -34,10 +35,25 @@ struct AllreduceOptions {
 /// replicas start from identical weights (Horovod broadcast_variables).
 void broadcast_parameters(comm::Comm& comm, nn::Layer& model, int root = 0);
 
+/// Slab path: ONE bcast of the contiguous parameter slab.
+void broadcast_parameters(comm::Comm& comm, nn::ParamStore& store,
+                          int root = 0);
+
 /// Sum-and-average all gradient tensors of @p model across ranks.
 /// Gradients are packed into buckets of at most bucket_bytes and allreduced
-/// bucket-by-bucket (tensor fusion), then scaled by 1/size.
+/// bucket-by-bucket (tensor fusion), then scaled by 1/size.  This is the
+/// pack/scatter reference path for models without a ParamStore; prefer the
+/// slab overload below, which does no copies at all.
 void allreduce_gradients(comm::Comm& comm, nn::Layer& model,
+                         const AllreduceOptions& options = {});
+
+/// Slab path: buckets are just offset ranges of the gradient slab, handed
+/// to comm.allreduce in place and averaged in place — zero per-step
+/// pack/unpack copies in the fp32 path.  fp16 compression converts each
+/// range through a reused scratch buffer.  Bucket boundaries (and hence
+/// reduction order) are identical to the pack/scatter reference, so the
+/// results match bit for bit.
+void allreduce_gradients(comm::Comm& comm, nn::ParamStore& store,
                          const AllreduceOptions& options = {});
 
 /// Deterministic epoch-shuffled shard of [0, dataset_size) for one rank.
@@ -68,10 +84,17 @@ struct StepResult {
 };
 
 /// Data-parallel trainer wrapping a model replica on one rank.
+///
+/// Construction builds a ParamStore over the model (relocating parameters,
+/// gradients, and optimizer state into contiguous slabs), so every step
+/// runs the fused paths: slab-range allreduce and flat optimizer sweeps.
 class DistributedTrainer {
  public:
   DistributedTrainer(comm::Comm& comm, nn::Layer& model, nn::Optimizer& opt,
                      AllreduceOptions options = {});
+
+  /// The slab store backing this trainer's model.
+  [[nodiscard]] nn::ParamStore& param_store() { return store_; }
 
   /// Classification step on this rank's microbatch.  Forward, backward,
   /// gradient allreduce, optimizer step; charges simulated compute time for
@@ -92,6 +115,7 @@ class DistributedTrainer {
   comm::Comm& comm_;
   nn::Layer& model_;
   nn::Optimizer& opt_;
+  nn::ParamStore store_;
   AllreduceOptions options_;
 };
 

@@ -119,11 +119,8 @@ std::vector<std::unique_ptr<nn::Sequential>> partition_model(
   }
 
   std::vector<std::unique_ptr<nn::Sequential>> stages;
-  // Sequential does not expose layer extraction; rebuild by *moving* the
-  // whole container is not possible either, so we re-wrap: Sequential
-  // releases nothing.  Instead, partition by index and move layers via a
-  // release API — added below as a friend-free approach: we reconstruct via
-  // take_layers().
+  // release_layer erases the donor slot, so the next layer to take is
+  // always at index 0; `at` tracks the original index for param accounting.
   std::size_t at = 0;
   std::size_t remaining = total;
   for (int part = 0; part < parts; ++part) {
@@ -135,7 +132,7 @@ std::vector<std::unique_ptr<nn::Sequential>> partition_model(
       // Leave at least one layer per remaining stage.
       const std::size_t layers_left = n_layers - at;
       if (layers_left <= static_cast<std::size_t>(remaining_parts - 1)) break;
-      stage->add(model->release_layer(at));
+      stage->add(model->release_layer(0));
       acc += layer_params[at];
       ++at;
       if (part + 1 < parts && acc >= target && acc > 0) break;
@@ -145,7 +142,7 @@ std::vector<std::unique_ptr<nn::Sequential>> partition_model(
   }
   // Any leftover layers go to the last stage.
   while (at < n_layers) {
-    stages.back()->add(model->release_layer(at));
+    stages.back()->add(model->release_layer(0));
     ++at;
   }
   return stages;

@@ -11,9 +11,8 @@ ZeroOptimizer::ZeroOptimizer(comm::Comm& comm,
   if (!inner_) throw std::invalid_argument("ZeroOptimizer: null inner");
 }
 
-void ZeroOptimizer::initialise(const std::vector<nn::Tensor*>& params) {
-  total_ = 0;
-  for (const nn::Tensor* p : params) total_ += p->numel();
+void ZeroOptimizer::initialise(std::size_t total_elems) {
+  total_ = total_elems;
   const auto P = static_cast<std::size_t>(comm_.size());
   padded_ = (total_ + P - 1) / P * P;
   shard_elems_ = padded_ / P;
@@ -23,24 +22,10 @@ void ZeroOptimizer::initialise(const std::vector<nn::Tensor*>& params) {
   initialised_ = true;
 }
 
-void ZeroOptimizer::step(const std::vector<nn::Tensor*>& params,
-                         const std::vector<nn::Tensor*>& grads) {
-  if (params.size() != grads.size()) {
-    throw std::invalid_argument("ZeroOptimizer::step: list size mismatch");
-  }
-  if (!initialised_) initialise(params);
+std::vector<float> ZeroOptimizer::sharded_update() {
+  const float inv_world = 1.0f / static_cast<float>(comm_.size());
 
-  const auto P = static_cast<std::size_t>(comm_.size());
-  const float inv_world = 1.0f / static_cast<float>(P);
-  const std::size_t my_lo = shard_elems_ * static_cast<std::size_t>(comm_.rank());
-
-  // 1. Flatten gradients and reduce-scatter: my shard receives the sum.
-  std::size_t at = 0;
-  for (const nn::Tensor* g : grads) {
-    std::copy(g->data(), g->data() + g->numel(), flat_.begin() + static_cast<std::ptrdiff_t>(at));
-    at += g->numel();
-  }
-  std::fill(flat_.begin() + static_cast<std::ptrdiff_t>(total_), flat_.end(), 0.0f);
+  // 1. Reduce-scatter the flattened gradients: my shard receives the sum.
   const auto reduced = comm_.size() > 1
                            ? comm_.reduce_scatter(std::span<float>(flat_),
                                                   shard_elems_,
@@ -51,7 +36,42 @@ void ZeroOptimizer::step(const std::vector<nn::Tensor*>& params,
     grad_shard_[i] = reduced[i] * inv_world;
   }
 
-  // 2. Load my parameter slice and run the inner update rule on it.
+  // 2. Run the inner update rule on this rank's slice.
+  std::vector<nn::Tensor*> ps = {&param_shard_};
+  std::vector<nn::Tensor*> gs = {&grad_shard_};
+  inner_->step(ps, gs);
+
+  // 3. Allgather the updated shards.
+  if (comm_.size() > 1) {
+    return comm_.allgather(
+        std::span<const float>(param_shard_.data(), shard_elems_));
+  }
+  return std::vector<float>(param_shard_.data(),
+                            param_shard_.data() + shard_elems_);
+}
+
+void ZeroOptimizer::step(const std::vector<nn::Tensor*>& params,
+                         const std::vector<nn::Tensor*>& grads) {
+  if (params.size() != grads.size()) {
+    throw std::invalid_argument("ZeroOptimizer::step: list size mismatch");
+  }
+  if (!initialised_) {
+    std::size_t total = 0;
+    for (const nn::Tensor* p : params) total += p->numel();
+    initialise(total);
+  }
+
+  const std::size_t my_lo = shard_elems_ * static_cast<std::size_t>(comm_.rank());
+
+  // Flatten gradients tensor by tensor.
+  std::size_t at = 0;
+  for (const nn::Tensor* g : grads) {
+    std::copy(g->data(), g->data() + g->numel(), flat_.begin() + static_cast<std::ptrdiff_t>(at));
+    at += g->numel();
+  }
+  std::fill(flat_.begin() + static_cast<std::ptrdiff_t>(total_), flat_.end(), 0.0f);
+
+  // Load my parameter slice from wherever it lives in the tensor list.
   at = 0;
   for (const nn::Tensor* p : params) {
     const std::size_t lo = at, hi = at + p->numel();
@@ -62,18 +82,10 @@ void ZeroOptimizer::step(const std::vector<nn::Tensor*>& params,
     }
     at = hi;
   }
-  std::vector<nn::Tensor*> ps = {&param_shard_};
-  std::vector<nn::Tensor*> gs = {&grad_shard_};
-  inner_->step(ps, gs);
 
-  // 3. Allgather the updated shards and scatter back into the tensors.
-  std::vector<float> gathered;
-  if (comm_.size() > 1) {
-    gathered = comm_.allgather(
-        std::span<const float>(param_shard_.data(), shard_elems_));
-  } else {
-    gathered.assign(param_shard_.data(), param_shard_.data() + shard_elems_);
-  }
+  const auto gathered = sharded_update();
+
+  // Scatter the updated parameters back into the tensors.
   at = 0;
   for (nn::Tensor* p : params) {
     std::copy(gathered.begin() + static_cast<std::ptrdiff_t>(at),
@@ -81,6 +93,33 @@ void ZeroOptimizer::step(const std::vector<nn::Tensor*>& params,
               p->data());
     at += p->numel();
   }
+}
+
+void ZeroOptimizer::step(nn::ParamStore& store) {
+  if (!initialised_) initialise(store.size());
+  if (store.size() != total_) {
+    throw std::invalid_argument("ZeroOptimizer::step: store size changed");
+  }
+
+  const std::size_t my_lo = shard_elems_ * static_cast<std::size_t>(comm_.rank());
+
+  // Slabs are already flat: one contiguous copy per role instead of the
+  // per-tensor loops above.
+  const std::span<float> g = store.grad_span();
+  std::copy(g.begin(), g.end(), flat_.begin());
+  std::fill(flat_.begin() + static_cast<std::ptrdiff_t>(total_), flat_.end(), 0.0f);
+
+  const std::span<float> p = store.param_span();
+  const std::size_t lo = std::min(my_lo, total_);
+  const std::size_t hi = std::min(my_lo + shard_elems_, total_);
+  std::copy(p.begin() + static_cast<std::ptrdiff_t>(lo),
+            p.begin() + static_cast<std::ptrdiff_t>(hi),
+            param_shard_.data());
+
+  const auto gathered = sharded_update();
+
+  std::copy(gathered.begin(),
+            gathered.begin() + static_cast<std::ptrdiff_t>(total_), p.begin());
 }
 
 }  // namespace msa::dist

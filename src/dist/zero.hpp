@@ -17,6 +17,7 @@
 
 #include "comm/comm.hpp"
 #include "nn/optimizer.hpp"
+#include "nn/param_store.hpp"
 
 namespace msa::dist {
 
@@ -29,6 +30,12 @@ class ZeroOptimizer {
   /// across calls (the flattening layout is fixed on first use).
   void step(const std::vector<nn::Tensor*>& params,
             const std::vector<nn::Tensor*>& grads);
+
+  /// Slab path: shards are contiguous ranges of the store's slabs, so the
+  /// per-tensor flatten/scatter loops collapse into single range copies
+  /// (grad slab -> padded scratch, param slab range -> shard, gathered
+  /// params -> param slab).  Numerically identical to the list path.
+  void step(nn::ParamStore& store);
 
   /// Elements of the parameter space this rank's optimizer state covers.
   [[nodiscard]] std::size_t shard_elements() const { return shard_elems_; }
@@ -45,7 +52,11 @@ class ZeroOptimizer {
   [[nodiscard]] double lr() const { return inner_->lr(); }
 
  private:
-  void initialise(const std::vector<nn::Tensor*>& params);
+  void initialise(std::size_t total_elems);
+  /// Core sharded update: flat_ holds the (padded) flattened gradients and
+  /// param_shard_ this rank's parameter slice; reduce-scatters, runs the
+  /// inner rule, and returns the allgathered updated parameter space.
+  std::vector<float> sharded_update();
 
   comm::Comm& comm_;
   std::unique_ptr<nn::Optimizer> inner_;

@@ -106,10 +106,13 @@ class Sequential : public Layer {
   [[nodiscard]] std::size_t size() const { return layers_.size(); }
   [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
 
-  /// Transfers ownership of layer @p i out (pipeline partitioning).  The
-  /// slot becomes empty; the Sequential must not be executed afterwards.
+  /// Transfers ownership of layer @p i out (pipeline partitioning) and
+  /// erases its slot, so later layers shift down by one.  The donor stays
+  /// executable over its remaining layers — no null slot is left behind.
   [[nodiscard]] std::unique_ptr<Layer> release_layer(std::size_t i) {
-    return std::move(layers_.at(i));
+    auto out = std::move(layers_.at(i));
+    layers_.erase(layers_.begin() + static_cast<std::ptrdiff_t>(i));
+    return out;
   }
 
  private:

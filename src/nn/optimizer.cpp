@@ -22,6 +22,35 @@ void ensure_state(std::vector<Tensor>& state,
 }
 }  // namespace
 
+void Sgd::materialize_state(const std::vector<Tensor*>& params) {
+  ensure_state(velocity_, params);
+}
+
+bool Sgd::step_flat(std::span<float> params, std::span<float> grads,
+                    std::span<float> state) {
+  if (velocity_.empty() || state.size() != params.size() ||
+      grads.size() != params.size()) {
+    return false;
+  }
+  const auto lr = static_cast<float>(lr_);
+  const auto mu = static_cast<float>(momentum_);
+  const auto wd = static_cast<float>(weight_decay_);
+  float* p = params.data();
+  const float* g = grads.data();
+  float* v = state.data();
+  par::parallel_for(0, params.size(), kOptGrain,
+                    [&](std::size_t b, std::size_t e) {
+                      for (std::size_t j = b; j < e; ++j) {
+                        const float grad = g[j] + wd * p[j];
+                        v[j] = mu * v[j] + grad;
+                        const float update =
+                            nesterov_ ? grad + mu * v[j] : v[j];
+                        p[j] -= lr * update;
+                      }
+                    });
+  return true;
+}
+
 void Sgd::step(const std::vector<Tensor*>& params,
                const std::vector<Tensor*>& grads) {
   if (params.size() != grads.size()) {
@@ -46,6 +75,42 @@ void Sgd::step(const std::vector<Tensor*>& params,
                         }
                       });
   }
+}
+
+void Adam::materialize_state(const std::vector<Tensor*>& params) {
+  ensure_state(m_, params);
+  ensure_state(v_, params);
+}
+
+bool Adam::step_flat(std::span<float> params, std::span<float> grads,
+                     std::span<float> state) {
+  // ParamStore slab layout mirrors state_tensors(): [all m | all v].
+  if (m_.empty() || state.size() != 2 * params.size() ||
+      grads.size() != params.size()) {
+    return false;
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const auto lr = static_cast<float>(lr_ * std::sqrt(bc2) / bc1);
+  const auto b1 = static_cast<float>(beta1_);
+  const auto b2 = static_cast<float>(beta2_);
+  const auto wd = static_cast<float>(weight_decay_);
+  const auto eps = static_cast<float>(eps_);
+  float* p = params.data();
+  const float* g = grads.data();
+  float* m = state.data();
+  float* v = state.data() + params.size();
+  par::parallel_for(
+      0, params.size(), kOptGrain, [&](std::size_t b, std::size_t e) {
+        for (std::size_t j = b; j < e; ++j) {
+          const float grad = g[j] + wd * p[j];
+          m[j] = b1 * m[j] + (1.0f - b1) * grad;
+          v[j] = b2 * v[j] + (1.0f - b2) * grad * grad;
+          p[j] -= lr * m[j] / (std::sqrt(v[j]) + eps);
+        }
+      });
+  return true;
 }
 
 void Adam::step(const std::vector<Tensor*>& params,

@@ -2,6 +2,7 @@
 // (the ARDS GRU recipe: lr 1e-4, Sec. IV-B).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -19,6 +20,26 @@ class Optimizer {
   /// indexed positionally).
   virtual void step(const std::vector<Tensor*>& params,
                     const std::vector<Tensor*>& grads) = 0;
+
+  /// Allocate per-parameter state for @p params now (normally it appears
+  /// lazily on the first step()).  ParamStore calls this before relocating
+  /// the state tensors into the optimizer-state slab.
+  virtual void materialize_state(const std::vector<Tensor*>& params) {
+    (void)params;
+  }
+
+  /// Flat-slab update over contiguous parameter/gradient/state memory
+  /// (ParamStore layout: @p state is the state_tensors() concatenation, so
+  /// for Adam [all m | all v]).  Element-wise, hence bit-identical to the
+  /// per-tensor step().  Returns false when the optimizer has no flat path
+  /// or the spans do not match its state; the caller then falls back.
+  virtual bool step_flat(std::span<float> params, std::span<float> grads,
+                         std::span<float> state) {
+    (void)params;
+    (void)grads;
+    (void)state;
+    return false;
+  }
 
   void set_lr(double lr) { lr_ = lr; }
   [[nodiscard]] double lr() const { return lr_; }
@@ -51,6 +72,10 @@ class Sgd : public Optimizer {
   void step(const std::vector<Tensor*>& params,
             const std::vector<Tensor*>& grads) override;
 
+  void materialize_state(const std::vector<Tensor*>& params) override;
+  bool step_flat(std::span<float> params, std::span<float> grads,
+                 std::span<float> state) override;
+
   std::vector<Tensor*> state_tensors() override {
     std::vector<Tensor*> out;
     for (auto& v : velocity_) out.push_back(&v);
@@ -76,6 +101,10 @@ class Adam : public Optimizer {
 
   void step(const std::vector<Tensor*>& params,
             const std::vector<Tensor*>& grads) override;
+
+  void materialize_state(const std::vector<Tensor*>& params) override;
+  bool step_flat(std::span<float> params, std::span<float> grads,
+                 std::span<float> state) override;
 
   std::vector<Tensor*> state_tensors() override {
     std::vector<Tensor*> out;

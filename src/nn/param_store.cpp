@@ -1,0 +1,65 @@
+#include "nn/param_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace msa::nn {
+
+namespace {
+
+/// Moves each tensor's payload into @p slab at consecutive offsets and
+/// rebinds the tensor to be a view of that range.  Returns the element
+/// count consumed.  Layout (registration order) is the caller's contract.
+std::size_t relocate_into(const std::shared_ptr<tensor::Storage>& slab,
+                          const std::vector<Tensor*>& tensors) {
+  std::size_t offset = 0;
+  for (Tensor* t : tensors) {
+    const std::size_t n = t->numel();
+    std::copy(t->data(), t->data() + n, slab->data() + offset);
+    *t = Tensor::view_of(slab, offset, t->shape());
+    offset += n;
+  }
+  return offset;
+}
+
+}  // namespace
+
+ParamStore::ParamStore(Layer& root)
+    : params_(root.params()), grads_(root.grads()) {
+  if (params_.size() != grads_.size()) {
+    throw std::invalid_argument("ParamStore: params/grads list size mismatch");
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i]->numel() != grads_[i]->numel()) {
+      throw std::invalid_argument(
+          "ParamStore: param/grad element count mismatch at tensor " +
+          std::to_string(i));
+    }
+    ranges_.push_back({total_, params_[i]->numel()});
+    total_ += params_[i]->numel();
+  }
+  param_slab_ = std::make_shared<tensor::Storage>(total_);
+  grad_slab_ = std::make_shared<tensor::Storage>(total_);
+  relocate_into(param_slab_, params_);
+  relocate_into(grad_slab_, grads_);
+}
+
+void ParamStore::attach_optimizer(Optimizer& opt) {
+  opt.materialize_state(params_);
+  const auto state = opt.state_tensors();
+  std::size_t state_total = 0;
+  for (const Tensor* t : state) state_total += t->numel();
+  opt_slab_ = std::make_shared<tensor::Storage>(state_total);
+  relocate_into(opt_slab_, state);
+  attached_ = &opt;
+}
+
+void ParamStore::step(Optimizer& opt) {
+  if (attached_ == &opt &&
+      opt.step_flat(param_span(), grad_span(), opt_span())) {
+    return;
+  }
+  opt.step(params_, grads_);
+}
+
+}  // namespace msa::nn

@@ -21,6 +21,71 @@ std::uint64_t read_u64(std::ifstream& is) {
   return v;
 }
 
+/// Writes an archive whose tensors are flat 1-D spans, streaming each span
+/// with a single contiguous write (the slab fast path).
+void save_spans(const std::string& path,
+                const std::vector<std::span<const float>>& spans) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  write_u64(os, kMagic);
+  write_u64(os, spans.size());
+  for (const auto& s : spans) {
+    write_u64(os, 1);  // ndim
+    write_u64(os, s.size());
+    os.write(reinterpret_cast<const char*>(s.data()),
+             static_cast<std::streamsize>(s.size_bytes()));
+  }
+  if (!os) throw std::runtime_error("write failure on " + path);
+}
+
+/// Reads the next archived tensor directly into @p out (flattened); the
+/// stored element count must equal out.size().
+void read_tensor_into(std::ifstream& is, std::span<float> out,
+                      const std::string& what) {
+  const std::uint64_t ndim = read_u64(is);
+  std::uint64_t numel = ndim == 0 ? 0 : 1;
+  for (std::uint64_t d = 0; d < ndim; ++d) numel *= read_u64(is);
+  if (numel != out.size()) {
+    throw std::runtime_error("checkpoint: " + what + " element count " +
+                             std::to_string(numel) + " != expected " +
+                             std::to_string(out.size()));
+  }
+  is.read(reinterpret_cast<char*>(out.data()),
+          static_cast<std::streamsize>(out.size_bytes()));
+  if (!is) throw std::runtime_error("checkpoint: truncated tensor data");
+}
+
+/// Opens an archive and validates the magic; returns the tensor count.
+std::ifstream open_archive(const std::string& path, std::uint64_t& count) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  if (read_u64(is) != kMagic) {
+    throw std::runtime_error(path + " is not an msalib tensor archive");
+  }
+  count = read_u64(is);
+  return is;
+}
+
+/// Scalar optimizer state rides along as one extra 1-D tensor at the end.
+Tensor pack_scalar_state(const Optimizer& optimizer) {
+  const auto scalars = optimizer.scalar_state();
+  Tensor scalar_tensor({scalars.size() + 1});
+  scalar_tensor[0] = static_cast<float>(scalars.size());
+  for (std::size_t i = 0; i < scalars.size(); ++i) {
+    scalar_tensor[i + 1] = static_cast<float>(scalars[i]);
+  }
+  return scalar_tensor;
+}
+
+void unpack_scalar_state(const Tensor& scalar_tensor, Optimizer& optimizer) {
+  const auto n_scalars = static_cast<std::size_t>(scalar_tensor[0]);
+  std::vector<double> scalars;
+  for (std::size_t i = 0; i < n_scalars; ++i) {
+    scalars.push_back(static_cast<double>(scalar_tensor[i + 1]));
+  }
+  optimizer.restore_scalar_state(scalars);
+}
+
 }  // namespace
 
 void save_tensors(const std::string& path,
@@ -83,22 +148,76 @@ void load_parameters(const std::string& path, Layer& model) {
   }
 }
 
+void save_parameters(const std::string& path, ParamStore& store) {
+  const std::span<float> slab = store.param_span();
+  save_spans(path, {std::span<const float>(slab.data(), slab.size())});
+}
+
+void load_parameters(const std::string& path, ParamStore& store) {
+  std::uint64_t count = 0;
+  std::ifstream is = open_archive(path, count);
+  if (count != 1) {
+    throw std::runtime_error("checkpoint: expected one parameter slab, found " +
+                             std::to_string(count) + " tensors");
+  }
+  read_tensor_into(is, store.param_span(), "parameter slab");
+}
+
 Checkpoint save_checkpoint(const std::string& prefix, Layer& model,
                            Optimizer& optimizer) {
   Checkpoint ckpt{prefix + ".params.bin", prefix + ".optstate.bin"};
   save_parameters(ckpt.params_path, model);
   std::vector<const Tensor*> state;
   for (Tensor* t : optimizer.state_tensors()) state.push_back(t);
-  // Scalar state rides along as one extra 1-D tensor at the end.
-  const auto scalars = optimizer.scalar_state();
-  Tensor scalar_tensor({scalars.size() + 1});
-  scalar_tensor[0] = static_cast<float>(scalars.size());
-  for (std::size_t i = 0; i < scalars.size(); ++i) {
-    scalar_tensor[i + 1] = static_cast<float>(scalars[i]);
-  }
+  const Tensor scalar_tensor = pack_scalar_state(optimizer);
   state.push_back(&scalar_tensor);
   save_tensors(ckpt.optimizer_path, state);
   return ckpt;
+}
+
+Checkpoint save_checkpoint(const std::string& prefix, ParamStore& store,
+                           Optimizer& optimizer) {
+  if (store.attached_optimizer() != &optimizer) {
+    throw std::runtime_error(
+        "checkpoint: optimizer is not attached to this ParamStore");
+  }
+  Checkpoint ckpt{prefix + ".params.bin", prefix + ".optstate.bin"};
+  save_parameters(ckpt.params_path, store);
+  const std::span<float> opt_slab = store.opt_span();
+  const Tensor scalar_tensor = pack_scalar_state(optimizer);
+  save_spans(ckpt.optimizer_path,
+             {std::span<const float>(opt_slab.data(), opt_slab.size()),
+              scalar_tensor.flat()});
+  return ckpt;
+}
+
+void load_checkpoint(const Checkpoint& ckpt, ParamStore& store,
+                     Optimizer& optimizer) {
+  if (store.attached_optimizer() != &optimizer) {
+    throw std::runtime_error(
+        "checkpoint: optimizer is not attached to this ParamStore");
+  }
+  load_parameters(ckpt.params_path, store);
+  std::uint64_t count = 0;
+  std::ifstream is = open_archive(ckpt.optimizer_path, count);
+  if (count != 2) {
+    throw std::runtime_error(
+        "checkpoint: expected [state slab, scalars], found " +
+        std::to_string(count) + " tensors");
+  }
+  read_tensor_into(is, store.opt_span(), "optimizer state slab");
+  Tensor scalar_tensor({0});
+  {
+    // The scalar trailer is small; read its header then payload.
+    const std::uint64_t ndim = read_u64(is);
+    std::uint64_t numel = ndim == 0 ? 0 : 1;
+    for (std::uint64_t d = 0; d < ndim; ++d) numel *= read_u64(is);
+    scalar_tensor = Tensor({static_cast<std::size_t>(numel)});
+    is.read(reinterpret_cast<char*>(scalar_tensor.data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    if (!is) throw std::runtime_error("checkpoint: truncated scalar state");
+  }
+  unpack_scalar_state(scalar_tensor, optimizer);
 }
 
 void load_checkpoint(const Checkpoint& ckpt, Layer& model,
@@ -107,13 +226,7 @@ void load_checkpoint(const Checkpoint& ckpt, Layer& model,
   auto loaded = load_tensors(ckpt.optimizer_path);
   if (loaded.empty()) throw std::runtime_error("checkpoint: empty optimizer state");
   // Last tensor holds the scalar state.
-  const Tensor& scalar_tensor = loaded.back();
-  const auto n_scalars = static_cast<std::size_t>(scalar_tensor[0]);
-  std::vector<double> scalars;
-  for (std::size_t i = 0; i < n_scalars; ++i) {
-    scalars.push_back(static_cast<double>(scalar_tensor[i + 1]));
-  }
-  optimizer.restore_scalar_state(scalars);
+  unpack_scalar_state(loaded.back(), optimizer);
   auto state = optimizer.state_tensors();
   if (state.size() != loaded.size() - 1) {
     throw std::runtime_error(

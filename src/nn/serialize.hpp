@@ -6,11 +6,13 @@
 // archive: magic, tensor count, then per tensor (ndim, dims..., fp32 data).
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "nn/layer.hpp"
 #include "nn/optimizer.hpp"
+#include "nn/param_store.hpp"
 
 namespace msa::nn {
 
@@ -27,6 +29,14 @@ void save_parameters(const std::string& path, Layer& model);
 /// Load parameters into @p model; shapes must match exactly.
 void load_parameters(const std::string& path, Layer& model);
 
+/// Slab path: stream the parameter slab as ONE contiguous 1-D tensor
+/// (layout fixed by registration order, see nn::ParamStore).
+void save_parameters(const std::string& path, ParamStore& store);
+
+/// Restore a slab archive written by the overload above; the element count
+/// must match the store's layout.  One contiguous read into the slab.
+void load_parameters(const std::string& path, ParamStore& store);
+
 /// Full training checkpoint: parameters + optimizer state + counters.
 struct Checkpoint {
   std::string params_path;
@@ -40,6 +50,19 @@ struct Checkpoint {
 /// Restores a checkpoint written by save_checkpoint.  The optimizer must
 /// have taken at least one step (so its state layout exists) or be stateless.
 void load_checkpoint(const Checkpoint& ckpt, Layer& model,
+                     Optimizer& optimizer);
+
+/// Slab checkpoint: parameter slab and optimizer-state slab are each
+/// streamed as one contiguous tensor (+ the scalar-state trailer).  The
+/// optimizer must be attached to @p store (ParamStore::attach_optimizer).
+[[nodiscard]] Checkpoint save_checkpoint(const std::string& prefix,
+                                         ParamStore& store,
+                                         Optimizer& optimizer);
+
+/// Restores a slab checkpoint bit-exactly: weights, optimizer tensor state,
+/// and scalar counters.  @p store must have the same layout (same model,
+/// same registration order) and the same optimizer attached.
+void load_checkpoint(const Checkpoint& ckpt, ParamStore& store,
                      Optimizer& optimizer);
 
 }  // namespace msa::nn

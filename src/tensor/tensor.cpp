@@ -13,21 +13,65 @@ std::size_t Tensor::numel_of(const Shape& shape) {
   return shape.empty() ? 0 : n;
 }
 
+void Tensor::assign_deep(const Tensor& other) {
+  shape_ = other.shape_;
+  numel_ = other.numel_;
+  offset_ = 0;
+  view_ = false;
+  storage_ = std::make_shared<Storage>(numel_);
+  base_ = storage_->data();
+  std::copy(other.base_, other.base_ + numel_, base_);
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  if (base_ != nullptr && numel_ == other.numel_) {
+    // Same element count: copy through into the existing range.  For views
+    // this is the only correct behaviour (the slab aliasing must survive);
+    // for owning tensors it just avoids a reallocation.
+    shape_ = other.shape_;
+    std::copy(other.base_, other.base_ + numel_, base_);
+    return *this;
+  }
+  if (view_) {
+    throw std::invalid_argument(
+        "Tensor: cannot size-change a view by assignment");
+  }
+  assign_deep(other);
+  return *this;
+}
+
+Tensor Tensor::view_of(std::shared_ptr<Storage> storage, std::size_t offset,
+                       Shape shape) {
+  const std::size_t n = numel_of(shape);
+  if (!storage || offset + n > storage->size()) {
+    throw std::invalid_argument("Tensor::view_of: range outside storage");
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.storage_ = std::move(storage);
+  t.offset_ = offset;
+  t.numel_ = n;
+  t.base_ = t.storage_->data() + offset;
+  t.view_ = true;
+  return t;
+}
+
 Tensor Tensor::full(Shape shape, float value) {
   Tensor t(std::move(shape));
-  std::fill(t.data_.begin(), t.data_.end(), value);
+  t.fill(value);
   return t;
 }
 
 Tensor Tensor::randn(Shape shape, Rng& rng, float stddev) {
   Tensor t(std::move(shape));
-  for (auto& v : t.data_) v = static_cast<float>(rng.normal()) * stddev;
+  for (float& v : t.flat()) v = static_cast<float>(rng.normal()) * stddev;
   return t;
 }
 
 Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
   Tensor t(std::move(shape));
-  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  for (float& v : t.flat()) v = static_cast<float>(rng.uniform(lo, hi));
   return t;
 }
 
@@ -47,7 +91,7 @@ std::string Tensor::shape_str() const {
 }
 
 Tensor& Tensor::reshape(Shape shape) {
-  if (numel_of(shape) != data_.size()) {
+  if (numel_of(shape) != numel_) {
     throw std::invalid_argument("reshape: element count mismatch");
   }
   shape_ = std::move(shape);
@@ -61,7 +105,7 @@ Tensor Tensor::reshaped(Shape shape) const {
 }
 
 Tensor& Tensor::fill(float v) {
-  std::fill(data_.begin(), data_.end(), v);
+  std::fill(base_, base_ + numel_, v);
   return *this;
 }
 
@@ -74,61 +118,63 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* what) {
 
 Tensor& Tensor::add_(const Tensor& other) {
   check_same_shape(*this, other, "add_");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  for (std::size_t i = 0; i < numel_; ++i) base_[i] += other.base_[i];
   return *this;
 }
 
 Tensor& Tensor::sub_(const Tensor& other) {
   check_same_shape(*this, other, "sub_");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  for (std::size_t i = 0; i < numel_; ++i) base_[i] -= other.base_[i];
   return *this;
 }
 
 Tensor& Tensor::mul_(const Tensor& other) {
   check_same_shape(*this, other, "mul_");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  for (std::size_t i = 0; i < numel_; ++i) base_[i] *= other.base_[i];
   return *this;
 }
 
 Tensor& Tensor::scale_(float s) {
-  for (auto& v : data_) v *= s;
+  for (std::size_t i = 0; i < numel_; ++i) base_[i] *= s;
   return *this;
 }
 
 Tensor& Tensor::axpy_(float alpha, const Tensor& x) {
   check_same_shape(*this, x, "axpy_");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * x.data_[i];
+  for (std::size_t i = 0; i < numel_; ++i) base_[i] += alpha * x.base_[i];
   return *this;
 }
 
 float Tensor::sum() const {
   // Pairwise-ish accumulation in double for stability on large tensors.
   double acc = 0.0;
-  for (float v : data_) acc += v;
+  for (std::size_t i = 0; i < numel_; ++i) acc += base_[i];
   return static_cast<float>(acc);
 }
 
 float Tensor::mean() const {
-  return data_.empty() ? 0.0f : sum() / static_cast<float>(data_.size());
+  return numel_ == 0 ? 0.0f : sum() / static_cast<float>(numel_);
 }
 
 float Tensor::max() const {
-  return *std::max_element(data_.begin(), data_.end());
+  return *std::max_element(base_, base_ + numel_);
 }
 
 float Tensor::min() const {
-  return *std::min_element(data_.begin(), data_.end());
+  return *std::min_element(base_, base_ + numel_);
 }
 
 float Tensor::squared_norm() const {
   double acc = 0.0;
-  for (float v : data_) acc += static_cast<double>(v) * v;
+  for (std::size_t i = 0; i < numel_; ++i) {
+    acc += static_cast<double>(base_[i]) * base_[i];
+  }
   return static_cast<float>(acc);
 }
 
 std::size_t Tensor::argmax() const {
   return static_cast<std::size_t>(
-      std::distance(data_.begin(), std::max_element(data_.begin(), data_.end())));
+      std::distance(base_, std::max_element(base_, base_ + numel_)));
 }
 
 }  // namespace msa::tensor
