@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# ThreadSanitizer tier-1 run: build with MSA_TSAN and run the comm/dist/fault
+# test binaries under it.  The failure model's liveness board (atomic rank
+# states, failure epoch, mailbox pokes) is lock-free state shared across every
+# rank thread — TSan is the tool that proves the ordering story holds.
+#
+# Usage: bench/run_tsan.sh [gtest_filter]
+# Env:   BUILD_DIR (default build-tsan), MSA_THREADS (default: all cores)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD_DIR:-build-tsan}
+FILTER=${1:-Comm*:Dist*:Fault*:Resilient*:Runtime*:Mailbox*}
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMSA_TSAN=ON >/dev/null
+cmake --build "$BUILD" -j --target msa_tests >/dev/null
+
+# halt_on_error so the first report fails the run; second_deadlock_stack aids
+# lock-order diagnostics in the mailbox/liveness interplay.
+export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}
+
+"$BUILD"/tests/msa_tests --gtest_filter="$FILTER"

@@ -12,6 +12,9 @@
 // the algorithm rather than being asserted.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <cstring>
 #include <functional>
@@ -24,6 +27,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "comm/failure.hpp"
 #include "comm/mailbox.hpp"
 #include "simnet/clock.hpp"
 #include "simnet/collective.hpp"
@@ -52,13 +56,148 @@ struct SharedState {
   explicit SharedState(simnet::Machine m)
       : machine(std::move(m)),
         mailboxes(static_cast<std::size_t>(machine.ranks())),
-        clocks(static_cast<std::size_t>(machine.ranks())) {}
+        clocks(static_cast<std::size_t>(machine.ranks())),
+        rank_state(static_cast<std::size_t>(machine.ranks())),
+        straggler_events(static_cast<std::size_t>(machine.ranks())) {}
 
   simnet::Machine machine;
   std::vector<Mailbox> mailboxes;           // indexed by world rank
   std::vector<simnet::SimClock> clocks;     // indexed by world rank
   std::vector<std::uint64_t> bytes_sent =   // traffic accounting per rank
       std::vector<std::uint64_t>(static_cast<std::size_t>(machine.ranks()), 0);
+
+  // ---- liveness board (see failure.hpp) ------------------------------------
+  // One RankState per world rank; failure_epoch increments on every Failed
+  // transition so a recovery rendezvous (rejoin) can notice "the failed set
+  // grew since my communicator last acknowledged it" with one atomic load.
+  std::vector<std::atomic<int>> rank_state;
+  std::atomic<std::uint64_t> failure_epoch{0};
+  std::mutex failed_mutex;
+  std::vector<int> failed_ranks;  // world ranks, guarded by failed_mutex
+
+  // Straggler tolerance accounting: backstop expiries survived per rank.
+  std::vector<std::atomic<std::uint64_t>> straggler_events;
+
+  // ---- collective abandonment board ----------------------------------------
+  // ULFM-revoke-style propagation: a rank that aborts a collective mid-flight
+  // stops forwarding, so peers waiting on its messages would hang.  Rather
+  // than an eager "abort everything on any failure" cascade (whose abort
+  // points depend on thread timing, making recovery rollback points — and
+  // therefore replayed trajectories — nondeterministic), the aborting rank
+  // marks itself abandoned on that communicator and a blocked recv aborts
+  // only when its sender is dead, exited, or abandoned.  Every survivor's
+  // abort point is then a pure function of the collective's message structure
+  // and the fault plan: deterministic across runs and thread counts.
+  std::mutex abandon_mutex;
+  std::map<std::uint64_t, std::vector<char>> comm_abandoned;  // comm -> world flags
+
+  void mark_abandoned(std::uint64_t comm_id, int world_rank) {
+    {
+      std::lock_guard lock(abandon_mutex);
+      auto& flags = comm_abandoned[comm_id];
+      if (flags.empty()) flags.resize(static_cast<std::size_t>(machine.ranks()), 0);
+      flags[static_cast<std::size_t>(world_rank)] = 1;
+    }
+    poke_all();
+  }
+  [[nodiscard]] bool is_abandoned(std::uint64_t comm_id, int world_rank) {
+    std::lock_guard lock(abandon_mutex);
+    auto it = comm_abandoned.find(comm_id);
+    return it != comm_abandoned.end() && !it->second.empty() &&
+           it->second[static_cast<std::size_t>(world_rank)] != 0;
+  }
+  void clear_abandoned(std::uint64_t comm_id) {
+    std::lock_guard lock(abandon_mutex);
+    comm_abandoned.erase(comm_id);
+  }
+
+  // ---- recovery rendezvous board (Comm::rejoin) ----------------------------
+  // Out-of-band agreement per communicator id, modelling a ULFM-style
+  // shrink/agree service.  In-band barriers cannot serve as the recovery
+  // rendezvous: survivors enter recovery at different times with divergent
+  // collective-tag sequences, so their barrier messages cross-talk with the
+  // aborted collective's leftovers.  The board needs no messages and no tags.
+  struct JoinState {
+    std::uint64_t generation = 0;
+    // world rank -> (coll_seq, sim clock) of ranks currently waiting.
+    std::map<int, std::pair<int, double>> arrivals;
+    // completed generation -> agreed (max coll_seq, max clock).
+    std::map<std::uint64_t, std::pair<int, double>> results;
+  };
+  std::mutex join_mutex;
+  std::condition_variable join_cv;
+  std::map<std::uint64_t, JoinState> joins;  // keyed by communicator id
+
+  // Fault-injection hooks; null when no plan is armed (the common case), so
+  // the hot paths pay a single pointer test.
+  std::shared_ptr<FaultHooks> hooks;
+  FailureOptions failure_opts;
+
+  [[nodiscard]] RankState state_of(int world_rank) const {
+    return static_cast<RankState>(
+        rank_state[static_cast<std::size_t>(world_rank)].load(
+            std::memory_order_acquire));
+  }
+
+  /// Clean SPMD return.  Pokes mailboxes so orphaned receives waiting on this
+  /// rank re-check liveness, but does NOT bump the failure epoch: peers still
+  /// draining already-sent messages must not abort spuriously.
+  void mark_exited(int world_rank) {
+    rank_state[static_cast<std::size_t>(world_rank)].store(
+        static_cast<int>(RankState::Exited), std::memory_order_release);
+    poke_all();
+  }
+
+  /// Crash (injected kill or escaped exception).  Bumps the failure epoch so
+  /// every blocked recv in the world aborts and surfaces RankFailedError.
+  void mark_failed(int world_rank) {
+    rank_state[static_cast<std::size_t>(world_rank)].store(
+        static_cast<int>(RankState::Failed), std::memory_order_release);
+    {
+      std::lock_guard lock(failed_mutex);
+      failed_ranks.push_back(world_rank);
+    }
+    failure_epoch.fetch_add(1, std::memory_order_acq_rel);
+    poke_all();
+  }
+
+  /// Sorted world ranks that have Failed so far this run.
+  [[nodiscard]] std::vector<int> failed_snapshot() {
+    std::lock_guard lock(failed_mutex);
+    std::vector<int> out = failed_ranks;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  void poke_all() {
+    for (auto& mb : mailboxes) mb.poke();
+    // Lock-then-notify so a rejoin waiter between its predicate check and its
+    // wait cannot miss the wakeup (same discipline as Mailbox::poke).
+    { std::lock_guard lock(join_mutex); }
+    join_cv.notify_all();
+  }
+
+  /// Reset liveness + fault accounting for a fresh Runtime::run.
+  void reset_run() {
+    for (auto& s : rank_state) {
+      s.store(static_cast<int>(RankState::Alive), std::memory_order_relaxed);
+    }
+    failure_epoch.store(0, std::memory_order_relaxed);
+    {
+      std::lock_guard lock(failed_mutex);
+      failed_ranks.clear();
+    }
+    for (auto& s : straggler_events) s.store(0, std::memory_order_relaxed);
+    for (auto& mb : mailboxes) mb.clear();
+    {
+      std::lock_guard lock(abandon_mutex);
+      comm_abandoned.clear();
+    }
+    {
+      std::lock_guard lock(join_mutex);
+      joins.clear();
+    }
+  }
 
   // Deterministic assignment of communicator ids across threads: the first
   // rank to ask for (parent, split_seq, color) allocates the id, the rest
@@ -376,6 +515,74 @@ class Comm {
   /// Duplicate this communicator (fresh tag space).
   [[nodiscard]] Comm dup() { return split(0, rank()); }
 
+  /// ---- failure semantics ---------------------------------------------------
+
+  /// Announce that this rank reached training step @p step.  The canonical
+  /// fault-injection site: an armed FaultPlan may throw RankKilledError here.
+  /// No-op (one pointer test) when no plan is armed.
+  void progress(int step) {
+    if (FaultHooks* h = state_->hooks.get()) {
+      h->on_step(world_rank(), step, clock().now());
+    }
+  }
+
+  /// Deterministically rebuild this communicator without @p dead_world_ranks.
+  /// Pure function of (parent comm, removed set): every survivor that calls
+  /// shrink with the same dead set gets the same communicator id, and repeated
+  /// calls are idempotent — essential when failures race with recovery.
+  /// Purely local (no communication): survivors may be in arbitrary states.
+  [[nodiscard]] Comm shrink(const std::vector<int>& dead_world_ranks) const;
+
+  /// Recovery rendezvous: block until every member of this communicator has
+  /// also called rejoin, then align all members' collective-tag sequences (to
+  /// the max, so tags of aborted collectives are never reused and their stale
+  /// messages can never match again) and max-sync their simulated clocks plus
+  /// the detection timeout.  Out-of-band (no messages): survivors may arrive
+  /// with arbitrarily divergent tag state, which is exactly the situation
+  /// after an aborted collective.  Throws RankFailedError if the failed set
+  /// grows past this handle's acknowledgement while waiting (caller should
+  /// shrink further and retry) or if a member exited; CommTimeoutError when
+  /// the real-wall-clock backstop expires first.
+  void rejoin();
+
+  /// Identity of this communicator (world is 0; split/shrink children are
+  /// deterministically derived — see shrink()).
+  [[nodiscard]] std::uint64_t id() const { return comm_id_; }
+
+  /// Accept the current failed set: recvs on this handle stop aborting for
+  /// failures already visible now.  Returns the sorted failed world ranks.
+  std::vector<int> acknowledge_failures() {
+    ack_epoch_ = state_->failure_epoch.load(std::memory_order_acquire);
+    return state_->failed_snapshot();
+  }
+
+  /// Sorted world ranks that have failed so far this run.
+  [[nodiscard]] std::vector<int> failed_ranks() const {
+    return state_->failed_snapshot();
+  }
+
+  /// Override the real-wall-clock recv backstop for this handle (seconds; 0
+  /// restores "wait for a liveness event").  @p retries extra doubled waits
+  /// tolerate transient stragglers before CommTimeoutError.
+  void set_wall_backstop(double seconds, int retries = 1) {
+    wall_backstop_s_ = seconds;
+    backstop_retries_ = retries;
+  }
+
+  /// Times this rank survived a backstop expiry and then got its message —
+  /// i.e. transient stragglers absorbed by retry-with-backoff.
+  [[nodiscard]] std::uint64_t straggler_events() const {
+    return state_->straggler_events[static_cast<std::size_t>(world_rank())]
+        .load(std::memory_order_relaxed);
+  }
+
+  /// Drop stale queued messages addressed to this communicator on this rank's
+  /// mailbox (cleanup after abandoning a broken collective).
+  std::size_t purge_pending() {
+    return state_->mailboxes[static_cast<std::size_t>(world_rank())].purge(
+        comm_id_);
+  }
+
  private:
   friend class Runtime;
 
@@ -398,6 +605,13 @@ class Comm {
   void send_bytes(std::span<const std::byte> bytes, int dest, int tag,
                   bool charge_link);
   Envelope recv_envelope(int src, int tag);
+
+  /// True when a blocked recv from @p src (comm rank or kAnySource) can never
+  /// complete: the source (every other member, for any-source) is no longer
+  /// Alive or has abandoned a collective on this communicator — see the
+  /// abandonment board in SharedState for why this is deliberately narrower
+  /// than "any failure anywhere".
+  [[nodiscard]] bool recv_abandoned(int src) const;
 
   template <typename T>
   void recv_internal(std::span<T> out, int src, int tag) {
@@ -469,6 +683,10 @@ class Comm {
   int rank_;
   int coll_seq_ = 0;
   std::uint64_t split_seq_ = 0;
+  // Failure-detection state, inherited by split()/shrink() children.
+  std::uint64_t ack_epoch_ = 0;       // failure epoch this handle has accepted
+  double wall_backstop_s_ = -1.0;     // < 0: use FailureOptions default
+  int backstop_retries_ = -1;         // < 0: use FailureOptions default
 };
 
 // ---- template implementations ----------------------------------------------

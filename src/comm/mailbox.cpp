@@ -1,5 +1,7 @@
 #include "comm/mailbox.hpp"
 
+#include <chrono>
+
 namespace msa::comm {
 
 void Mailbox::put(Envelope env) {
@@ -10,18 +12,82 @@ void Mailbox::put(Envelope env) {
   cv_.notify_all();
 }
 
-Envelope Mailbox::get(std::uint64_t comm_id, int src, int tag) {
+Mailbox::GetResult Mailbox::get(std::uint64_t comm_id, int src, int tag,
+                                Waiter* waiter, double backstop_s,
+                                int backstop_retries) {
   std::unique_lock lock(mutex_);
+  int expiries = 0;
   for (;;) {
+    // A queued match always wins over abandonment: the sender's put()
+    // completed before any liveness transition it makes afterwards, so if we
+    // observe the sender dead under this mutex, its last message (if any) is
+    // already in the queue.  Scanning first therefore cannot lose a message.
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (matches(*it, comm_id, src, tag)) {
-        Envelope env = std::move(*it);
+        GetResult res;
+        res.status = Status::Ok;
+        res.env = std::move(*it);
+        res.late_waits = expiries;
         queue_.erase(it);
-        return env;
+        return res;
       }
     }
-    cv_.wait(lock);
+    if (waiter != nullptr && waiter->abandoned()) {
+      GetResult res;
+      res.status = Status::Abandoned;
+      res.late_waits = expiries;
+      return res;
+    }
+    if (backstop_s <= 0.0) {
+      cv_.wait(lock);
+      continue;
+    }
+    // Retry-with-backoff: each expiry doubles the wait, tolerating transient
+    // stragglers before escalating to a timeout.
+    if (expiries > backstop_retries) {
+      GetResult res;
+      res.status = Status::TimedOut;
+      res.late_waits = expiries;
+      return res;
+    }
+    const double wait_s = backstop_s * static_cast<double>(1 << expiries);
+    const auto status = cv_.wait_for(
+        lock, std::chrono::duration<double>(wait_s));
+    if (status == std::cv_status::timeout) ++expiries;
   }
+}
+
+Envelope Mailbox::get(std::uint64_t comm_id, int src, int tag) {
+  GetResult res = get(comm_id, src, tag, /*waiter=*/nullptr,
+                      /*backstop_s=*/0.0, /*backstop_retries=*/0);
+  return std::move(res.env);
+}
+
+void Mailbox::poke() {
+  // Taking the mutex before notifying closes the window where a waiter has
+  // checked its abandon predicate but not yet parked on the cv: the notify
+  // cannot land between the check and the wait, so no wakeup is lost.
+  std::lock_guard lock(mutex_);
+  cv_.notify_all();
+}
+
+void Mailbox::clear() {
+  std::lock_guard lock(mutex_);
+  queue_.clear();
+}
+
+std::size_t Mailbox::purge(std::uint64_t comm_id) {
+  std::lock_guard lock(mutex_);
+  std::size_t dropped = 0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->comm_id == comm_id) {
+      it = queue_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
 }
 
 std::size_t Mailbox::pending() const {

@@ -1,7 +1,9 @@
 // Per-rank mailboxes for the thread-backed message-passing runtime.
 //
 // Every world rank owns one Mailbox.  Messages are matched MPI-style on
-// (communicator id, source rank, tag); recv blocks until a match arrives.
+// (communicator id, source rank, tag); recv blocks until a match arrives, the
+// wait is abandoned (liveness event says the sender can never send), or the
+// optional real-wall-clock backstop expires.
 #pragma once
 
 #include <condition_variable>
@@ -30,12 +32,46 @@ struct Envelope {
 /// Thread-safe matching queue.  One per world rank.
 class Mailbox {
  public:
+  /// Caller-supplied abandon test, evaluated only when no matching message is
+  /// queued (a queued match always wins).  Implemented on the stack by the
+  /// comm layer so the no-fault fast path allocates nothing.
+  struct Waiter {
+    virtual ~Waiter() = default;
+    /// Return true to give up the wait (e.g. the sender is dead).
+    virtual bool abandoned() = 0;
+  };
+
+  enum class Status { Ok, Abandoned, TimedOut };
+
+  struct GetResult {
+    Status status = Status::Ok;
+    Envelope env;        ///< valid only when status == Ok
+    int late_waits = 0;  ///< backstop expiries survived before the match
+  };
+
   /// Deposit a message (called from the sender's thread).
   void put(Envelope env);
 
-  /// Block until a message matching (comm_id, src, tag) is available and
-  /// return it.  src may be kAnySource.
+  /// Block until a message matching (comm_id, src, tag) arrives, @p waiter
+  /// abandons the wait, or the wall-clock backstop (plus @p backstop_retries
+  /// doubled re-waits — retry-with-backoff for transient stragglers) expires.
+  /// src may be kAnySource.  waiter may be null; backstop_s <= 0 waits
+  /// indefinitely.
+  GetResult get(std::uint64_t comm_id, int src, int tag, Waiter* waiter,
+                double backstop_s, int backstop_retries);
+
+  /// Simple blocking get with no abandonment or backstop (tests, tools).
   Envelope get(std::uint64_t comm_id, int src, int tag);
+
+  /// Wake any blocked get() so it re-evaluates its abandon test.  Called on
+  /// rank liveness transitions.
+  void poke();
+
+  /// Drop every queued message (start of a fresh Runtime::run).
+  void clear();
+
+  /// Drop queued messages of a retired communicator; returns count dropped.
+  std::size_t purge(std::uint64_t comm_id);
 
   /// Number of queued messages (for tests / diagnostics).
   [[nodiscard]] std::size_t pending() const;

@@ -1,7 +1,9 @@
 #include "comm/runtime.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 
 namespace msa::comm {
@@ -13,9 +15,16 @@ void Runtime::run(const std::function<void(Comm&)>& fn) {
   const int P = ranks();
   for (auto& c : state_->clocks) c.reset();
   for (auto& b : state_->bytes_sent) b = 0;
+  state_->reset_run();
+  killed_.clear();
 
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  struct RankError {
+    int rank;
+    std::string what;
+    std::exception_ptr ptr;
+  };
+  std::vector<RankError> errors;
+  std::mutex record_mutex;
 
   std::vector<int> world_members(static_cast<std::size_t>(P));
   for (int r = 0; r < P; ++r) world_members[static_cast<std::size_t>(r)] = r;
@@ -27,14 +36,41 @@ void Runtime::run(const std::function<void(Comm&)>& fn) {
       Comm comm(state_, /*comm_id=*/0, world_members, r);
       try {
         fn(comm);
+        state_->mark_exited(r);
+      } catch (const RankKilledError& e) {
+        // Injected crash, not a program error: record it and let the
+        // liveness board tell the survivors.
+        {
+          std::lock_guard lock(record_mutex);
+          killed_.emplace_back(r, e.step());
+        }
+        state_->mark_failed(r);
+      } catch (const std::exception& e) {
+        {
+          std::lock_guard lock(record_mutex);
+          errors.push_back({r, e.what(), std::current_exception()});
+        }
+        state_->mark_failed(r);
       } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        {
+          std::lock_guard lock(record_mutex);
+          errors.push_back({r, "unknown exception", std::current_exception()});
+        }
+        state_->mark_failed(r);
       }
     });
   }
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  std::sort(killed_.begin(), killed_.end());
+  std::sort(errors.begin(), errors.end(),
+            [](const RankError& a, const RankError& b) { return a.rank < b.rank; });
+  if (errors.size() == 1) std::rethrow_exception(errors.front().ptr);
+  if (errors.size() > 1) {
+    std::vector<std::pair<int, std::string>> msgs;
+    msgs.reserve(errors.size());
+    for (auto& e : errors) msgs.emplace_back(e.rank, std::move(e.what));
+    throw AggregateRankError(std::move(msgs));
+  }
 }
 
 std::vector<double> Runtime::sim_times() const {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "comm/comm.hpp"
@@ -23,9 +24,30 @@ class Runtime {
   explicit Runtime(simnet::Machine machine);
 
   /// Run @p fn on every rank concurrently; returns when all ranks finish.
-  /// Clocks reset at entry.  The first exception thrown by any rank is
-  /// rethrown here after all threads have joined.
+  /// Clocks, mailboxes and the liveness board reset at entry.
+  ///
+  /// Error contract: a RankKilledError escaping a rank is an *injected kill*
+  /// (recorded in killed_ranks(), not an error — surviving ranks are expected
+  /// to recover and complete).  Any other escaping exception is a program
+  /// error: with exactly one, the original is rethrown (type preserved); with
+  /// several, every rank's message is aggregated into AggregateRankError so a
+  /// failure cascade cannot mask the root cause.
   void run(const std::function<void(Comm&)>& fn);
+
+  /// Arm (or disarm, with nullptr) fault-injection hooks for subsequent runs.
+  void set_fault_hooks(std::shared_ptr<FaultHooks> hooks) {
+    state_->hooks = std::move(hooks);
+  }
+
+  /// Failure-detection knobs for subsequent runs.
+  void set_failure_options(const FailureOptions& opts) {
+    state_->failure_opts = opts;
+  }
+
+  /// (world rank, step) of every injected kill during the last run().
+  [[nodiscard]] const std::vector<std::pair<int, int>>& killed_ranks() const {
+    return killed_;
+  }
 
   /// Simulated completion time of each rank after the last run().
   [[nodiscard]] std::vector<double> sim_times() const;
@@ -43,6 +65,7 @@ class Runtime {
 
  private:
   std::shared_ptr<detail::SharedState> state_;
+  std::vector<std::pair<int, int>> killed_;  // (world rank, step) per kill
 };
 
 }  // namespace msa::comm

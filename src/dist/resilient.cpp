@@ -1,0 +1,251 @@
+#include "dist/resilient.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+
+namespace msa::dist {
+
+namespace {
+
+/// Batch assembly: copy @p count dataset rows picked by @p idx[begin...]
+/// into a fresh [count, ...] tensor.
+nn::Tensor gather_rows(const nn::Tensor& x,
+                       const std::vector<std::size_t>& idx, std::size_t begin,
+                       std::size_t count) {
+  nn::Shape shape;
+  shape.push_back(count);
+  for (std::size_t d = 1; d < x.ndim(); ++d) shape.push_back(x.dim(d));
+  const std::size_t row = x.numel() / x.dim(0);
+  nn::Tensor out(shape);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::memcpy(out.data() + i * row, x.data() + idx[begin + i] * row,
+                row * sizeof(float));
+  }
+  return out;
+}
+
+std::vector<std::int32_t> gather_labels(const std::vector<std::int32_t>& labels,
+                                        const std::vector<std::size_t>& idx,
+                                        std::size_t begin, std::size_t count) {
+  std::vector<std::int32_t> out(count);
+  for (std::size_t i = 0; i < count; ++i) out[i] = labels[idx[begin + i]];
+  return out;
+}
+
+}  // namespace
+
+ResilientTrainer::ResilientTrainer(comm::Comm& comm, nn::Layer& model,
+                                   nn::Optimizer& opt,
+                                   ResilientOptions options)
+    : comm_(comm),
+      world_(comm),
+      model_(model),
+      opt_(opt),
+      options_(std::move(options)),
+      trainer_(comm_, model_, opt_, options_.allreduce) {
+  comm_.set_wall_backstop(options_.wall_backstop_s, options_.backstop_retries);
+  world_.set_wall_backstop(options_.wall_backstop_s, options_.backstop_retries);
+  report_.final_world = comm_.size();
+}
+
+void ResilientTrainer::take_snapshot(int epoch, int batch, int global_step) {
+  nn::ParamStore& store = trainer_.param_store();
+  const auto params = store.param_span();
+  const auto opt_state = store.opt_span();
+  // Keep one generation of history: recovery may need to roll back to the
+  // previous boundary when survivors disagree on whether the latest one was
+  // reached (see recover()).  An interval boundary and an epoch boundary can
+  // coincide at one step (no communication happens between them); the second
+  // snapshot then replaces the first instead of evicting the real history.
+  if (!(snap_.valid && snap_.global_step == global_step)) {
+    prev_ = std::move(snap_);
+  }
+  snap_ = Snapshot{};
+  snap_.params.assign(params.begin(), params.end());
+  snap_.opt_state.assign(opt_state.begin(), opt_state.end());
+  snap_.scalars = opt_.scalar_state();
+  snap_.epoch = epoch;
+  snap_.batch = batch;
+  snap_.global_step = global_step;
+  snap_.loss_sum = loss_sum_;
+  snap_.acc_sum = acc_sum_;
+  snap_.metric_count = metric_count_;
+  snap_.valid = true;
+  // Honest cost: one contiguous write per slab to the storage module.
+  const double bytes = static_cast<double>(
+      (snap_.params.size() + snap_.opt_state.size()) * sizeof(float) +
+      snap_.scalars.size() * sizeof(double));
+  const double t = comm_.machine().config().storage.write_time(bytes);
+  comm_.charge_seconds(t);
+  report_.checkpoint_time_s += t;
+  if (!options_.checkpoint_dir.empty() && comm_.rank() == 0) {
+    // Atomic tmp+rename write (nn/serialize): a kill mid-write never tears
+    // the previous on-disk checkpoint.
+    (void)nn::save_checkpoint(options_.checkpoint_dir + "/resilient", store,
+                              opt_);
+  }
+}
+
+void ResilientTrainer::restore_snapshot() {
+  if (!snap_.valid) {
+    throw std::logic_error("ResilientTrainer: no snapshot to restore");
+  }
+  nn::ParamStore& store = trainer_.param_store();
+  std::copy(snap_.params.begin(), snap_.params.end(),
+            store.param_span().begin());
+  std::copy(snap_.opt_state.begin(), snap_.opt_state.end(),
+            store.opt_span().begin());
+  opt_.restore_scalar_state(snap_.scalars);
+  loss_sum_ = snap_.loss_sum;
+  acc_sum_ = snap_.acc_sum;
+  metric_count_ = snap_.metric_count;
+  // Honest cost: read the slabs back from the storage module...
+  const double bytes = static_cast<double>(
+      (snap_.params.size() + snap_.opt_state.size()) * sizeof(float) +
+      snap_.scalars.size() * sizeof(double));
+  const double t = comm_.machine().config().storage.read_time(bytes);
+  comm_.charge_seconds(t);
+  report_.restore_time_s += t;
+  // ...then re-broadcast on the fabric so every survivor is bit-identical
+  // even if a local snapshot was somehow torn.  Charged like any bcast.
+  broadcast_parameters(comm_, store);
+  auto opt_span = store.opt_span();
+  if (!opt_span.empty()) comm_.bcast(opt_span, /*root=*/0);
+}
+
+void ResilientTrainer::recover() {
+  for (int attempt = 0;; ++attempt) {
+    // Refresh the failed set and stop aborting for it.  The set only grows,
+    // and shrink's communicator id is a pure function of it, so survivors
+    // that retry this loop at different times still converge on the same
+    // communicator.
+    const std::vector<int> dead = comm_.acknowledge_failures();
+    comm::Comm next = world_.shrink(dead);
+    if (next.id() != comm_.id()) {
+      comm_ = std::move(next);
+    }
+    // else: no new deaths (transient timeout) — keep the current handle so
+    // its collective-tag sequence keeps advancing; rejoin re-aligns it.
+    (void)comm_.acknowledge_failures();
+    try {
+      // Out-of-band rendezvous: waits for every survivor, re-aligns the
+      // collective tag space (divergent after an aborted collective), and
+      // max-syncs the simulated clocks.
+      comm_.rejoin();
+      // Survivors may have aborted up to one snapshot boundary apart: a rank
+      // whose remaining messages were already queued finished the boundary
+      // step (match-wins delivery) and snapshotted it; a rank blocked on a
+      // chunk its aborting neighbour never forwarded did not.  Agree on the
+      // oldest snapshot step and fall back to prev_ where needed, then
+      // rebuild state and re-broadcast so every survivor is bit-identical.
+      int agreed = snap_.global_step;
+      comm_.allreduce(std::span<int>(&agreed, 1), comm::ReduceOp::Min);
+      if (agreed != snap_.global_step) {
+        if (!prev_.valid || prev_.global_step != agreed) {
+          throw std::logic_error(
+              "ResilientTrainer: survivor snapshots diverged by more than "
+              "one boundary");
+        }
+        snap_ = prev_;
+      }
+      restore_snapshot();
+      break;
+    } catch (const comm::RankFailedError&) {
+      // A further rank died during recovery; go around with the larger set.
+      if (attempt >= options_.max_recoveries) throw;
+    } catch (const comm::CommTimeoutError&) {
+      if (attempt >= options_.max_recoveries) throw;
+    }
+  }
+  report_.dead_ranks = comm_.failed_ranks();
+  report_.final_world = comm_.size();
+}
+
+TrainResult ResilientTrainer::train_classification(
+    const nn::Tensor& x, const std::vector<std::int32_t>& labels,
+    std::size_t batch_size, int epochs) {
+  if (x.dim(0) != labels.size()) {
+    throw std::invalid_argument("train_classification: N mismatch");
+  }
+  broadcast_parameters(comm_, trainer_.param_store());
+  loss_sum_ = 0.0;
+  acc_sum_ = 0.0;
+  metric_count_ = 0;
+  take_snapshot(/*epoch=*/0, /*batch=*/0, /*global_step=*/0);
+
+  int epoch = 0;
+  int batch = 0;
+  int global_step = 0;
+  while (epoch < epochs) {
+    try {
+      ShardedSampler sampler(x.dim(0), comm_.rank(), comm_.size(),
+                             options_.sampler_seed);
+      const std::vector<std::size_t> indices = sampler.epoch_indices(
+          static_cast<std::size_t>(epoch));
+      const int n_batches =
+          static_cast<int>(sampler.size() / batch_size);
+      if (batch > n_batches) batch = n_batches;
+      if (batch == 0) {
+        // Fresh epoch: metrics report the epoch being trained.
+        loss_sum_ = 0.0;
+        acc_sum_ = 0.0;
+        metric_count_ = 0;
+      }
+      for (; batch < n_batches; ++batch) {
+        comm_.progress(global_step);  // fault-injection kill site
+        const auto begin = static_cast<std::size_t>(batch) * batch_size;
+        const nn::Tensor bx = gather_rows(x, indices, begin, batch_size);
+        const std::vector<std::int32_t> by =
+            gather_labels(labels, indices, begin, batch_size);
+        const StepResult res = trainer_.step_classification(bx, by);
+        loss_sum_ += static_cast<double>(res.loss);
+        acc_sum_ += res.accuracy;
+        ++metric_count_;
+        ++global_step;
+        if (options_.checkpoint_interval > 0 &&
+            global_step % options_.checkpoint_interval == 0) {
+          take_snapshot(epoch, batch + 1, global_step);
+        }
+      }
+      batch = 0;
+      ++epoch;
+      if (epoch < epochs) {
+        take_snapshot(epoch, 0, global_step);
+      }
+    } catch (const comm::RankFailedError&) {
+      if (report_.recoveries >= options_.max_recoveries) throw;
+      ++report_.recoveries;
+      recover();
+      report_.steps_replayed += global_step - snap_.global_step;
+      epoch = snap_.epoch;
+      batch = snap_.batch;
+      global_step = snap_.global_step;
+    } catch (const comm::CommTimeoutError&) {
+      // No rank is known dead — an extreme transient.  Roll back to the
+      // snapshot on the (unchanged) communicator and retry.
+      if (report_.recoveries >= options_.max_recoveries) throw;
+      ++report_.recoveries;
+      recover();
+      report_.steps_replayed += global_step - snap_.global_step;
+      epoch = snap_.epoch;
+      batch = snap_.batch;
+      global_step = snap_.global_step;
+    }
+  }
+
+  report_.straggler_events = comm_.straggler_events();
+  report_.final_world = comm_.size();
+  TrainResult out;
+  if (metric_count_ > 0) {
+    out.mean_loss = trainer_.average_metric(
+        loss_sum_ / static_cast<double>(metric_count_));
+    out.accuracy = trainer_.average_metric(
+        acc_sum_ / static_cast<double>(metric_count_));
+  }
+  return out;
+}
+
+}  // namespace msa::dist

@@ -1,0 +1,80 @@
+// Deterministic fault plans.
+//
+// Every fault decision is a pure function of (seed, coordinates): a scheduled
+// kill fires when a named rank reaches a named step, and the probabilistic
+// faults (MTBF-style kills, straggler delays) hash the seed with the rank and
+// a per-rank operation counter.  No wall-clock entropy enters anywhere, so
+// replaying the same plan on the same program is bit-identical — including
+// across MSA_THREADS settings, because every counter is local to one rank's
+// own sequential execution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace msa::fault {
+
+/// splitmix64 finaliser — the statistical workhorse behind every random
+/// fault decision.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from a hash word.
+[[nodiscard]] constexpr double uniform01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Kill @p world_rank when it announces @p step (Comm::progress).
+struct KillAtStep {
+  int world_rank = 0;
+  int step = 0;
+};
+
+/// Kill @p world_rank at its first progress announcement with simulated time
+/// >= @p sim_time_s.
+struct KillAtTime {
+  int world_rank = 0;
+  double sim_time_s = 0.0;
+};
+
+/// Multiply the transfer time of every message src -> dst by @p factor
+/// (degraded cable / congested switch).  Affects simulated time only.
+struct DegradedLink {
+  int src_world = 0;
+  int dst_world = 0;
+  double factor = 1.0;
+};
+
+/// A complete, replayable fault scenario.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  /// Scheduled deterministic kills.
+  std::vector<KillAtStep> kills;
+  std::vector<KillAtTime> timed_kills;
+
+  /// MTBF model: independent probability that a rank dies at each step it
+  /// announces.  kill_probability = step_time / MTBF for the sweep benches.
+  double kill_probability = 0.0;
+
+  /// Straggler model: each send is delayed with @p delay_probability by
+  /// delay_s * U, U uniform in [0.5, 1.5) — transient, recoverable faults.
+  double delay_probability = 0.0;
+  double delay_s = 0.0;
+
+  /// Persistent slow links.
+  std::vector<DegradedLink> degraded_links;
+
+  /// True when the plan injects nothing (arming it is then a no-op).
+  [[nodiscard]] bool empty() const {
+    return kills.empty() && timed_kills.empty() && kill_probability <= 0.0 &&
+           (delay_probability <= 0.0 || delay_s <= 0.0) &&
+           degraded_links.empty();
+  }
+};
+
+}  // namespace msa::fault

@@ -1,0 +1,76 @@
+#include "fault/injector.hpp"
+
+namespace msa::fault {
+
+namespace {
+
+// Domain separators so the step-kill, send-delay and delay-magnitude streams
+// never correlate even with identical coordinates.
+constexpr std::uint64_t kKillDomain = 0x4B494C4Cull;   // "KILL"
+constexpr std::uint64_t kDelayDomain = 0x44454C41ull;  // "DELA"
+
+std::uint64_t hash3(std::uint64_t seed, std::uint64_t domain, std::uint64_t a,
+                    std::uint64_t b) {
+  return mix64(mix64(mix64(seed ^ domain) ^ a) ^ b);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, int world_size)
+    : plan_(std::move(plan)),
+      send_seq_(static_cast<std::size_t>(world_size)) {}
+
+std::shared_ptr<FaultInjector> FaultInjector::arm(comm::Runtime& rt,
+                                                  FaultPlan plan) {
+  if (plan.empty()) {
+    rt.set_fault_hooks(nullptr);
+    return nullptr;
+  }
+  auto injector = std::make_shared<FaultInjector>(std::move(plan), rt.ranks());
+  rt.set_fault_hooks(injector);
+  return injector;
+}
+
+void FaultInjector::on_step(int world_rank, int step, double sim_now) {
+  for (const KillAtStep& k : plan_.kills) {
+    if (k.world_rank == world_rank && k.step == step) {
+      throw comm::RankKilledError(world_rank, step);
+    }
+  }
+  for (const KillAtTime& k : plan_.timed_kills) {
+    if (k.world_rank == world_rank && sim_now >= k.sim_time_s) {
+      throw comm::RankKilledError(world_rank, step);
+    }
+  }
+  if (plan_.kill_probability > 0.0) {
+    const double u = uniform01(hash3(plan_.seed, kKillDomain,
+                                     static_cast<std::uint64_t>(world_rank),
+                                     static_cast<std::uint64_t>(step)));
+    if (u < plan_.kill_probability) {
+      throw comm::RankKilledError(world_rank, step);
+    }
+  }
+}
+
+double FaultInjector::on_send(int src_world, int /*dst_world*/,
+                              std::uint64_t /*bytes*/, double /*sim_now*/) {
+  if (plan_.delay_probability <= 0.0 || plan_.delay_s <= 0.0) return 0.0;
+  const std::uint64_t seq =
+      send_seq_[static_cast<std::size_t>(src_world)].fetch_add(
+          1, std::memory_order_relaxed);
+  const std::uint64_t h = hash3(plan_.seed, kDelayDomain,
+                                static_cast<std::uint64_t>(src_world), seq);
+  if (uniform01(h) >= plan_.delay_probability) return 0.0;
+  // Magnitude from an independent stream: delay_s * [0.5, 1.5).
+  const double jitter = uniform01(mix64(h ^ 0x5452414E5349ull));  // "TRANSI"
+  return plan_.delay_s * (0.5 + jitter);
+}
+
+double FaultInjector::link_factor(int src_world, int dst_world) {
+  for (const DegradedLink& l : plan_.degraded_links) {
+    if (l.src_world == src_world && l.dst_world == dst_world) return l.factor;
+  }
+  return 1.0;
+}
+
+}  // namespace msa::fault

@@ -1,0 +1,46 @@
+// FaultInjector: the comm-layer hooks that execute a FaultPlan.
+//
+// Instances are installed on a Runtime with arm(); the comm hot paths then
+// call back into on_step / on_send / link_factor.  All methods are
+// thread-safe and deterministic: random decisions hash the plan seed with
+// the calling rank and that rank's own operation counter, which is
+// interleaving-independent because each simulated rank is one thread issuing
+// its operations sequentially.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "comm/failure.hpp"
+#include "comm/runtime.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace msa::fault {
+
+class FaultInjector final : public comm::FaultHooks {
+ public:
+  FaultInjector(FaultPlan plan, int world_size);
+
+  /// Install a plan on @p rt for its subsequent run()s.  An empty plan
+  /// disarms instead (null hooks — the zero-overhead path).  Returns the
+  /// injector so callers can inspect it, or nullptr when disarmed.
+  static std::shared_ptr<FaultInjector> arm(comm::Runtime& rt, FaultPlan plan);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  // comm::FaultHooks
+  void on_step(int world_rank, int step, double sim_now) override;
+  double on_send(int src_world, int dst_world, std::uint64_t bytes,
+                 double sim_now) override;
+  double link_factor(int src_world, int dst_world) override;
+
+ private:
+  FaultPlan plan_;
+  // Per-source send counter: the per-rank coordinate making send-level
+  // decisions replayable (each rank's sends are sequential in its thread).
+  std::vector<std::atomic<std::uint64_t>> send_seq_;
+};
+
+}  // namespace msa::fault

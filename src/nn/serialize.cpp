@@ -1,6 +1,7 @@
 #include "nn/serialize.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
@@ -8,7 +9,70 @@ namespace msa::nn {
 
 namespace {
 
-constexpr std::uint64_t kMagic = 0x4D53414C49423031ull;  // "MSALIB01"
+// "MSALIB01": high six bytes are the format magic ("MSALIB"), low two bytes
+// the version ("01").  Keeping them in one word preserves the on-disk layout
+// of earlier archives while letting load distinguish "not ours" from "ours,
+// but a different version".
+constexpr std::uint64_t kMagic = 0x4D53414C49423031ull;
+constexpr std::uint64_t kMagicPrefixMask = 0xFFFFFFFFFFFF0000ull;
+
+void check_magic(std::uint64_t found, const std::string& path) {
+  if (found == kMagic) return;
+  if ((found & kMagicPrefixMask) == (kMagic & kMagicPrefixMask)) {
+    const auto version = [](std::uint64_t word) {
+      // Low two bytes are ASCII version digits, most significant first.
+      return std::string{static_cast<char>((word >> 8) & 0xFF),
+                         static_cast<char>(word & 0xFF)};
+    };
+    throw std::runtime_error(path + ": msalib archive version \"" +
+                             version(found) + "\" not supported (this build " +
+                             "reads version \"" + version(kMagic) + "\")");
+  }
+  throw std::runtime_error(path + " is not an msalib tensor archive");
+}
+
+/// Writes to "<path>.tmp" and renames onto @p path at commit(), so a rank
+/// killed mid-checkpoint never leaves a torn file under the real name: the
+/// reader sees either the previous complete archive or the new one.
+class AtomicFile {
+ public:
+  explicit AtomicFile(std::string path)
+      : path_(std::move(path)),
+        tmp_(path_ + ".tmp"),
+        os_(tmp_, std::ios::binary | std::ios::trunc) {
+    if (!os_) {
+      throw std::runtime_error("cannot open " + tmp_ + " for writing");
+    }
+  }
+
+  ~AtomicFile() {
+    // Not committed: drop the partial temp file rather than the target.
+    if (os_.is_open()) {
+      os_.close();
+      std::remove(tmp_.c_str());
+    }
+  }
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  [[nodiscard]] std::ofstream& stream() { return os_; }
+
+  void commit() {
+    os_.flush();
+    if (!os_) throw std::runtime_error("write failure on " + tmp_);
+    os_.close();
+    if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+      std::remove(tmp_.c_str());
+      throw std::runtime_error("cannot rename " + tmp_ + " to " + path_);
+    }
+  }
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  std::ofstream os_;
+};
 
 void write_u64(std::ofstream& os, std::uint64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -25,8 +89,8 @@ std::uint64_t read_u64(std::ifstream& is) {
 /// with a single contiguous write (the slab fast path).
 void save_spans(const std::string& path,
                 const std::vector<std::span<const float>>& spans) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  AtomicFile file(path);
+  std::ofstream& os = file.stream();
   write_u64(os, kMagic);
   write_u64(os, spans.size());
   for (const auto& s : spans) {
@@ -35,7 +99,7 @@ void save_spans(const std::string& path,
     os.write(reinterpret_cast<const char*>(s.data()),
              static_cast<std::streamsize>(s.size_bytes()));
   }
-  if (!os) throw std::runtime_error("write failure on " + path);
+  file.commit();
 }
 
 /// Reads the next archived tensor directly into @p out (flattened); the
@@ -59,9 +123,7 @@ void read_tensor_into(std::ifstream& is, std::span<float> out,
 std::ifstream open_archive(const std::string& path, std::uint64_t& count) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("cannot open " + path);
-  if (read_u64(is) != kMagic) {
-    throw std::runtime_error(path + " is not an msalib tensor archive");
-  }
+  check_magic(read_u64(is), path);
   count = read_u64(is);
   return is;
 }
@@ -90,8 +152,8 @@ void unpack_scalar_state(const Tensor& scalar_tensor, Optimizer& optimizer) {
 
 void save_tensors(const std::string& path,
                   const std::vector<const Tensor*>& tensors) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  AtomicFile file(path);
+  std::ofstream& os = file.stream();
   write_u64(os, kMagic);
   write_u64(os, tensors.size());
   for (const Tensor* t : tensors) {
@@ -100,15 +162,13 @@ void save_tensors(const std::string& path,
     os.write(reinterpret_cast<const char*>(t->data()),
              static_cast<std::streamsize>(t->numel() * sizeof(float)));
   }
-  if (!os) throw std::runtime_error("write failure on " + path);
+  file.commit();
 }
 
 std::vector<Tensor> load_tensors(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("cannot open " + path);
-  if (read_u64(is) != kMagic) {
-    throw std::runtime_error(path + " is not an msalib tensor archive");
-  }
+  check_magic(read_u64(is), path);
   const std::uint64_t count = read_u64(is);
   std::vector<Tensor> out;
   out.reserve(count);

@@ -42,6 +42,22 @@ struct RankLocation {
   int device = 0;  ///< device (GPU/socket) index inside the node
 };
 
+/// Checkpoint storage module (the paper's NAM / parallel filesystem): what a
+/// rank pays in simulated time to stream a slab to or from stable storage.
+/// Used by dist::ResilientTrainer to charge snapshots and restores honestly.
+struct StorageProfile {
+  double latency_s = 1e-4;   ///< per-operation setup latency
+  double write_Bps = 2e9;    ///< sustained checkpoint write bandwidth
+  double read_Bps = 4e9;     ///< sustained restore read bandwidth
+
+  [[nodiscard]] double write_time(double bytes) const {
+    return latency_s + bytes / write_Bps;
+  }
+  [[nodiscard]] double read_time(double bytes) const {
+    return latency_s + bytes / read_Bps;
+  }
+};
+
 /// Hierarchy of links: device-to-device within a node, node-to-node within a
 /// module, and module-to-module across the Network Federation.
 struct MachineConfig {
@@ -50,6 +66,7 @@ struct MachineConfig {
   LinkModel federation;        ///< e.g. EXTOLL between modules
   GceProfile gce;              ///< in-network collective engine parameters
   bool gce_available = false;  ///< true on the ESB fabric
+  StorageProfile storage;      ///< checkpoint/restart storage module
 };
 
 /// Machine: rank placements + link hierarchy + per-rank compute profiles.

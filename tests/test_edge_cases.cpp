@@ -208,11 +208,18 @@ TEST(RuntimeEdge, MultipleRunsResetClocks) {
 TEST(RuntimeEdge, SendToInvalidRankThrows) {
   MachineConfig cfg;
   Runtime rt(Machine::homogeneous(2, 1, cfg, ComputeProfile{}));
-  EXPECT_THROW(rt.run([](Comm& comm) {
-                 const int v = 1;
-                 comm.send(std::span<const int>(&v, 1), 5, 0);
-               }),
-               std::out_of_range);
+  // Both ranks hit the same bug; the runtime aggregates every rank's error
+  // rather than reporting an arbitrary first one.
+  try {
+    rt.run([](Comm& comm) {
+      const int v = 1;
+      comm.send(std::span<const int>(&v, 1), 5, 0);
+    });
+    FAIL() << "expected AggregateRankError";
+  } catch (const msa::comm::AggregateRankError& e) {
+    EXPECT_EQ(e.rank_errors().size(), 2u);
+    EXPECT_NE(std::string(e.what()).find("send: bad dest"), std::string::npos);
+  }
 }
 
 TEST(RuntimeEdge, RecvSizeMismatchThrows) {

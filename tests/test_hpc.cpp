@@ -90,10 +90,18 @@ TEST(Jacobi, RejectsMoreRanksThanRows) {
   cfg.rows = 2;
   cfg.cols = 4;
   Runtime rt = make_runtime(4);
-  EXPECT_THROW(rt.run([&](Comm& comm) {
-                 (void)msa::hpc::solve_jacobi_distributed(comm, cfg);
-               }),
-               std::invalid_argument);
+  // Every rank rejects the config, so the runtime reports the aggregated
+  // multi-rank failure (single-rank errors keep their original type).
+  try {
+    rt.run([&](Comm& comm) {
+      (void)msa::hpc::solve_jacobi_distributed(comm, cfg);
+    });
+    FAIL() << "expected AggregateRankError";
+  } catch (const msa::comm::AggregateRankError& e) {
+    EXPECT_EQ(e.rank_errors().size(), 4u);
+    EXPECT_NE(std::string(e.what()).find("fewer rows than ranks"),
+              std::string::npos);
+  }
 }
 
 TEST(Jacobi, CustomBoundary) {
