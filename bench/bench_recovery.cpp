@@ -19,6 +19,8 @@
 #include "fault/injector.hpp"
 #include "nn/models.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -35,6 +37,7 @@ struct SweepRow {
   double checkpoint_time_s = 0.0;
   double restore_time_s = 0.0;
   double mean_loss = 0.0;
+  obs::Attribution attr;  // aggregate comm/compute/io/fault breakdown
 };
 
 simnet::MachineConfig bench_config() {
@@ -63,6 +66,7 @@ SweepRow run_once(int P, double mtbf_steps, int checkpoint_interval) {
   SweepRow row;
   row.mtbf_steps = mtbf_steps;
   row.checkpoint_interval = checkpoint_interval;
+  obs::Tracer::instance().clear();  // attribute this run's spans only
   std::mutex m;
   rt.run([&](comm::Comm& comm) {
     tensor::Rng rng(7);
@@ -86,6 +90,7 @@ SweepRow run_once(int P, double mtbf_steps, int checkpoint_interval) {
     }
   });
   row.sim_time_s = rt.max_sim_time();
+  row.attr = obs::Report::from_tracer().aggregate();
   return row;
 }
 
@@ -134,10 +139,16 @@ int main(int argc, char** argv) {
         "\"sim_time_s\": %.6f, \"overhead\": %.4f, \"recoveries\": %d, "
         "\"steps_replayed\": %d, \"final_world\": %d, "
         "\"checkpoint_time_s\": %.6f, \"restore_time_s\": %.6f, "
-        "\"mean_loss\": %.4f}%s\n",
+        "\"mean_loss\": %.4f,\n"
+        "     \"attribution\": {\"comm_s\": %.6f, \"compute_s\": %.6f, "
+        "\"io_s\": %.6f, \"fault_s\": %.6f, \"other_s\": %.6f, "
+        "\"total_s\": %.6f, \"comm_fraction\": %.4f, \"spans\": %llu}}%s\n",
         r.mtbf_steps, r.checkpoint_interval, r.sim_time_s, r.overhead,
         r.recoveries, r.steps_replayed, r.final_world, r.checkpoint_time_s,
-        r.restore_time_s, r.mean_loss, i + 1 < rows.size() ? "," : "");
+        r.restore_time_s, r.mean_loss, r.attr.comm_s, r.attr.compute_s,
+        r.attr.io_s, r.attr.fault_s, r.attr.other_s, r.attr.total_s,
+        r.attr.comm_fraction(), static_cast<unsigned long long>(r.attr.spans),
+        i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -11,7 +11,8 @@ cd "$(dirname "$0")/.."
 
 BUILD=${BUILD_DIR:-build-asan}
 
-cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMSA_SANITIZE=ON >/dev/null
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMSA_SANITIZE=ON \
+  -DMSA_OBS=ON >/dev/null
 cmake --build "$BUILD" -j --target msa_tests >/dev/null
 
 # halt_on_error so a sanitizer report fails the run rather than scrolling by.

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Observability smoke: run the instrumented ResNet-50 scaling bench with the
+# tracer armed, emit the Chrome trace (open it in Perfetto or
+# chrome://tracing) plus the machine-readable attribution JSON, and sanity
+# check both: the trace must parse as JSON and the comm fraction must grow
+# monotonically-ish with node count (the scaling tax the paper measures).
+#
+# Usage: bench/run_trace.sh [outdir]      (default: repo root)
+# Env:   BUILD_DIR (default build), MSA_TRACE_SPANS (per-thread ring size)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD_DIR:-build}
+OUTDIR=${1:-.}
+
+cmake -B "$BUILD" -S . -DMSA_OBS=ON >/dev/null
+cmake --build "$BUILD" -j --target bench_fig3_resnet_scaling >/dev/null
+
+TRACE="$OUTDIR/TRACE_resnet_scaling.json"
+ATTR="$OUTDIR/BENCH_resnet_scaling.json"
+
+MSA_TRACE=1 MSA_TRACE_OUT="$TRACE" \
+  "$BUILD/bench/bench_fig3_resnet_scaling" "$ATTR"
+
+python3 - "$TRACE" "$ATTR" <<'PY'
+import json, sys
+
+trace_path, attr_path = sys.argv[1], sys.argv[2]
+
+trace = json.load(open(trace_path))
+events = trace["traceEvents"]
+assert events, "empty trace"
+pids = {e["pid"] for e in events if e.get("ph") == "X"}
+print(f"{trace_path}: {len(events)} events across {len(pids)} rank timelines")
+
+attr = json.load(open(attr_path))
+rows = attr["rows"]
+fracs = [r["attribution"]["comm_fraction"] for r in rows]
+gpus = [r["gpus"] for r in rows]
+print(f"{attr_path}: comm fraction by scale:")
+for g, f in zip(gpus, fracs):
+    print(f"  {g:4d} GPUs  {100*f:5.2f}%")
+assert fracs[-1] > fracs[0], "comm fraction should grow with node count"
+print("OK: trace parses, attribution present, comm fraction grows with scale")
+PY

@@ -10,9 +10,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${BUILD_DIR:-build-tsan}
-FILTER=${1:-Comm*:Dist*:Fault*:Resilient*:Runtime*:Mailbox*}
+FILTER=${1:-Comm*:Dist*:Fault*:Resilient*:Runtime*:Mailbox*:Obs*}
 
-cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMSA_TSAN=ON >/dev/null
+# MSA_OBS=ON (the default, restated here on purpose) keeps the tracer armed
+# under TSan: every rank thread writes spans while snapshot/clear run on the
+# main thread, so the tracer's locking/quiescence contract gets checked too.
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMSA_TSAN=ON \
+  -DMSA_OBS=ON >/dev/null
 cmake --build "$BUILD" -j --target msa_tests >/dev/null
 
 # halt_on_error so the first report fails the run; second_deadlock_stack aids

@@ -4,12 +4,25 @@
 #include <chrono>
 #include <string>
 
+#include "core/hash.hpp"
+#include "obs/metrics.hpp"
+
 namespace msa::comm {
 
 void Comm::send_bytes(std::span<const std::byte> bytes, int dest, int tag,
                       bool charge_link) {
   if (dest < 0 || dest >= size()) throw std::out_of_range("send: bad dest");
   const int dest_world = members_[static_cast<std::size_t>(dest)];
+  obs::ScopedSpan span(obs::Category::Comm, "send", world_rank(), &clock(),
+                       bytes.size(), 0, comm_id_);
+  if (obs::trace_enabled()) {
+    static obs::Counter& msgs =
+        obs::Registry::instance().counter("comm.msgs_sent");
+    static obs::Counter& nbytes =
+        obs::Registry::instance().counter("comm.bytes_sent");
+    msgs.add(1);
+    nbytes.add(bytes.size());
+  }
   Envelope env;
   env.comm_id = comm_id_;
   env.src = rank_;
@@ -56,6 +69,8 @@ Envelope Comm::recv_envelope(int src, int tag) {
   if (src != kAnySource && (src < 0 || src >= size())) {
     throw std::out_of_range("recv: bad src");
   }
+  obs::ScopedSpan span(obs::Category::Comm, "recv", world_rank(), &clock(),
+                       0, 0, comm_id_);
   // Stack-allocated abandon test: evaluated by the mailbox only on the
   // slow path (nothing queued, about to block), so the fast path costs
   // nothing beyond passing the pointer.
@@ -110,6 +125,7 @@ Envelope Comm::recv_envelope(int src, int tag) {
         std::to_string(comm_id_) + ")");
   }
   Envelope env = std::move(res.env);
+  span.add_bytes(env.payload.size());
   if (env.charge_link) {
     const int src_world = members_[static_cast<std::size_t>(env.src)];
     const auto& link = machine().link_between(src_world, world_rank());
@@ -117,6 +133,11 @@ Envelope Comm::recv_envelope(int src, int tag) {
     if (FaultHooks* h = state_->hooks.get()) {
       transfer *= h->link_factor(src_world, world_rank());
     }
+    // Fabric-transfer sub-span: covers the sync onto the simulated link's
+    // arrival time (nested under "recv", so attribution-wise shadowed).
+    obs::ScopedSpan xfer(obs::Category::Comm, "xfer", world_rank(), &clock(),
+                         env.payload.size(), 0,
+                         static_cast<std::uint64_t>(src_world));
     clock().sync_to(env.send_time_s + transfer);
   } else {
     clock().sync_to(env.send_time_s);
@@ -127,6 +148,8 @@ Envelope Comm::recv_envelope(int src, int tag) {
 void Comm::barrier() {
   const int P = size();
   if (P == 1) return;
+  obs::ScopedSpan span(obs::Category::Comm, "barrier", world_rank(), &clock(),
+                       0, 0, comm_id_);
   const int tag = next_coll_tag();
   // Dissemination barrier: round k talks to rank +/- 2^k.
   for (int dist = 1; dist < P; dist <<= 1) {
@@ -166,6 +189,8 @@ void Comm::charge_allreduce(std::uint64_t n_bytes,
                             std::optional<simnet::CollectiveAlgorithm> alg,
                             double overlap_credit_s) {
   if (size() == 1) return;
+  obs::ScopedSpan span(obs::Category::Comm, "charge_allreduce", world_rank(),
+                       &clock(), n_bytes, 0, comm_id_);
   const auto model = machine().collective_model(members_);
   const auto chosen = alg.value_or(model.best_allreduce(
       size(), n_bytes, machine().gce_usable(members_)));
@@ -303,15 +328,16 @@ Comm Comm::shrink(const std::vector<int>& dead_world_ranks) const {
   std::vector<int> dead = dead_world_ranks;
   std::sort(dead.begin(), dead.end());
   dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
-  std::uint64_t hash = 0x9E3779B97F4A7C15ull;  // golden-ratio FNV-style mix
+  // Sequential splitmix64 combine over the *sorted* dead set: deterministic
+  // for a given removed set regardless of discovery order.
+  std::uint64_t hash = hash::splitmix64(0);
   std::vector<int> members;
   members.reserve(members_.size());
   int my_new_rank = -1;
   for (std::size_t i = 0; i < members_.size(); ++i) {
     const int world = members_[i];
     if (std::binary_search(dead.begin(), dead.end(), world)) {
-      hash ^= static_cast<std::uint64_t>(world) + 0x9E3779B97F4A7C15ull +
-              (hash << 6) + (hash >> 2);
+      hash = hash::combine(hash, static_cast<std::uint64_t>(world));
       continue;
     }
     if (static_cast<int>(i) == rank_) {

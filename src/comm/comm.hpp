@@ -29,6 +29,7 @@
 
 #include "comm/failure.hpp"
 #include "comm/mailbox.hpp"
+#include "obs/trace.hpp"
 #include "simnet/clock.hpp"
 #include "simnet/collective.hpp"
 #include "simnet/machine.hpp"
@@ -237,6 +238,10 @@ class Comm {
   /// Charge compute time for a kernel of @p flops touching @p bytes, using
   /// this rank's roofline profile.
   void charge_compute(double flops, double bytes) {
+    obs::ScopedSpan span(obs::Category::Compute, "charge_compute",
+                         world_rank(), &clock(),
+                         static_cast<std::uint64_t>(bytes),
+                         static_cast<std::uint64_t>(flops), comm_id_);
     clock().advance(machine().compute(world_rank()).kernel_time(flops, bytes));
   }
 
@@ -295,6 +300,8 @@ class Comm {
   /// Binomial-tree broadcast of @p data from @p root.
   template <typename T>
   void bcast(std::span<T> data, int root) {
+    obs::ScopedSpan span(obs::Category::Comm, "bcast", world_rank(), &clock(),
+                         data.size_bytes(), 0, comm_id_);
     const int vrank = virtual_rank(rank(), root);
     const int tag = next_coll_tag();
     // Receive from parent, then forward to children, in virtual rank space.
@@ -312,6 +319,8 @@ class Comm {
   /// buffers are used as scratch and keep their local contribution).
   template <typename T>
   void reduce(std::span<T> data, ReduceOp op, int root) {
+    obs::ScopedSpan span(obs::Category::Comm, "reduce", world_rank(), &clock(),
+                         data.size_bytes(), 0, comm_id_);
     const int vrank = virtual_rank(rank(), root);
     const int tag = next_coll_tag();
     std::vector<T> incoming(data.size());
@@ -334,6 +343,8 @@ class Comm {
   void allreduce(std::span<T> data, ReduceOp op,
                  std::optional<simnet::CollectiveAlgorithm> alg = {}) {
     if (size() == 1) return;
+    obs::ScopedSpan span(obs::Category::Comm, "allreduce", world_rank(),
+                         &clock(), data.size_bytes(), 0, comm_id_);
     const auto chosen = alg.value_or(auto_allreduce_alg(data.size_bytes()));
     switch (chosen) {
       case simnet::CollectiveAlgorithm::Ring:
@@ -357,6 +368,8 @@ class Comm {
   /// ordered by rank.  All contributions must have equal size.
   template <typename T>
   std::vector<T> allgather(std::span<const T> mine) {
+    obs::ScopedSpan span(obs::Category::Comm, "allgather", world_rank(),
+                         &clock(), mine.size_bytes(), 0, comm_id_);
     const int P = size();
     const std::size_t n = mine.size();
     std::vector<T> out(n * static_cast<std::size_t>(P));
@@ -383,6 +396,8 @@ class Comm {
   /// concatenation at root, empty vector elsewhere.
   template <typename T>
   std::vector<T> gather(std::span<const T> mine, int root) {
+    obs::ScopedSpan span(obs::Category::Comm, "gather", world_rank(), &clock(),
+                         mine.size_bytes(), 0, comm_id_);
     const int P = size();
     const std::size_t n = mine.size();
     const int vrank = virtual_rank(rank(), root);
@@ -416,6 +431,8 @@ class Comm {
   /// only and must hold size()*chunk elements.  Returns this rank's chunk.
   template <typename T>
   std::vector<T> scatter(std::span<const T> all, std::size_t chunk, int root) {
+    obs::ScopedSpan span(obs::Category::Comm, "scatter", world_rank(),
+                         &clock(), chunk * sizeof(T), 0, comm_id_);
     const int tag = next_coll_tag();
     if (rank() == root) {
       if (all.size() != chunk * static_cast<std::size_t>(size())) {
@@ -440,6 +457,8 @@ class Comm {
   template <typename T>
   std::vector<T> reduce_scatter(std::span<T> data, std::size_t chunk,
                                 ReduceOp op) {
+    obs::ScopedSpan span(obs::Category::Comm, "reduce_scatter", world_rank(),
+                         &clock(), data.size_bytes(), 0, comm_id_);
     const int P = size();
     if (data.size() != chunk * static_cast<std::size_t>(P)) {
       throw std::runtime_error("reduce_scatter: data must be size()*chunk");
@@ -474,6 +493,8 @@ class Comm {
   /// ordered by source rank.
   template <typename T>
   std::vector<T> alltoall(std::span<const T> data, std::size_t chunk) {
+    obs::ScopedSpan span(obs::Category::Comm, "alltoall", world_rank(),
+                         &clock(), data.size_bytes(), 0, comm_id_);
     const int P = size();
     if (data.size() != chunk * static_cast<std::size_t>(P)) {
       throw std::runtime_error("alltoall: data must be size()*chunk");

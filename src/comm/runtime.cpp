@@ -34,12 +34,17 @@ void Runtime::run(const std::function<void(Comm&)>& fn) {
   for (int r = 0; r < P; ++r) {
     threads.emplace_back([&, r] {
       Comm comm(state_, /*comm_id=*/0, world_members, r);
+      // Bind the thread to its rank + sim clock so every span opened below
+      // (kernels, trainer phases) lands on this rank's trace timeline.
+      obs::RankScope bind(r, &state_->clocks[static_cast<std::size_t>(r)]);
       try {
         fn(comm);
         state_->mark_exited(r);
       } catch (const RankKilledError& e) {
         // Injected crash, not a program error: record it and let the
         // liveness board tell the survivors.
+        obs::instant(obs::Category::Fault, "rank_killed",
+                     static_cast<std::uint64_t>(e.step()));
         {
           std::lock_guard lock(record_mutex);
           killed_.emplace_back(r, e.step());

@@ -1,0 +1,34 @@
+// Shared deterministic hashing primitives.
+//
+// splitmix64 is the statistical workhorse behind every seeded random
+// decision in the repository: fault plans hash (seed, rank, counter)
+// coordinates through it, and the comm layer derives shrink-communicator
+// ids from it so that every survivor computes the same id from the same
+// dead set.  One definition lives here so the two layers (and future
+// users) cannot drift apart.
+#pragma once
+
+#include <cstdint>
+
+namespace msa::hash {
+
+/// splitmix64 finaliser: a fast, well-mixed 64-bit permutation.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Order-sensitive combine: fold @p v into the running hash @p h.
+[[nodiscard]] constexpr std::uint64_t combine(std::uint64_t h,
+                                              std::uint64_t v) {
+  return splitmix64(h ^ v);
+}
+
+/// Uniform double in [0, 1) from a hash word.
+[[nodiscard]] constexpr double uniform01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace msa::hash

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "dist/compression.hpp"
+#include "obs/trace.hpp"
 #include "tensor/rng.hpp"
 
 namespace msa::dist {
@@ -154,16 +155,28 @@ void DistributedTrainer::reduce_and_apply() {
   // gradient of the global batch; size()==1 needs no reduction at all.
   // Both stages run on the contiguous slabs: allreduce over grad-slab
   // ranges in place, then one flat optimizer sweep.
-  allreduce_gradients(comm_, store_, options_);
+  {
+    obs::ScopedSpan span(obs::Category::Comm, "allreduce_grads",
+                         store_.grad_span().size_bytes());
+    allreduce_gradients(comm_, store_, options_);
+  }
+  obs::ScopedSpan span(obs::Category::Compute, "optimizer");
   store_.step(opt_);
 }
 
 StepResult DistributedTrainer::step_classification(
     const nn::Tensor& x, const std::vector<std::int32_t>& labels) {
+  obs::ScopedSpan step(obs::Category::Step, "step");
   store_.zero_grads();
-  nn::Tensor logits = model_.forward(x, /*training=*/true);
+  nn::Tensor logits = [&] {
+    obs::ScopedSpan span(obs::Category::Compute, "forward");
+    return model_.forward(x, /*training=*/true);
+  }();
   auto res = nn::softmax_cross_entropy(logits, labels);
-  model_.backward(res.grad);
+  {
+    obs::ScopedSpan span(obs::Category::Compute, "backward");
+    model_.backward(res.grad);
+  }
   // Charge simulated device time: forward + 2x backward.
   const double fwd_flops = model_.forward_flops();
   comm_.charge_compute(3.0 * fwd_flops, 0.0);
@@ -174,10 +187,17 @@ StepResult DistributedTrainer::step_classification(
 StepResult DistributedTrainer::step_regression(const nn::Tensor& x,
                                                const nn::Tensor& target,
                                                bool use_mae) {
+  obs::ScopedSpan step(obs::Category::Step, "step");
   store_.zero_grads();
-  nn::Tensor pred = model_.forward(x, /*training=*/true);
+  nn::Tensor pred = [&] {
+    obs::ScopedSpan span(obs::Category::Compute, "forward");
+    return model_.forward(x, /*training=*/true);
+  }();
   auto res = use_mae ? nn::mae_loss(pred, target) : nn::mse_loss(pred, target);
-  model_.backward(res.grad);
+  {
+    obs::ScopedSpan span(obs::Category::Compute, "backward");
+    model_.backward(res.grad);
+  }
   comm_.charge_compute(3.0 * model_.forward_flops(), 0.0);
   reduce_and_apply();
   return {res.loss, 0.0};

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "nn/serialize.hpp"
+#include "obs/trace.hpp"
 
 namespace msa::dist {
 
@@ -52,6 +53,9 @@ ResilientTrainer::ResilientTrainer(comm::Comm& comm, nn::Layer& model,
 }
 
 void ResilientTrainer::take_snapshot(int epoch, int batch, int global_step) {
+  obs::ScopedSpan span(obs::Category::Io, "snapshot",
+                       /*bytes=*/std::uint64_t{0}, /*flops=*/std::uint64_t{0},
+                       static_cast<std::uint64_t>(global_step));
   nn::ParamStore& store = trainer_.param_store();
   const auto params = store.param_span();
   const auto opt_state = store.opt_span();
@@ -79,6 +83,7 @@ void ResilientTrainer::take_snapshot(int epoch, int batch, int global_step) {
       (snap_.params.size() + snap_.opt_state.size()) * sizeof(float) +
       snap_.scalars.size() * sizeof(double));
   const double t = comm_.machine().config().storage.write_time(bytes);
+  span.add_bytes(static_cast<std::uint64_t>(bytes));
   comm_.charge_seconds(t);
   report_.checkpoint_time_s += t;
   if (!options_.checkpoint_dir.empty() && comm_.rank() == 0) {
@@ -93,6 +98,9 @@ void ResilientTrainer::restore_snapshot() {
   if (!snap_.valid) {
     throw std::logic_error("ResilientTrainer: no snapshot to restore");
   }
+  obs::ScopedSpan span(obs::Category::Io, "restore",
+                       /*bytes=*/std::uint64_t{0}, /*flops=*/std::uint64_t{0},
+                       static_cast<std::uint64_t>(snap_.global_step));
   nn::ParamStore& store = trainer_.param_store();
   std::copy(snap_.params.begin(), snap_.params.end(),
             store.param_span().begin());
@@ -107,6 +115,7 @@ void ResilientTrainer::restore_snapshot() {
       (snap_.params.size() + snap_.opt_state.size()) * sizeof(float) +
       snap_.scalars.size() * sizeof(double));
   const double t = comm_.machine().config().storage.read_time(bytes);
+  span.add_bytes(static_cast<std::uint64_t>(bytes));
   comm_.charge_seconds(t);
   report_.restore_time_s += t;
   // ...then re-broadcast on the fabric so every survivor is bit-identical
@@ -117,6 +126,7 @@ void ResilientTrainer::restore_snapshot() {
 }
 
 void ResilientTrainer::recover() {
+  obs::ScopedSpan span(obs::Category::Fault, "recover");
   for (int attempt = 0;; ++attempt) {
     // Refresh the failed set and stop aborting for it.  The set only grows,
     // and shrink's communicator id is a pure function of it, so survivors

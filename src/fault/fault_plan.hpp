@@ -12,20 +12,19 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/hash.hpp"
+
 namespace msa::fault {
 
 /// splitmix64 finaliser — the statistical workhorse behind every random
-/// fault decision.
+/// fault decision (shared with the rest of the codebase via core/hash).
 [[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
+  return hash::splitmix64(x);
 }
 
 /// Uniform double in [0, 1) from a hash word.
 [[nodiscard]] constexpr double uniform01(std::uint64_t h) {
-  return static_cast<double>(h >> 11) * 0x1.0p-53;
+  return hash::uniform01(h);
 }
 
 /// Kill @p world_rank when it announces @p step (Comm::progress).

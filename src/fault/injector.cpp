@@ -1,5 +1,7 @@
 #include "fault/injector.hpp"
 
+#include "obs/trace.hpp"
+
 namespace msa::fault {
 
 namespace {
@@ -63,6 +65,8 @@ double FaultInjector::on_send(int src_world, int /*dst_world*/,
   if (uniform01(h) >= plan_.delay_probability) return 0.0;
   // Magnitude from an independent stream: delay_s * [0.5, 1.5).
   const double jitter = uniform01(mix64(h ^ 0x5452414E5349ull));  // "TRANSI"
+  obs::instant(obs::Category::Fault, "send_delay", /*bytes=*/0,
+               /*detail=*/static_cast<std::uint64_t>(src_world));
   return plan_.delay_s * (0.5 + jitter);
 }
 

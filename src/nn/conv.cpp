@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "par/pool.hpp"
 #include "tensor/ops.hpp"
 
@@ -50,6 +51,10 @@ Tensor Conv2D::forward(const Tensor& x, bool /*training*/) {
   const std::size_t rows = in_ch_ * kernel_ * kernel_;
   const std::size_t ohw = oh * ow;
   Tensor out({B, out_ch_, oh, ow});
+  obs::ScopedSpan span(
+      obs::Category::Compute, "conv2d_fwd", /*bytes=*/0,
+      static_cast<std::uint64_t>(static_cast<double>(B) *
+                                 tensor::gemm_flops(out_ch_, ohw, rows)));
   // Parallel over samples: each chunk owns a disjoint output slice and uses
   // per-thread im2col / GEMM scratch from the arena.
   par::parallel_for(0, B, 1, [&](std::size_t sb, std::size_t se) {
@@ -81,6 +86,7 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
   const std::size_t rows = in_ch_ * kernel_ * kernel_;
   const std::size_t ohw = oh * ow;
   const std::size_t wsize = w_.numel();
+  obs::ScopedSpan span(obs::Category::Compute, "conv2d_bwd");
   Tensor gx(x.shape());
   // Input gradients are disjoint per sample; weight/bias gradients
   // accumulate into per-chunk partials reduced afterwards in chunk order.

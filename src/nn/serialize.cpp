@@ -24,11 +24,12 @@ void check_magic(std::uint64_t found, const std::string& path) {
       return std::string{static_cast<char>((word >> 8) & 0xFF),
                          static_cast<char>(word & 0xFF)};
     };
-    throw std::runtime_error(path + ": msalib archive version \"" +
-                             version(found) + "\" not supported (this build " +
-                             "reads version \"" + version(kMagic) + "\")");
+    throw CheckpointError(path, "msalib archive version \"" + version(found) +
+                                    "\" not supported (this build reads "
+                                    "version \"" +
+                                    version(kMagic) + "\")");
   }
-  throw std::runtime_error(path + " is not an msalib tensor archive");
+  throw CheckpointError(path, "not an msalib tensor archive");
 }
 
 /// Writes to "<path>.tmp" and renames onto @p path at commit(), so a rank
@@ -41,7 +42,7 @@ class AtomicFile {
         tmp_(path_ + ".tmp"),
         os_(tmp_, std::ios::binary | std::ios::trunc) {
     if (!os_) {
-      throw std::runtime_error("cannot open " + tmp_ + " for writing");
+      throw CheckpointError(tmp_, "cannot open for writing");
     }
   }
 
@@ -60,11 +61,11 @@ class AtomicFile {
 
   void commit() {
     os_.flush();
-    if (!os_) throw std::runtime_error("write failure on " + tmp_);
+    if (!os_) throw CheckpointError(tmp_, "write failure");
     os_.close();
     if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
       std::remove(tmp_.c_str());
-      throw std::runtime_error("cannot rename " + tmp_ + " to " + path_);
+      throw CheckpointError(path_, "cannot rename " + tmp_ + " onto target");
     }
   }
 
@@ -78,10 +79,10 @@ void write_u64(std::ofstream& os, std::uint64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-std::uint64_t read_u64(std::ifstream& is) {
+std::uint64_t read_u64(std::ifstream& is, const std::string& path) {
   std::uint64_t v = 0;
   is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!is) throw std::runtime_error("checkpoint: truncated file");
+  if (!is) throw CheckpointError(path, "truncated file");
   return v;
 }
 
@@ -105,26 +106,26 @@ void save_spans(const std::string& path,
 /// Reads the next archived tensor directly into @p out (flattened); the
 /// stored element count must equal out.size().
 void read_tensor_into(std::ifstream& is, std::span<float> out,
-                      const std::string& what) {
-  const std::uint64_t ndim = read_u64(is);
+                      const std::string& what, const std::string& path) {
+  const std::uint64_t ndim = read_u64(is, path);
   std::uint64_t numel = ndim == 0 ? 0 : 1;
-  for (std::uint64_t d = 0; d < ndim; ++d) numel *= read_u64(is);
+  for (std::uint64_t d = 0; d < ndim; ++d) numel *= read_u64(is, path);
   if (numel != out.size()) {
-    throw std::runtime_error("checkpoint: " + what + " element count " +
-                             std::to_string(numel) + " != expected " +
-                             std::to_string(out.size()));
+    throw CheckpointError(path, what + " element count " +
+                                    std::to_string(numel) + " != expected " +
+                                    std::to_string(out.size()));
   }
   is.read(reinterpret_cast<char*>(out.data()),
           static_cast<std::streamsize>(out.size_bytes()));
-  if (!is) throw std::runtime_error("checkpoint: truncated tensor data");
+  if (!is) throw CheckpointError(path, "truncated " + what + " data");
 }
 
 /// Opens an archive and validates the magic; returns the tensor count.
 std::ifstream open_archive(const std::string& path, std::uint64_t& count) {
   std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("cannot open " + path);
-  check_magic(read_u64(is), path);
-  count = read_u64(is);
+  if (!is) throw CheckpointError(path, "cannot open for reading");
+  check_magic(read_u64(is, path), path);
+  count = read_u64(is, path);
   return is;
 }
 
@@ -166,22 +167,24 @@ void save_tensors(const std::string& path,
 }
 
 std::vector<Tensor> load_tensors(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("cannot open " + path);
-  check_magic(read_u64(is), path);
-  const std::uint64_t count = read_u64(is);
+  std::uint64_t count = 0;
+  std::ifstream is = open_archive(path, count);
   std::vector<Tensor> out;
   out.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint64_t ndim = read_u64(is);
+    const std::uint64_t ndim = read_u64(is, path);
     Shape shape;
     for (std::uint64_t d = 0; d < ndim; ++d) {
-      shape.push_back(static_cast<std::size_t>(read_u64(is)));
+      shape.push_back(static_cast<std::size_t>(read_u64(is, path)));
     }
     Tensor t(shape);
     is.read(reinterpret_cast<char*>(t.data()),
             static_cast<std::streamsize>(t.numel() * sizeof(float)));
-    if (!is) throw std::runtime_error("checkpoint: truncated tensor data");
+    if (!is) {
+      throw CheckpointError(path, "truncated data for tensor " +
+                                      std::to_string(i) + " of " +
+                                      std::to_string(count));
+    }
     out.push_back(std::move(t));
   }
   return out;
@@ -197,12 +200,14 @@ void load_parameters(const std::string& path, Layer& model) {
   const auto loaded = load_tensors(path);
   auto params = model.params();
   if (loaded.size() != params.size()) {
-    throw std::runtime_error("checkpoint: parameter count mismatch");
+    throw CheckpointError(path, "holds " + std::to_string(loaded.size()) +
+                                    " parameters, model has " +
+                                    std::to_string(params.size()));
   }
   for (std::size_t i = 0; i < params.size(); ++i) {
     if (!loaded[i].same_shape(*params[i])) {
-      throw std::runtime_error("checkpoint: shape mismatch at tensor " +
-                               std::to_string(i));
+      throw CheckpointError(path,
+                            "shape mismatch at tensor " + std::to_string(i));
     }
     *params[i] = loaded[i];
   }
@@ -217,10 +222,10 @@ void load_parameters(const std::string& path, ParamStore& store) {
   std::uint64_t count = 0;
   std::ifstream is = open_archive(path, count);
   if (count != 1) {
-    throw std::runtime_error("checkpoint: expected one parameter slab, found " +
-                             std::to_string(count) + " tensors");
+    throw CheckpointError(path, "expected one parameter slab, found " +
+                                    std::to_string(count) + " tensors");
   }
-  read_tensor_into(is, store.param_span(), "parameter slab");
+  read_tensor_into(is, store.param_span(), "parameter slab", path);
 }
 
 Checkpoint save_checkpoint(const std::string& prefix, Layer& model,
@@ -238,8 +243,8 @@ Checkpoint save_checkpoint(const std::string& prefix, Layer& model,
 Checkpoint save_checkpoint(const std::string& prefix, ParamStore& store,
                            Optimizer& optimizer) {
   if (store.attached_optimizer() != &optimizer) {
-    throw std::runtime_error(
-        "checkpoint: optimizer is not attached to this ParamStore");
+    throw CheckpointError(prefix,
+                          "optimizer is not attached to this ParamStore");
   }
   Checkpoint ckpt{prefix + ".params.bin", prefix + ".optstate.bin"};
   save_parameters(ckpt.params_path, store);
@@ -254,28 +259,33 @@ Checkpoint save_checkpoint(const std::string& prefix, ParamStore& store,
 void load_checkpoint(const Checkpoint& ckpt, ParamStore& store,
                      Optimizer& optimizer) {
   if (store.attached_optimizer() != &optimizer) {
-    throw std::runtime_error(
-        "checkpoint: optimizer is not attached to this ParamStore");
+    throw CheckpointError(ckpt.params_path,
+                          "optimizer is not attached to this ParamStore");
   }
   load_parameters(ckpt.params_path, store);
   std::uint64_t count = 0;
   std::ifstream is = open_archive(ckpt.optimizer_path, count);
   if (count != 2) {
-    throw std::runtime_error(
-        "checkpoint: expected [state slab, scalars], found " +
-        std::to_string(count) + " tensors");
+    throw CheckpointError(ckpt.optimizer_path,
+                          "expected [state slab, scalars], found " +
+                              std::to_string(count) + " tensors");
   }
-  read_tensor_into(is, store.opt_span(), "optimizer state slab");
+  read_tensor_into(is, store.opt_span(), "optimizer state slab",
+                   ckpt.optimizer_path);
   Tensor scalar_tensor({0});
   {
     // The scalar trailer is small; read its header then payload.
-    const std::uint64_t ndim = read_u64(is);
+    const std::uint64_t ndim = read_u64(is, ckpt.optimizer_path);
     std::uint64_t numel = ndim == 0 ? 0 : 1;
-    for (std::uint64_t d = 0; d < ndim; ++d) numel *= read_u64(is);
+    for (std::uint64_t d = 0; d < ndim; ++d) {
+      numel *= read_u64(is, ckpt.optimizer_path);
+    }
     scalar_tensor = Tensor({static_cast<std::size_t>(numel)});
     is.read(reinterpret_cast<char*>(scalar_tensor.data()),
             static_cast<std::streamsize>(numel * sizeof(float)));
-    if (!is) throw std::runtime_error("checkpoint: truncated scalar state");
+    if (!is) {
+      throw CheckpointError(ckpt.optimizer_path, "truncated scalar state");
+    }
   }
   unpack_scalar_state(scalar_tensor, optimizer);
 }
@@ -284,18 +294,23 @@ void load_checkpoint(const Checkpoint& ckpt, Layer& model,
                      Optimizer& optimizer) {
   load_parameters(ckpt.params_path, model);
   auto loaded = load_tensors(ckpt.optimizer_path);
-  if (loaded.empty()) throw std::runtime_error("checkpoint: empty optimizer state");
+  if (loaded.empty()) {
+    throw CheckpointError(ckpt.optimizer_path, "empty optimizer state");
+  }
   // Last tensor holds the scalar state.
   unpack_scalar_state(loaded.back(), optimizer);
   auto state = optimizer.state_tensors();
   if (state.size() != loaded.size() - 1) {
-    throw std::runtime_error(
-        "checkpoint: optimizer state layout mismatch (did the optimizer take "
-        "a first step before restore?)");
+    throw CheckpointError(
+        ckpt.optimizer_path,
+        "optimizer state layout mismatch (did the optimizer take a first "
+        "step before restore?)");
   }
   for (std::size_t i = 0; i < state.size(); ++i) {
     if (!loaded[i].same_shape(*state[i])) {
-      throw std::runtime_error("checkpoint: optimizer state shape mismatch");
+      throw CheckpointError(
+          ckpt.optimizer_path,
+          "optimizer state shape mismatch at tensor " + std::to_string(i));
     }
     *state[i] = loaded[i];
   }

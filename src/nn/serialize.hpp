@@ -7,6 +7,7 @@
 #pragma once
 
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -16,7 +17,21 @@
 
 namespace msa::nn {
 
-/// Write @p tensors to @p path.  Throws std::runtime_error on I/O failure.
+/// Checkpoint I/O or format failure.  what() always leads with the offending
+/// file path ("<path>: <reason>"); path() exposes it for programmatic
+/// handling (e.g. a recovery loop deciding which archive to fall back to).
+class CheckpointError : public std::runtime_error {
+ public:
+  CheckpointError(std::string path, const std::string& reason)
+      : std::runtime_error(path + ": " + reason), path_(std::move(path)) {}
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Write @p tensors to @p path.  Throws CheckpointError on I/O failure.
 void save_tensors(const std::string& path,
                   const std::vector<const Tensor*>& tensors);
 

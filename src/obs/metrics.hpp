@@ -1,0 +1,154 @@
+// Metrics registry: counters, gauges, and fixed-bucket histograms.
+//
+// Hot-path writes are lock-free: each counter/histogram owns a small array
+// of cache-line-padded atomic cells, and every thread hashes to a fixed
+// cell, so concurrent adds contend only on (rare) cell collisions and a
+// snapshot merges the shards with relaxed loads.  Because counters and
+// histogram buckets are integers, the merged values are exact — a workload
+// whose *operation counts* are thread-count-independent (everything built
+// on par::parallel_for's fixed chunk decomposition) produces bit-identical
+// snapshots for every MSA_THREADS setting.
+//
+// Registration (Registry::counter/gauge/histogram) takes a mutex and may
+// allocate; instrumented sites therefore look metrics up once:
+//
+//   static obs::Counter& c = obs::Registry::instance().counter("comm.bytes");
+//   c.add(n);
+//
+// Snapshots iterate in deterministic (lexicographic name) order, which is
+// also the JSON export order.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msa::obs {
+
+namespace detail {
+
+inline constexpr std::size_t kCells = 16;  // per-metric shard slots
+
+/// Stable per-thread cell index in [0, kCells).
+[[nodiscard]] std::size_t thread_cell();
+
+struct alignas(64) PaddedCounter {
+  std::atomic<std::uint64_t> value{0};
+};
+
+}  // namespace detail
+
+/// Monotonic counter (merged value is the exact sum of all adds).
+class Counter {
+ public:
+  void add(std::uint64_t v = 1) {
+    cells_[detail::thread_cell()].value.fetch_add(v,
+                                                  std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const auto& c : cells_) sum += c.value.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() {
+    for (auto& c : cells_) c.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<detail::PaddedCounter, detail::kCells> cells_;
+};
+
+/// Last-writer-wins scalar (bit pattern of a double).
+class Gauge {
+ public:
+  void set(double v) { bits_.store(pack(v), std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return unpack(bits_.load(std::memory_order_relaxed));
+  }
+  void reset() { bits_.store(pack(0.0), std::memory_order_relaxed); }
+
+ private:
+  static std::uint64_t pack(double v) {
+    std::uint64_t b;
+    static_assert(sizeof b == sizeof v);
+    __builtin_memcpy(&b, &v, sizeof b);
+    return b;
+  }
+  static double unpack(std::uint64_t b) {
+    double v;
+    __builtin_memcpy(&v, &b, sizeof v);
+    return v;
+  }
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+/// extra overflow bucket counts the rest.  Counts are integers, so merged
+/// snapshots are exact and thread-count-independent.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  /// Per-bucket counts (bounds().size() + 1 entries, last = overflow).
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;  // ascending upper bounds
+  // buckets x cells, cell-major so one thread's adds stay on its lines.
+  std::vector<detail::PaddedCounter> cells_;
+};
+
+/// Process-wide registry.  Metric objects live forever once registered
+/// (references stay valid), mirroring Prometheus client semantics.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Returns the counter named @p name, registering it on first use.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+
+  /// Histogram registration must agree on bounds across call sites;
+  /// mismatched bounds for an existing name throw std::invalid_argument.
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::vector<double> upper_bounds);
+
+  /// Merged view, deterministically ordered by name.
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    struct Hist {
+      std::vector<double> bounds;
+      std::vector<std::uint64_t> counts;
+      bool operator==(const Hist&) const = default;
+    };
+    std::map<std::string, Hist> histograms;
+    bool operator==(const Snapshot&) const = default;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// JSON export of snapshot(), keys in deterministic order.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Zero every registered metric (names stay registered).
+  void reset();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  [[nodiscard]] Impl& impl() const;
+};
+
+}  // namespace msa::obs

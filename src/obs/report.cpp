@@ -1,0 +1,109 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace msa::obs {
+
+Report Report::from_spans(const std::vector<Span>& spans) {
+  std::map<int, Attribution> per_rank;
+  for (const Span& s : spans) {
+    if (s.rank < 0) continue;  // host spans carry no simulated time
+    Attribution& a = per_rank[s.rank];
+    a.rank = s.rank;
+    a.total_s = std::max(a.total_s, s.sim_end_s);
+    ++a.spans;
+    if (s.shadowed || s.instant) continue;
+    const double dur = std::max(0.0, s.sim_duration_s());
+    switch (s.cat) {
+      case Category::Comm:
+        a.comm_s += dur;
+        a.comm_bytes += s.bytes;
+        break;
+      case Category::Compute:
+        a.compute_s += dur;
+        a.flops += s.flops;
+        break;
+      case Category::Io: a.io_s += dur; break;
+      case Category::Fault: a.fault_s += dur; break;
+      case Category::Step:
+      case Category::Other: break;  // envelopes — not attributed
+    }
+  }
+  Report report;
+  for (auto& [rank, a] : per_rank) {
+    a.other_s = std::max(
+        0.0, a.total_s - a.comm_s - a.compute_s - a.io_s - a.fault_s);
+    report.aggregate_.comm_s += a.comm_s;
+    report.aggregate_.compute_s += a.compute_s;
+    report.aggregate_.io_s += a.io_s;
+    report.aggregate_.fault_s += a.fault_s;
+    report.aggregate_.other_s += a.other_s;
+    report.aggregate_.total_s += a.total_s;
+    report.aggregate_.comm_bytes += a.comm_bytes;
+    report.aggregate_.flops += a.flops;
+    report.aggregate_.spans += a.spans;
+    report.ranks_.push_back(a);
+  }
+  return report;
+}
+
+Report Report::from_tracer() {
+  return from_spans(Tracer::instance().snapshot());
+}
+
+namespace {
+
+void print_row(std::FILE* out, const char* label, const Attribution& a) {
+  std::fprintf(out,
+               "%8s %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %7.1f%% %7.1f%%\n",
+               label, a.total_s * 1e3, a.comm_s * 1e3, a.compute_s * 1e3,
+               a.io_s * 1e3, a.fault_s * 1e3, a.other_s * 1e3,
+               100.0 * a.comm_fraction(), 100.0 * a.compute_fraction());
+}
+
+void append_attribution_json(std::string& out, const Attribution& a) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"rank\": %d, \"total_s\": %.9f, \"comm_s\": %.9f, "
+      "\"compute_s\": %.9f, \"io_s\": %.9f, \"fault_s\": %.9f, "
+      "\"other_s\": %.9f, \"comm_fraction\": %.6f, "
+      "\"compute_fraction\": %.6f, \"comm_bytes\": %llu, \"flops\": %llu, "
+      "\"spans\": %llu}",
+      a.rank, a.total_s, a.comm_s, a.compute_s, a.io_s, a.fault_s, a.other_s,
+      a.comm_fraction(), a.compute_fraction(),
+      static_cast<unsigned long long>(a.comm_bytes),
+      static_cast<unsigned long long>(a.flops),
+      static_cast<unsigned long long>(a.spans));
+  out += buf;
+}
+
+}  // namespace
+
+void Report::print(std::FILE* out) const {
+  std::fprintf(out,
+               "%8s %10s %10s %10s %10s %10s %10s %8s %8s\n", "rank",
+               "total[ms]", "comm[ms]", "compute", "io", "fault", "other",
+               "comm%", "comp%");
+  char label[16];
+  for (const Attribution& a : ranks_) {
+    std::snprintf(label, sizeof label, "%d", a.rank);
+    print_row(out, label, a);
+  }
+  print_row(out, "all", aggregate_);
+}
+
+std::string Report::to_json() const {
+  std::string out = "{\"ranks\": [";
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    if (i > 0) out += ", ";
+    append_attribution_json(out, ranks_[i]);
+  }
+  out += "], \"aggregate\": ";
+  append_attribution_json(out, aggregate_);
+  out += "}";
+  return out;
+}
+
+}  // namespace msa::obs

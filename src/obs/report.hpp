@@ -1,0 +1,71 @@
+// Attribution report: rolls recorded spans up into a per-rank (and
+// aggregate) breakdown of simulated time spent on communication, compute,
+// checkpoint I/O, and fault/recovery machinery.
+//
+// Double counting is avoided structurally: the tracer marks a span
+// "shadowed" when it was opened under an already-open attribution-category
+// span on the same thread (a ring-allreduce recv inside an allreduce span,
+// a GEMM inside a forward-compute phase, a parameter bcast inside a
+// snapshot restore), and the report only sums unshadowed spans.  Whatever
+// simulated time remains uncovered lands in "other" — for a well
+// instrumented run that is idle/skew time.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace msa::obs {
+
+/// Simulated-time breakdown for one rank (or the whole run, for aggregate).
+struct Attribution {
+  int rank = -1;  ///< -1 in the aggregate row
+  double comm_s = 0.0;
+  double compute_s = 0.0;
+  double io_s = 0.0;
+  double fault_s = 0.0;
+  double other_s = 0.0;   ///< total - attributed (idle, skew, uninstrumented)
+  double total_s = 0.0;   ///< rank's final simulated time
+  std::uint64_t comm_bytes = 0;  ///< payload bytes of unshadowed comm spans
+  std::uint64_t flops = 0;       ///< charged flops of unshadowed compute spans
+  std::uint64_t spans = 0;       ///< spans contributing to this row
+
+  [[nodiscard]] double comm_fraction() const {
+    return total_s > 0.0 ? comm_s / total_s : 0.0;
+  }
+  [[nodiscard]] double compute_fraction() const {
+    return total_s > 0.0 ? compute_s / total_s : 0.0;
+  }
+};
+
+/// Per-run comm/compute/io attribution table.
+class Report {
+ public:
+  /// Build from explicit spans (host spans with rank < 0 are ignored: they
+  /// carry no simulated time).
+  [[nodiscard]] static Report from_spans(const std::vector<Span>& spans);
+
+  /// Build from the live tracer's current snapshot.  Quiescent only.
+  [[nodiscard]] static Report from_tracer();
+
+  [[nodiscard]] const std::vector<Attribution>& ranks() const {
+    return ranks_;
+  }
+  /// Sums over ranks; fractions are of summed total time.
+  [[nodiscard]] const Attribution& aggregate() const { return aggregate_; }
+
+  /// Fixed-width table, one row per rank plus the aggregate.
+  void print(std::FILE* out) const;
+
+  /// {"ranks":[...],"aggregate":{...}} with per-category seconds/fractions.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::vector<Attribution> ranks_;
+  Attribution aggregate_;
+};
+
+}  // namespace msa::obs

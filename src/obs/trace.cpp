@@ -1,0 +1,390 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace msa::obs {
+
+const char* to_string(Category cat) {
+  switch (cat) {
+    case Category::Comm: return "comm";
+    case Category::Compute: return "compute";
+    case Category::Io: return "io";
+    case Category::Step: return "step";
+    case Category::Fault: return "fault";
+    case Category::Other: return "other";
+  }
+  return "other";
+}
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = 16384;
+
+thread_local int t_bound_rank = -1;
+thread_local const simnet::SimClock* t_bound_clock = nullptr;
+
+}  // namespace
+
+struct Tracer::Impl {
+  std::atomic<bool> enabled{true};
+  std::size_t capacity = kDefaultCapacity;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+
+  // Registration/pooling is the only locked path, taken once per thread (or
+  // on quiescent snapshot/clear) — never per span.
+  mutable std::mutex mutex;
+  std::vector<std::unique_ptr<detail::TraceBuffer>> buffers;  // all, by shard
+  std::vector<detail::TraceBuffer*> free_list;  // returned by exited threads
+
+  detail::TraceBuffer* acquire() {
+    std::lock_guard lock(mutex);
+    if (!free_list.empty()) {
+      detail::TraceBuffer* buf = free_list.back();
+      free_list.pop_back();
+      return buf;
+    }
+    auto buf = std::make_unique<detail::TraceBuffer>();
+    buf->capacity = capacity;
+    buf->ring.reserve(capacity);
+    buf->shard = static_cast<std::uint16_t>(buffers.size());
+    buffers.push_back(std::move(buf));
+    return buffers.back().get();
+  }
+
+  void release(detail::TraceBuffer* buf) {
+    std::lock_guard lock(mutex);
+    free_list.push_back(buf);
+  }
+};
+
+namespace {
+
+/// Hands the thread its buffer lazily and returns it to the pool when the
+/// thread exits, so span storage is bounded by the peak thread count.
+struct ThreadBufferHolder {
+  detail::TraceBuffer* buf = nullptr;
+  Tracer::Impl* owner = nullptr;
+  ~ThreadBufferHolder() {
+    if (buf != nullptr && owner != nullptr) owner->release(buf);
+  }
+};
+thread_local ThreadBufferHolder t_holder;
+
+}  // namespace
+
+Tracer::Tracer() : impl_(new Impl) { configure_from_env(); }
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+bool Tracer::armed() const {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+void Tracer::set_enabled(bool enabled) {
+  impl_->enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Tracer::configure_from_env() {
+  if (const char* env = std::getenv("MSA_TRACE")) {
+    set_enabled(!(env[0] == '0' && env[1] == '\0'));
+  } else {
+    set_enabled(true);  // always-on by default
+  }
+  if (const char* env = std::getenv("MSA_TRACE_SPANS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) impl_->capacity = static_cast<std::size_t>(v);
+  }
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(impl_->mutex);
+  for (auto& buf : impl_->buffers) {
+    buf->ring.clear();
+    buf->head = 0;
+    buf->recorded = 0;
+    buf->next_seq = 0;
+  }
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard lock(impl_->mutex);
+  std::size_t n = 0;
+  for (const auto& buf : impl_->buffers) n += buf->ring.size();
+  return n;
+}
+
+std::uint64_t Tracer::recorded_count() const {
+  std::lock_guard lock(impl_->mutex);
+  std::uint64_t n = 0;
+  for (const auto& buf : impl_->buffers) n += buf->recorded;
+  return n;
+}
+
+std::vector<Span> Tracer::snapshot() const {
+  std::lock_guard lock(impl_->mutex);
+  std::vector<Span> out;
+  for (const auto& buf : impl_->buffers) {
+    out.insert(out.end(), buf->ring.begin(), buf->ring.end());
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    if (a.shard != b.shard) return a.shard < b.shard;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+detail::TraceBuffer* Tracer::thread_buffer() {
+  if (t_holder.buf == nullptr) {
+    t_holder.owner = impl_;
+    t_holder.buf = impl_->acquire();
+  }
+  return t_holder.buf;
+}
+
+std::uint64_t Tracer::real_now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - impl_->epoch)
+          .count());
+}
+
+// ---- chrome trace export -----------------------------------------------------
+
+namespace {
+
+constexpr int kHostPid = 999999;  // unbound host threads, real-time timeline
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_event(std::string& out, const Span& s, bool first) {
+  char buf[384];
+  const bool host = s.rank < 0;
+  const int pid = host ? kHostPid : s.rank;
+  // Rank timelines run on simulated time, host threads on real time; both
+  // are reported in trace_event microseconds.
+  const double ts_us = host ? static_cast<double>(s.real_begin_ns) * 1e-3
+                            : s.sim_begin_s * 1e6;
+  const double dur_us = host
+                            ? static_cast<double>(s.real_end_ns -
+                                                  s.real_begin_ns) *
+                                  1e-3
+                            : s.sim_duration_s() * 1e6;
+  if (!first) out.append(",\n");
+  out.append("  {\"name\":\"");
+  append_escaped(out, s.name);
+  out.append("\",\"cat\":\"");
+  out.append(to_string(s.cat));
+  if (s.instant) {
+    std::snprintf(buf, sizeof buf,
+                  "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":%d,"
+                  "\"tid\":%u,",
+                  ts_us, pid, static_cast<unsigned>(s.shard));
+  } else {
+    std::snprintf(buf, sizeof buf,
+                  "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,"
+                  "\"tid\":%u,",
+                  ts_us, dur_us, pid, static_cast<unsigned>(s.shard));
+  }
+  out.append(buf);
+  std::snprintf(buf, sizeof buf,
+                "\"args\":{\"bytes\":%llu,\"flops\":%llu,\"detail\":%llu,"
+                "\"real_us\":%.3f,\"sim_begin_s\":%.9f,\"shadowed\":%s}}",
+                static_cast<unsigned long long>(s.bytes),
+                static_cast<unsigned long long>(s.flops),
+                static_cast<unsigned long long>(s.detail),
+                static_cast<double>(s.real_end_ns - s.real_begin_ns) * 1e-3,
+                s.sim_begin_s, s.shadowed ? "true" : "false");
+  out.append(buf);
+}
+
+void append_process_name(std::string& out, int pid, const std::string& name,
+                         bool first) {
+  char buf[192];
+  if (!first) out.append(",\n");
+  std::snprintf(buf, sizeof buf,
+                "  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                "\"args\":{\"name\":\"%s\"}}",
+                pid, name.c_str());
+  out.append(buf);
+}
+
+}  // namespace
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<Span> spans = snapshot();
+  std::string out;
+  out.reserve(256 + spans.size() * 220);
+  out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+  bool first = true;
+  std::vector<int> ranks_seen;
+  bool host_seen = false;
+  for (const Span& s : spans) {
+    if (s.rank >= 0) {
+      if (ranks_seen.empty() || ranks_seen.back() != s.rank) {
+        ranks_seen.push_back(s.rank);  // spans are sorted by rank
+      }
+    } else {
+      host_seen = true;
+    }
+  }
+  for (const int r : ranks_seen) {
+    append_process_name(out, r, "rank " + std::to_string(r) + " (sim time)",
+                        first);
+    first = false;
+  }
+  if (host_seen) {
+    append_process_name(out, kHostPid, "host threads (real time)", first);
+    first = false;
+  }
+  for (const Span& s : spans) {
+    append_event(out, s, first);
+    first = false;
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("obs: cannot open " + path + " for writing");
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int closed = std::fclose(f);
+  if (written != json.size() || closed != 0) {
+    throw std::runtime_error("obs: short write to " + path);
+  }
+}
+
+// ---- rank binding ------------------------------------------------------------
+
+RankScope::RankScope(int rank, const simnet::SimClock* clock)
+    : prev_rank_(t_bound_rank), prev_clock_(t_bound_clock) {
+  t_bound_rank = rank;
+  t_bound_clock = clock;
+}
+
+RankScope::~RankScope() {
+  t_bound_rank = prev_rank_;
+  t_bound_clock = prev_clock_;
+}
+
+int bound_rank() { return t_bound_rank; }
+const simnet::SimClock* bound_clock() { return t_bound_clock; }
+
+// ---- span recording ----------------------------------------------------------
+
+void ScopedSpan::open(Category cat, const char* name, int rank,
+                      const simnet::SimClock* sim, std::uint64_t bytes,
+                      std::uint64_t flops, std::uint64_t detail) {
+  Tracer& tracer = Tracer::instance();
+  buf_ = tracer.thread_buffer();
+  sim_ = sim;
+  name_ = name;
+  sim_begin_ = sim != nullptr ? sim->now() : 0.0;
+  real_begin_ = tracer.real_now_ns();
+  bytes_ = bytes;
+  flops_ = flops;
+  detail_ = detail;
+  rank_ = rank;
+  cat_ = cat;
+  shadowed_ = buf_->open_attribution > 0;
+  if (is_attribution(cat)) ++buf_->open_attribution;
+}
+
+ScopedSpan::ScopedSpan(Category cat, const char* name, std::uint64_t bytes,
+                       std::uint64_t flops, std::uint64_t detail) {
+  if (!trace_enabled()) return;
+  open(cat, name, t_bound_rank, t_bound_clock, bytes, flops, detail);
+}
+
+ScopedSpan::ScopedSpan(Category cat, const char* name, int rank,
+                       const simnet::SimClock* sim, std::uint64_t bytes,
+                       std::uint64_t flops, std::uint64_t detail) {
+  if (!trace_enabled()) return;
+  open(cat, name, rank, sim, bytes, flops, detail);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (buf_ == nullptr) return;
+  if (is_attribution(cat_)) --buf_->open_attribution;
+  Span s;
+  s.sim_begin_s = sim_begin_;
+  s.sim_end_s = sim_ != nullptr ? sim_->now() : 0.0;
+  s.real_begin_ns = real_begin_;
+  s.real_end_ns = Tracer::instance().real_now_ns();
+  s.bytes = bytes_;
+  s.flops = flops_;
+  s.detail = detail_;
+  s.seq = buf_->next_seq++;
+  s.rank = rank_;
+  s.shard = buf_->shard;
+  s.cat = cat_;
+  s.shadowed = shadowed_;
+  std::strncpy(s.name, name_, Span::kNameCapacity);
+  buf_->push(s);
+}
+
+namespace {
+
+void record_instant(Category cat, const char* name, int rank,
+                    const simnet::SimClock* sim, std::uint64_t bytes,
+                    std::uint64_t detail) {
+  Tracer& tracer = Tracer::instance();
+  detail::TraceBuffer* buf = tracer.thread_buffer();
+  Span s;
+  s.sim_begin_s = sim != nullptr ? sim->now() : 0.0;
+  s.sim_end_s = s.sim_begin_s;
+  s.real_begin_ns = tracer.real_now_ns();
+  s.real_end_ns = s.real_begin_ns;
+  s.bytes = bytes;
+  s.detail = detail;
+  s.seq = buf->next_seq++;
+  s.rank = rank;
+  s.shard = buf->shard;
+  s.cat = cat;
+  s.instant = true;
+  s.shadowed = buf->open_attribution > 0;
+  std::strncpy(s.name, name, Span::kNameCapacity);
+  buf->push(s);
+}
+
+}  // namespace
+
+void instant(Category cat, const char* name, std::uint64_t bytes,
+             std::uint64_t detail) {
+  if (!trace_enabled()) return;
+  record_instant(cat, name, t_bound_rank, t_bound_clock, bytes, detail);
+}
+
+void instant(Category cat, const char* name, int rank,
+             const simnet::SimClock* sim, std::uint64_t bytes,
+             std::uint64_t detail) {
+  if (!trace_enabled()) return;
+  record_instant(cat, name, rank, sim, bytes, detail);
+}
+
+}  // namespace msa::obs

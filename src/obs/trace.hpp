@@ -1,0 +1,249 @@
+// Span-based tracer for the dual-clock execution model.
+//
+// Every instrumented site opens a ScopedSpan that records (rank, category,
+// name, simulated begin/end, host-real begin/end, bytes/flops payload) into
+// a per-thread ring buffer.  Rank threads bind themselves with a RankScope
+// (Runtime::run does this), so spans opened anywhere on that thread — comm
+// collectives, nn kernels, trainer phases — carry the rank and read its
+// simulated clock.  Unbound threads (bench mains, tests) record host-only
+// spans with rank -1 and frozen sim time.
+//
+// Overhead contract: tracing is compiled in but runtime-gated.  With
+// MSA_TRACE=0 (or set_enabled(false)) every site pays exactly one relaxed
+// atomic load and no allocation; ring buffers stay empty.  When armed, a
+// span costs two clock reads and one bounded ring write on the owning
+// thread — no locks, no allocation after the per-thread buffer's one-time
+// reserve — so traced and untraced runs are bit-identical in numerics (the
+// tracer only ever *reads* the simulated clocks).
+//
+// Export: snapshot() returns spans in deterministic (rank, shard, seq)
+// order; chrome_trace_json() emits Chrome trace_event JSON — one pid per
+// rank on the *simulated* timeline (microseconds of sim time), host-only
+// spans under a separate pid on the real timeline — which opens directly in
+// Perfetto / chrome://tracing.
+//
+// Thread-safety: recording is safe from any number of threads (each writes
+// only its own buffer).  clear()/snapshot()/export require quiescence: call
+// them when no instrumented code is running (e.g. after Runtime::run
+// returns, which joins every rank thread).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "simnet/clock.hpp"
+
+namespace msa::obs {
+
+/// What a span's time was spent on.  Comm/Compute/Io/Fault are the
+/// *attribution* categories rolled up by obs::Report; a span nested under an
+/// open attribution span is marked shadowed so its time is never
+/// double-counted (e.g. the restore I/O and rejoin collectives inside a
+/// Fault "recover" span bill to fault, not to io/comm as well).
+enum class Category : std::uint8_t {
+  Comm = 0,     ///< message passing, collectives, fabric transfers
+  Compute = 1,  ///< kernels and charged device compute
+  Io = 2,       ///< checkpoint/snapshot/restore storage traffic
+  Step = 3,     ///< trainer step envelope (not attributed)
+  Fault = 4,    ///< injected faults, recovery machinery
+  Other = 5,
+};
+inline constexpr int kCategoryCount = 6;
+
+[[nodiscard]] const char* to_string(Category cat);
+
+/// True for the categories obs::Report attributes time to.
+[[nodiscard]] constexpr bool is_attribution(Category cat) {
+  return cat == Category::Comm || cat == Category::Compute ||
+         cat == Category::Io || cat == Category::Fault;
+}
+
+/// One recorded interval (or instant marker, when instant is set).
+struct Span {
+  static constexpr std::size_t kNameCapacity = 23;  // + NUL terminator
+
+  double sim_begin_s = 0.0;
+  double sim_end_s = 0.0;
+  std::uint64_t real_begin_ns = 0;  ///< steady-clock ns since tracer epoch
+  std::uint64_t real_end_ns = 0;
+  std::uint64_t bytes = 0;  ///< payload bytes (comm/io spans)
+  std::uint64_t flops = 0;  ///< charged flops (compute spans)
+  std::uint64_t detail = 0; ///< site-specific id (e.g. communicator id)
+  std::uint64_t seq = 0;    ///< per-shard record sequence (export ordering)
+  std::int32_t rank = -1;   ///< world rank, -1 = unbound host thread
+  std::uint16_t shard = 0;  ///< owning thread's buffer index
+  Category cat = Category::Other;
+  bool instant = false;
+  bool shadowed = false;  ///< an attribution-category ancestor was open
+  char name[kNameCapacity + 1] = {0};
+
+  [[nodiscard]] double sim_duration_s() const {
+    return sim_end_s - sim_begin_s;
+  }
+};
+
+namespace detail {
+
+/// Per-thread span ring.  Written only by the owning thread; read by
+/// snapshot/export when quiescent.  Buffers are pooled: a thread that exits
+/// returns its buffer for the next thread, so memory stays bounded across
+/// many Runtime::runs.
+struct TraceBuffer {
+  std::vector<Span> ring;
+  std::size_t capacity = 0;
+  std::size_t head = 0;        // next overwrite position once full
+  std::uint64_t recorded = 0;  // spans ever recorded (>= ring.size())
+  std::uint64_t next_seq = 0;
+  int open_attribution = 0;  // attribution-category spans open on this thread
+  std::uint16_t shard = 0;
+
+  void push(const Span& s) {
+    if (ring.size() < capacity) {
+      ring.push_back(s);
+    } else if (capacity > 0) {
+      ring[head] = s;
+      head = (head + 1) % capacity;
+    }
+    ++recorded;
+  }
+};
+
+}  // namespace detail
+
+/// Process-wide tracer singleton.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// One relaxed load: the whole cost of an unarmed instrumentation site.
+  [[nodiscard]] bool armed() const;
+  void set_enabled(bool enabled);
+
+  /// Re-read MSA_TRACE ("0" disarms; anything else, or unset, arms — the
+  /// subsystem is always-on by default) and MSA_TRACE_SPANS (per-thread ring
+  /// capacity, default 16384).  Called once at construction; exposed so
+  /// tests can exercise the env contract.
+  void configure_from_env();
+
+  /// Drop every recorded span (active and pooled buffers).  Quiescent only.
+  void clear();
+
+  /// Spans currently held, across all buffers.  Quiescent only.
+  [[nodiscard]] std::size_t span_count() const;
+
+  /// Total spans ever recorded (counts ring overwrites).  Quiescent only.
+  [[nodiscard]] std::uint64_t recorded_count() const;
+
+  /// All retained spans in deterministic (rank, shard, seq) order.
+  [[nodiscard]] std::vector<Span> snapshot() const;
+
+  /// Chrome trace_event JSON (see file header for the timeline layout).
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// Write chrome_trace_json() to @p path (throws std::runtime_error with
+  /// the path on I/O failure).
+  void write_chrome_trace(const std::string& path) const;
+
+  // ---- recording internals (used by ScopedSpan / instant) ------------------
+  [[nodiscard]] detail::TraceBuffer* thread_buffer();
+  [[nodiscard]] std::uint64_t real_now_ns() const;
+
+  struct Impl;  // opaque; public so thread-exit hooks can return buffers
+
+ private:
+  Tracer();
+  Impl* impl_;  // leaked singleton: rank threads may outlive static dtors
+};
+
+/// One relaxed atomic load; constant false when the subsystem is compiled
+/// out (-DMSA_OBS=OFF defines MSA_OBS_DISABLED).
+[[nodiscard]] inline bool trace_enabled() {
+#ifdef MSA_OBS_DISABLED
+  return false;
+#else
+  return Tracer::instance().armed();
+#endif
+}
+
+/// ---- rank binding ----------------------------------------------------------
+
+/// Binds the calling thread to a simulated rank and its clock for the scope
+/// lifetime (Runtime::run installs one per rank thread).  Spans opened on
+/// the thread pick up the rank and read this clock.
+class RankScope {
+ public:
+  RankScope(int rank, const simnet::SimClock* clock);
+  ~RankScope();
+  RankScope(const RankScope&) = delete;
+  RankScope& operator=(const RankScope&) = delete;
+
+ private:
+  int prev_rank_;
+  const simnet::SimClock* prev_clock_;
+};
+
+/// (rank, clock) the calling thread is bound to; (-1, nullptr) when unbound.
+[[nodiscard]] int bound_rank();
+[[nodiscard]] const simnet::SimClock* bound_clock();
+
+/// ---- span recording --------------------------------------------------------
+
+/// RAII span: records on destruction.  Construction with tracing disarmed
+/// costs one relaxed load and records nothing.
+class ScopedSpan {
+ public:
+  /// Thread-bound form: rank and sim clock come from the thread's RankScope.
+  ScopedSpan(Category cat, const char* name, std::uint64_t bytes = 0,
+             std::uint64_t flops = 0, std::uint64_t detail = 0);
+
+  /// Explicit form for sites that know their rank/clock (the comm layer).
+  ScopedSpan(Category cat, const char* name, int rank,
+             const simnet::SimClock* sim, std::uint64_t bytes = 0,
+             std::uint64_t flops = 0, std::uint64_t detail = 0);
+
+  /// Guard: a literal 0 in the payload position would otherwise convert to a
+  /// null SimClock* and silently select the explicit-rank overload.
+  ScopedSpan(Category cat, const char* name, int rank, std::nullptr_t,
+             std::uint64_t bytes = 0, std::uint64_t flops = 0,
+             std::uint64_t detail = 0) = delete;
+
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Accumulate payload discovered mid-span (e.g. bytes actually received).
+  void add_bytes(std::uint64_t bytes) {
+    if (buf_ != nullptr) bytes_ += bytes;
+  }
+
+ private:
+  void open(Category cat, const char* name, int rank,
+            const simnet::SimClock* sim, std::uint64_t bytes,
+            std::uint64_t flops, std::uint64_t detail);
+
+  detail::TraceBuffer* buf_ = nullptr;  // null: disarmed, dtor is a no-op
+  const simnet::SimClock* sim_ = nullptr;
+  const char* name_ = nullptr;
+  double sim_begin_ = 0.0;
+  std::uint64_t real_begin_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t flops_ = 0;
+  std::uint64_t detail_ = 0;
+  std::int32_t rank_ = -1;
+  Category cat_ = Category::Other;
+  bool shadowed_ = false;
+};
+
+/// Instant marker (Chrome "i" event) on the bound thread's timeline.
+void instant(Category cat, const char* name, std::uint64_t bytes = 0,
+             std::uint64_t detail = 0);
+
+/// Instant marker with explicit rank/clock.
+void instant(Category cat, const char* name, int rank,
+             const simnet::SimClock* sim, std::uint64_t bytes = 0,
+             std::uint64_t detail = 0);
+
+}  // namespace msa::obs

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "par/pool.hpp"
 
 namespace msa::tensor {
@@ -195,6 +196,8 @@ void gemm_packed(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
 void gemm_raw(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
               std::size_t k, float alpha, const float* A, std::size_t lda,
               const float* B, std::size_t ldb, float beta, float* C) {
+  obs::ScopedSpan span(obs::Category::Compute, "gemm", /*bytes=*/0,
+                       static_cast<std::uint64_t>(gemm_flops(m, n, k)));
   scale_c(C, m * n, beta);
   if (m * n * k <= kPackedThreshold) {
     gemm_scalar(trans_a, trans_b, m, n, k, alpha, A, lda, B, ldb, C);
