@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Overlap-engine check: build and run bench_overlap (overlap on/off x scale x
+# fusion-bucket size on the simulated JUWELS Booster), write BENCH_overlap.json
+# at the repo root, and assert the engine actually earns its keep: at every
+# (gpus, bucket) point the exposed comm fraction with overlap ON must be
+# strictly below the OFF ablation, and the production point (128 GPUs, 4MB
+# buckets) must keep exposed comm a small slice of the step.
+#
+# Usage: bench/run_overlap.sh
+# Env:   BUILD_DIR (default build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD_DIR:-build}
+
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j --target bench_overlap >/dev/null
+
+"$BUILD/bench/bench_overlap" BENCH_overlap.json
+
+python3 - BENCH_overlap.json <<'PY'
+import json, sys
+
+points = json.load(open(sys.argv[1]))["points"]
+by_key = {}
+for p in points:
+    by_key.setdefault((p["gpus"], p["bucket_bytes"]), {})[p["overlap"]] = p
+
+for (gpus, bucket), pair in sorted(by_key.items()):
+    on, off = pair[True], pair[False]
+    assert on["exposed_fraction"] < off["exposed_fraction"], (
+        f"overlap did not reduce exposed comm at gpus={gpus} "
+        f"bucket={bucket}: on={on['exposed_fraction']:.4f} "
+        f">= off={off['exposed_fraction']:.4f}")
+    assert on["step_time_s"] <= off["step_time_s"] * (1 + 1e-9), (
+        f"overlap slowed the step at gpus={gpus} bucket={bucket}")
+
+prod = by_key[(128, 4 << 20)][True]
+assert prod["exposed_fraction"] <= 0.04, (
+    f"exposed comm fraction at 128 GPUs / 4MB buckets is "
+    f"{prod['exposed_fraction']:.4f}, expected <= 0.04")
+print(f"overlap check OK over {len(by_key)} sweep points; "
+      f"128-GPU production exposed fraction = {prod['exposed_fraction']:.4f}")
+PY

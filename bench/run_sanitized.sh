@@ -2,7 +2,10 @@
 # Sanitized tier-1 run: build the whole tree with ASan+UBSan (MSA_SANITIZE)
 # and run the tier-1 ctest suite under it.  Catches lifetime/aliasing bugs
 # the plain build can't — the Storage/ParamStore slab model hands out views
-# into shared buffers, exactly the kind of code sanitizers exist for.
+# into shared buffers, exactly the kind of code sanitizers exist for.  The
+# suite includes the CommAsync/Overlap tests, so the progress engine's
+# deferred closures (captured Comm snapshots, wire buffers held across the
+# backward pass) get lifetime-checked here too.
 #
 # Usage: bench/run_sanitized.sh
 # Env:   BUILD_DIR (default build-asan), MSA_THREADS (default: all cores)

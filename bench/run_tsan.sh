@@ -2,7 +2,9 @@
 # ThreadSanitizer tier-1 run: build with MSA_TSAN and run the comm/dist/fault
 # test binaries under it.  The failure model's liveness board (atomic rank
 # states, failure epoch, mailbox pokes) is lock-free state shared across every
-# rank thread — TSan is the tool that proves the ordering story holds.
+# rank thread — TSan is the tool that proves the ordering story holds.  The
+# CommAsync/Overlap tests exercise the nonblocking request paths (deferred
+# drains, abandoned requests after a kill) across those same rank threads.
 #
 # Usage: bench/run_tsan.sh [gtest_filter]
 # Env:   BUILD_DIR (default build-tsan), MSA_THREADS (default: all cores)
@@ -10,7 +12,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${BUILD_DIR:-build-tsan}
-FILTER=${1:-Comm*:Dist*:Fault*:Resilient*:Runtime*:Mailbox*:Obs*}
+FILTER=${1:-Comm*:CommAsync*:Dist*:Overlap*:Fault*:Resilient*:Runtime*:Mailbox*:Obs*}
 
 # MSA_OBS=ON (the default, restated here on purpose) keeps the tracer armed
 # under TSan: every rank thread writes spans while snapshot/clear run on the

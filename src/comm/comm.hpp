@@ -29,6 +29,7 @@
 
 #include "comm/failure.hpp"
 #include "comm/mailbox.hpp"
+#include "comm/request.hpp"
 #include "obs/trace.hpp"
 #include "simnet/clock.hpp"
 #include "simnet/collective.hpp"
@@ -59,11 +60,18 @@ struct SharedState {
         mailboxes(static_cast<std::size_t>(machine.ranks())),
         clocks(static_cast<std::size_t>(machine.ranks())),
         rank_state(static_cast<std::size_t>(machine.ranks())),
-        straggler_events(static_cast<std::size_t>(machine.ranks())) {}
+        straggler_events(static_cast<std::size_t>(machine.ranks())) {
+    // Engines hold pointers into `clocks`, which never resizes after this.
+    engines.reserve(static_cast<std::size_t>(machine.ranks()));
+    for (int r = 0; r < machine.ranks(); ++r) {
+      engines.emplace_back(r, &clocks[static_cast<std::size_t>(r)]);
+    }
+  }
 
   simnet::Machine machine;
   std::vector<Mailbox> mailboxes;           // indexed by world rank
   std::vector<simnet::SimClock> clocks;     // indexed by world rank
+  std::vector<ProgressEngine> engines;      // indexed by world rank
   std::vector<std::uint64_t> bytes_sent =   // traffic accounting per rank
       std::vector<std::uint64_t>(static_cast<std::size_t>(machine.ranks()), 0);
 
@@ -189,6 +197,7 @@ struct SharedState {
       failed_ranks.clear();
     }
     for (auto& s : straggler_events) s.store(0, std::memory_order_relaxed);
+    for (auto& e : engines) e.reset();
     for (auto& mb : mailboxes) mb.clear();
     {
       std::lock_guard lock(abandon_mutex);
@@ -530,6 +539,80 @@ class Comm {
                         std::optional<simnet::CollectiveAlgorithm> alg = {},
                         double overlap_credit_s = 0.0);
 
+  /// ---- nonblocking operations (see request.hpp) ---------------------------
+
+  /// This rank's progress engine (one per world rank, rank-thread-local use).
+  [[nodiscard]] ProgressEngine& progress_engine() const {
+    return state_->engines[static_cast<std::size_t>(world_rank())];
+  }
+
+  /// Nonblocking send.  The runtime's sends are buffered (the mailbox deposit
+  /// happens here), so the request completes at issue; the handle exists for
+  /// MPI-shaped call sites and wait_all symmetry.
+  template <typename T>
+  Request isend(std::span<const T> data, int dest, int tag) {
+    send(data, dest, tag);
+    return progress_engine().submit_immediate();
+  }
+
+  /// Nonblocking receive into @p out (which must outlive completion).
+  /// test() polls the mailbox without blocking; wait() blocks like recv.
+  template <typename T>
+  Request irecv(std::span<T> out, int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Comm self = *this;
+    return progress_engine().submit_poll(
+        [self, out, src, tag](bool blocking) mutable -> bool {
+          if (blocking) {
+            self.recv(out, src, tag);
+            return true;
+          }
+          return self.try_recv(out, src, tag);
+        });
+  }
+
+  /// Nonblocking allreduce.  Deferred execution: the real algorithm runs on
+  /// real data when the request is drained (wait/test), with the simulated
+  /// clock rewound to the issue point so the interval overlaps whatever the
+  /// rank did in between — see request.hpp.  SPMD: every rank must issue its
+  /// nonblocking collectives in the same order.
+  template <typename T>
+  Request iallreduce(std::span<T> data, ReduceOp op,
+                     std::optional<simnet::CollectiveAlgorithm> alg = {}) {
+    if (size() == 1) return progress_engine().submit_immediate();
+    Comm snapshot = reserve_coll_window();
+    return progress_engine().submit_deferred(
+        data.size_bytes(), [snapshot, data, op, alg]() mutable {
+          snapshot.allreduce(data, op, alg);
+        });
+  }
+
+  /// Nonblocking counterpart of charge_allreduce (time-only, no payload);
+  /// overlap emerges from the drain instead of an analytic credit.
+  Request icharge_allreduce(
+      std::uint64_t n_bytes,
+      std::optional<simnet::CollectiveAlgorithm> alg = {}) {
+    if (size() == 1) return progress_engine().submit_immediate();
+    Comm snapshot = reserve_coll_window();
+    return progress_engine().submit_deferred(
+        n_bytes, [snapshot, n_bytes, alg]() mutable {
+          snapshot.charge_allreduce(n_bytes, alg, /*overlap_credit_s=*/0.0);
+        });
+  }
+
+  /// Generic deferred operation for composing multi-stage reductions (e.g.
+  /// the hierarchical intra/inter-module path): @p body runs its blocking
+  /// communication when the request drains.  Bodies must follow SPMD issue
+  /// order on every involved communicator; @p bytes is attribution metadata.
+  Request idefer(std::uint64_t bytes, std::function<void()> body) {
+    (void)reserve_coll_window();  // keep later blocking tags out of the window
+    return progress_engine().submit_deferred(bytes, std::move(body));
+  }
+
+  /// Abandon every in-flight request on this rank (recovery after failures).
+  /// Outstanding handles then throw RequestError(Kind::Abandoned) on wait.
+  void abandon_requests() { progress_engine().abandon_all(); }
+
   /// Split into sub-communicators by @p color; ranks ordered by (key, rank).
   [[nodiscard]] Comm split(int color, int key);
 
@@ -637,6 +720,50 @@ class Comm {
   template <typename T>
   void recv_internal(std::span<T> out, int src, int tag) {
     recv(out, src, tag);
+  }
+
+  /// Snapshot this communicator for a deferred body and advance the
+  /// original's collective-tag sequence past the snapshot's window (8 tags
+  /// covers any single composed collective here — the widest, tree allreduce
+  /// and GCE offload, use 2).  Blocking collectives issued between a deferred
+  /// op's issue and its drain therefore can never share tags with it.
+  Comm reserve_coll_window() {
+    Comm snapshot = *this;
+    coll_seq_ = (coll_seq_ + 8) & 0x1FFFFFFF;
+    return snapshot;
+  }
+
+  /// Nonblocking receive attempt backing irecv::test(): take a queued match
+  /// if present, with the same clock/link accounting as the blocking path.
+  template <typename T>
+  bool try_recv(std::span<T> out, int src, int tag) {
+    if (src != kAnySource && (src < 0 || src >= size())) {
+      throw std::out_of_range("recv: bad src");
+    }
+    auto opt = state_->mailboxes[static_cast<std::size_t>(world_rank())]
+                   .try_get(comm_id_, src, tag);
+    if (!opt) return false;
+    Envelope env = std::move(*opt);
+    if (env.payload.size() != out.size_bytes()) {
+      throw std::runtime_error("recv: size mismatch");
+    }
+    obs::ScopedSpan span(obs::Category::Comm, "recv", world_rank(), &clock(),
+                         env.payload.size(), 0, comm_id_);
+    if (env.charge_link) {
+      const int src_world = members_[static_cast<std::size_t>(env.src)];
+      const auto& link = machine().link_between(src_world, world_rank());
+      double transfer = link.transfer_time(env.payload.size());
+      if (FaultHooks* h = state_->hooks.get()) {
+        transfer *= h->link_factor(src_world, world_rank());
+      }
+      clock().sync_to(env.send_time_s + transfer);
+    } else {
+      clock().sync_to(env.send_time_s);
+    }
+    if (!env.payload.empty()) {
+      std::memcpy(out.data(), env.payload.data(), env.payload.size());
+    }
+    return true;
   }
 
   template <typename T>

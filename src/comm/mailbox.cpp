@@ -63,6 +63,19 @@ Envelope Mailbox::get(std::uint64_t comm_id, int src, int tag) {
   return std::move(res.env);
 }
 
+std::optional<Envelope> Mailbox::try_get(std::uint64_t comm_id, int src,
+                                         int tag) {
+  std::lock_guard lock(mutex_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, comm_id, src, tag)) {
+      Envelope env = std::move(*it);
+      queue_.erase(it);
+      return env;
+    }
+  }
+  return std::nullopt;
+}
+
 void Mailbox::poke() {
   // Taking the mutex before notifying closes the window where a waiter has
   // checked its abandon predicate but not yet parked on the cv: the notify

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 namespace msa::comm {
@@ -62,6 +63,10 @@ class Mailbox {
 
   /// Simple blocking get with no abandonment or backstop (tests, tools).
   Envelope get(std::uint64_t comm_id, int src, int tag);
+
+  /// Nonblocking probe-and-take: the matching message if one is queued,
+  /// nullopt otherwise.  Backs Comm::irecv completion tests.
+  std::optional<Envelope> try_get(std::uint64_t comm_id, int src, int tag);
 
   /// Wake any blocked get() so it re-evaluates its abandon test.  Called on
   /// rank liveness transitions.

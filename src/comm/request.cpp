@@ -1,0 +1,223 @@
+#include "comm/request.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace msa::comm {
+
+void Request::wait() {
+  if (engine_ == nullptr) {
+    throw RequestError(RequestError::Kind::Invalid,
+                       "wait() on an empty Request handle");
+  }
+  engine_->wait(id_);
+}
+
+bool Request::test() {
+  if (engine_ == nullptr) {
+    throw RequestError(RequestError::Kind::Invalid,
+                       "test() on an empty Request handle");
+  }
+  return engine_->test(id_);
+}
+
+void wait_all(std::span<Request> requests) {
+  // First failure propagates; the engine abandons everything still pending
+  // during the throwing drain, so later handles fail fast with Abandoned
+  // rather than hanging — callers that want per-request status can loop and
+  // catch themselves.
+  for (Request& r : requests) r.wait();
+}
+
+void wait_all(std::vector<Request>& requests) {
+  wait_all(std::span<Request>(requests));
+}
+
+Request ProgressEngine::submit_deferred(std::uint64_t bytes,
+                                        std::function<void()> body) {
+  Op op;
+  op.id = next_id_++;
+  op.issue_s = clock_->now();
+  op.bytes = bytes;
+  op.deferred = true;
+  op.body = std::move(body);
+  ops_.push_back(std::move(op));
+  return Request(this, ops_.back().id);
+}
+
+Request ProgressEngine::submit_immediate() {
+  Op op;
+  op.id = next_id_++;
+  op.issue_s = clock_->now();
+  op.done = true;
+  ops_.push_back(std::move(op));
+  return Request(this, ops_.back().id);
+}
+
+Request ProgressEngine::submit_poll(PollFn poll) {
+  Op op;
+  op.id = next_id_++;
+  op.issue_s = clock_->now();
+  op.poll = std::move(poll);
+  ops_.push_back(std::move(op));
+  return Request(this, ops_.back().id);
+}
+
+ProgressEngine::Op* ProgressEngine::find(std::uint64_t id) {
+  for (Op& op : ops_) {
+    if (op.id == id) return &op;
+  }
+  return nullptr;
+}
+
+void ProgressEngine::throw_for_missing(std::uint64_t id) const {
+  if (abandoned_.count(id) > 0) {
+    throw RequestError(RequestError::Kind::Abandoned,
+                       "request abandoned (rank failure or recovery "
+                       "discarded the in-flight operation)");
+  }
+  throw RequestError(RequestError::Kind::DoubleWait,
+                     "request already completed by a previous wait");
+}
+
+void ProgressEngine::run_deferred(Op& op) {
+  simnet::SimClock& clk = *clock_;
+  // The waiter blocks "now"; the op actually ran starting when it was issued
+  // — or when the egress port freed up, if earlier in-flight traffic still
+  // occupied it (in-flight ops serialize on the link, they don't teleport).
+  const double t_block = clk.now();
+  const double start = nic_.start_for(op.issue_s);
+  // start <= t_block always: issue_s <= t_block (the clock is monotone in
+  // user code), and busy_until <= the clock after the previous drain
+  // restored it.  So the rewind window is well-formed.
+  clk.exchange_time(start);
+  double end = start;
+  try {
+    // Shadow the replayed blocking collective's own spans: the authoritative
+    // accounting for this interval is the hidden/exposed pair we emit below.
+    obs::ShadowScope shadow;
+    op.body();
+    end = clk.now();
+  } catch (...) {
+    // Restore a sane clock (never below the waiter's block point) and
+    // abandon everything still in flight: after a rank failure mid-drain
+    // there is no coherent way to complete later ops.
+    clk.exchange_time(std::max(t_block, clk.now()));
+    op.body = nullptr;
+    abandoned_.insert(op.id);
+    abandon_all();
+    throw;
+  }
+  nic_.occupy_until(end);
+  // The slice that finished before the waiter blocked was hidden behind
+  // whatever the rank was doing; anything past the block point is an
+  // exposed stall the rank actually pays for.
+  const double hidden_end = std::min(end, t_block);
+  if (hidden_end > start) {
+    obs::record_interval(obs::Category::CommHidden, "comm_hidden", world_rank_,
+                         start, hidden_end, op.bytes, op.id);
+  }
+  if (end > t_block) {
+    obs::record_interval(obs::Category::Comm, "comm_exposed", world_rank_,
+                         t_block, end, op.bytes, op.id);
+  }
+  clk.exchange_time(std::max(t_block, end));
+  op.done = true;
+  op.body = nullptr;  // release captured Comm snapshot promptly
+}
+
+void ProgressEngine::drain_through(std::uint64_t id) {
+  // Deferred ops complete strictly in issue order: SPMD discipline means
+  // every rank issues the same sequence, and FIFO drains keep tag matching
+  // aligned across ranks.
+  for (;;) {
+    Op* target = find(id);
+    if (target == nullptr || target->done) return;
+    Op* first = nullptr;
+    for (Op& op : ops_) {
+      if (op.deferred && !op.done) {
+        first = &op;
+        break;
+      }
+    }
+    if (first == nullptr) return;
+    run_deferred(*first);
+    if (first->id == id) return;
+  }
+}
+
+void ProgressEngine::complete_poll(Op& op, bool blocking) {
+  bool done = false;
+  try {
+    done = op.poll(blocking);
+  } catch (...) {
+    abandoned_.insert(op.id);
+    retire(op.id);
+    throw;
+  }
+  if (done) {
+    op.done = true;
+    op.poll = nullptr;
+  }
+}
+
+void ProgressEngine::retire(std::uint64_t id) {
+  for (auto it = ops_.begin(); it != ops_.end(); ++it) {
+    if (it->id == id) {
+      ops_.erase(it);
+      return;
+    }
+  }
+}
+
+void ProgressEngine::wait(std::uint64_t id) {
+  Op* op = find(id);
+  if (op == nullptr) throw_for_missing(id);
+  if (op->deferred) {
+    drain_through(id);
+    op = find(id);  // deque may have shifted during nested drains
+  } else if (!op->done) {
+    complete_poll(*op, /*blocking=*/true);
+  }
+  retire(id);
+}
+
+bool ProgressEngine::test(std::uint64_t id) {
+  Op* op = find(id);
+  if (op == nullptr) throw_for_missing(id);
+  if (op->done) return true;
+  if (op->deferred) {
+    // Progress happens on test/wait (deferred execution): testing a pending
+    // collective drains FIFO through it, so a test() loop terminates.
+    drain_through(id);
+    return true;
+  }
+  complete_poll(*op, /*blocking=*/false);
+  return op->done;
+}
+
+void ProgressEngine::abandon_all() {
+  for (Op& op : ops_) {
+    if (!op.done) {
+      abandoned_.insert(op.id);
+      op.body = nullptr;
+      op.poll = nullptr;
+    } else {
+      // Completed-but-unwaited ops are abandoned too: after a failure the
+      // caller's bookkeeping is void and a stray wait should say so.
+      abandoned_.insert(op.id);
+    }
+  }
+  ops_.clear();
+}
+
+void ProgressEngine::reset() {
+  ops_.clear();
+  abandoned_.clear();
+  next_id_ = 1;
+  nic_.reset();
+}
+
+}  // namespace msa::comm

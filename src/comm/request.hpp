@@ -1,0 +1,172 @@
+// Nonblocking operations: Request handles and the per-rank ProgressEngine.
+//
+// MPI shape, dual-clock semantics.  isend/irecv/iallreduce (declared on Comm,
+// comm.hpp) return a Request; completion happens through wait/test/wait_all.
+// The engine models overlap by *deferred execution with a windowed clock
+// rewind*: a deferred collective records its issue time and runs — real data,
+// real algorithm, exact numerics — only when a waiter drains it.  At drain
+// the rank's simulated clock is rewound to the op's start time
+// (max(issue time, egress-port busy-until) — see simnet::LinkOccupancy: two
+// in-flight buckets on one link serialize, they don't teleport), the
+// collective executes advancing the rewound clock, and the clock is then
+// restored to max(time the waiter blocked, op end).  The interval up to the
+// block point was hidden behind compute; only the remainder is exposed stall
+// — i.e. per interval the rank pays max(compute, comm), which is exactly
+// Horovod's overlap model.  The engine reports both portions to obs as
+// Comm ("comm_exposed") and CommHidden ("comm_hidden") spans.
+//
+// Determinism and tag safety: deferred collectives drain strictly in issue
+// order (FIFO) on every rank, and SPMD discipline requires identical issue
+// order across ranks — so within any (source, tag) class, messages are sent
+// and matched in the same op order everywhere (the mailbox matches FIFO).
+// Comm::iallreduce additionally snapshots the communicator and advances the
+// original's collective-tag sequence past the snapshot's window, so blocking
+// collectives issued between an op's issue and its drain can never share
+// tags with it.
+//
+// Failure semantics: a rank failure surfacing inside a drain
+// (RankFailedError) abandons the op being drained and every op still
+// pending on this engine — deterministic, since drains are FIFO.  Waiting on
+// an abandoned request, or re-waiting a completed one, raises the typed
+// RequestError below rather than hanging or asserting.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <set>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simnet/clock.hpp"
+#include "simnet/occupancy.hpp"
+
+namespace msa::comm {
+
+/// Misuse of a Request handle (programming error, not a rank failure).
+class RequestError : public std::logic_error {
+ public:
+  enum class Kind {
+    Invalid,    ///< default-constructed / empty handle
+    DoubleWait, ///< request already waited (completion consumed)
+    Abandoned,  ///< in-flight op abandoned by a rank failure or recovery
+  };
+
+  RequestError(Kind kind, const std::string& what)
+      : std::logic_error(what), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+class ProgressEngine;
+
+/// Handle to one in-flight nonblocking operation.  Copyable (like
+/// MPI_Request values); exactly one successful wait consumes the completion.
+class Request {
+ public:
+  Request() = default;
+
+  /// Block until the operation completes (draining deferred collectives in
+  /// issue order), then retire the handle.  Throws RequestError on misuse
+  /// (see Kind); rank failures inside the drained op propagate as
+  /// RankFailedError.
+  void wait();
+
+  /// Completion test.  For p2p receives this polls the mailbox without
+  /// blocking; for deferred collectives whose turn has come it performs the
+  /// drain (the engine's progress happens on test/wait, as with MPI_Test).
+  /// A true result leaves the handle waitable exactly once.
+  bool test();
+
+  /// False for a default-constructed handle.
+  [[nodiscard]] bool valid() const { return engine_ != nullptr; }
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+ private:
+  friend class ProgressEngine;
+  Request(ProgressEngine* engine, std::uint64_t id)
+      : engine_(engine), id_(id) {}
+
+  ProgressEngine* engine_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+/// Wait on every request in order.  On a rank failure the first failing
+/// wait's error propagates; the engine has already abandoned the rest.
+void wait_all(std::span<Request> requests);
+void wait_all(std::vector<Request>& requests);
+
+/// Per-world-rank progress engine.  Owned by comm::detail::SharedState,
+/// touched only by its rank's thread (same discipline as the rank's
+/// SimClock) — no locks needed.
+class ProgressEngine {
+ public:
+  /// Poll callback for p2p ops: poll(false) = nonblocking completion
+  /// attempt, poll(true) = block until complete.  Returns completed.
+  using PollFn = std::function<bool(bool blocking)>;
+
+  ProgressEngine(int world_rank, simnet::SimClock* clock)
+      : world_rank_(world_rank), clock_(clock) {}
+
+  /// Deferred collective: @p body runs the full blocking operation when
+  /// drained.  Bodies must be issued in identical order on every
+  /// participating rank (SPMD), and drain strictly FIFO per engine.
+  Request submit_deferred(std::uint64_t bytes, std::function<void()> body);
+
+  /// Already-complete op (isend: the mailbox deposit happened at issue).
+  Request submit_immediate();
+
+  /// Pollable p2p op (irecv).
+  Request submit_poll(PollFn poll);
+
+  void wait(std::uint64_t id);
+  bool test(std::uint64_t id);
+
+  /// Abandon every pending op (rank failure unwinding, recovery shrink).
+  /// Subsequent wait/test on their handles throws RequestError::Abandoned.
+  /// Releases op closures immediately (they hold Comm snapshots).
+  void abandon_all();
+
+  /// Ops issued and not yet retired by a wait.
+  [[nodiscard]] std::size_t in_flight() const { return ops_.size(); }
+
+  /// Simulated time the egress port is busy through (in-flight serialization).
+  [[nodiscard]] double link_busy_until() const { return nic_.busy_until(); }
+
+  /// Fresh Runtime::run: drop all bookkeeping.
+  void reset();
+
+ private:
+  struct Op {
+    std::uint64_t id = 0;
+    double issue_s = 0.0;       ///< sim clock when issued
+    std::uint64_t bytes = 0;
+    bool deferred = false;      ///< collective: FIFO drain
+    bool done = false;
+    std::function<void()> body; ///< deferred execution
+    PollFn poll;                ///< p2p completion
+  };
+
+  [[nodiscard]] Op* find(std::uint64_t id);
+  /// Drain deferred ops in FIFO order through (and including) @p id.
+  void drain_through(std::uint64_t id);
+  /// Replay one deferred op inside its overlap window (see file header).
+  void run_deferred(Op& op);
+  void complete_poll(Op& op, bool blocking);
+  void retire(std::uint64_t id);
+  [[noreturn]] void throw_for_missing(std::uint64_t id) const;
+
+  int world_rank_ = -1;
+  simnet::SimClock* clock_ = nullptr;
+  simnet::LinkOccupancy nic_;
+  std::deque<Op> ops_;               // pending + done-but-unwaited, issue order
+  std::set<std::uint64_t> abandoned_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace msa::comm

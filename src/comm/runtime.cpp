@@ -37,8 +37,14 @@ void Runtime::run(const std::function<void(Comm&)>& fn) {
       // Bind the thread to its rank + sim clock so every span opened below
       // (kernels, trainer phases) lands on this rank's trace timeline.
       obs::RankScope bind(r, &state_->clocks[static_cast<std::size_t>(r)]);
+      // On every exit path, abandon this rank's in-flight nonblocking ops:
+      // their closures hold Comm snapshots (and thus the shared state), so
+      // leaving them queued would cycle SharedState -> engine -> closure ->
+      // SharedState and leak past the Runtime's lifetime.
+      auto& engine = state_->engines[static_cast<std::size_t>(r)];
       try {
         fn(comm);
+        engine.abandon_all();
         state_->mark_exited(r);
       } catch (const RankKilledError& e) {
         // Injected crash, not a program error: record it and let the
@@ -49,18 +55,21 @@ void Runtime::run(const std::function<void(Comm&)>& fn) {
           std::lock_guard lock(record_mutex);
           killed_.emplace_back(r, e.step());
         }
+        engine.abandon_all();
         state_->mark_failed(r);
       } catch (const std::exception& e) {
         {
           std::lock_guard lock(record_mutex);
           errors.push_back({r, e.what(), std::current_exception()});
         }
+        engine.abandon_all();
         state_->mark_failed(r);
       } catch (...) {
         {
           std::lock_guard lock(record_mutex);
           errors.push_back({r, "unknown exception", std::current_exception()});
         }
+        engine.abandon_all();
         state_->mark_failed(r);
       }
     });

@@ -148,6 +148,19 @@ DistributedTrainer::DistributedTrainer(comm::Comm& comm, nn::Layer& model,
                                        AllreduceOptions options)
     : comm_(comm), model_(model), opt_(opt), store_(model), options_(options) {
   store_.attach_optimizer(opt_);
+  if (comm_.size() > 1 && options_.hierarchical) {
+    // Collective: every rank constructs its trainer SPMD, as with splits.
+    hier_ = make_hierarchical(comm_, options_.hierarchy_level);
+    if (!hier_->enabled) hier_.reset();  // flat topology: nothing to exploit
+  }
+  if (comm_.size() > 1 && options_.overlap) {
+    reducer_.emplace(comm_, store_, options_, hier_ ? &*hier_ : nullptr);
+    model_.set_backward_observer(&*reducer_);
+  }
+}
+
+DistributedTrainer::~DistributedTrainer() {
+  if (reducer_) model_.set_backward_observer(nullptr);
 }
 
 void DistributedTrainer::reduce_and_apply() {
@@ -158,10 +171,46 @@ void DistributedTrainer::reduce_and_apply() {
   {
     obs::ScopedSpan span(obs::Category::Comm, "allreduce_grads",
                          store_.grad_span().size_bytes());
-    allreduce_gradients(comm_, store_, options_);
+    if (hier_) {
+      allreduce_gradients(comm_, *hier_, store_, options_);
+    } else {
+      allreduce_gradients(comm_, store_, options_);
+    }
   }
   obs::ScopedSpan span(obs::Category::Compute, "optimizer");
   store_.step(opt_);
+}
+
+void DistributedTrainer::backward_reduce_apply(const nn::Tensor& loss_grad,
+                                               double fwd_flops) {
+  if (reducer_) {
+    // Overlapped path.  The forward's compute is charged before backward
+    // starts; the hooks charge 2x each layer's forward flops as its backward
+    // completes (so bucket issue times interleave honestly with compute) and
+    // launch filled buckets nonblocking.  The top-up below keeps the total
+    // at exactly 3x forward — identical simulated compute to the sync path.
+    comm_.charge_compute(fwd_flops, 0.0);
+    reducer_->begin_step();
+    {
+      obs::ScopedSpan span(obs::Category::Compute, "backward");
+      model_.backward(loss_grad);
+    }
+    const double remainder = 2.0 * fwd_flops - reducer_->charged_flops();
+    if (remainder > 0.0) comm_.charge_compute(remainder, 0.0);
+    // Drain OUTSIDE any attribution span: the engine's hidden/exposed comm
+    // intervals are the authoritative record for the in-flight buckets.
+    reducer_->finish();
+    obs::ScopedSpan span(obs::Category::Compute, "optimizer");
+    store_.step(opt_);
+    return;
+  }
+  {
+    obs::ScopedSpan span(obs::Category::Compute, "backward");
+    model_.backward(loss_grad);
+  }
+  // Charge simulated device time: forward + 2x backward.
+  comm_.charge_compute(3.0 * fwd_flops, 0.0);
+  reduce_and_apply();
 }
 
 StepResult DistributedTrainer::step_classification(
@@ -173,14 +222,7 @@ StepResult DistributedTrainer::step_classification(
     return model_.forward(x, /*training=*/true);
   }();
   auto res = nn::softmax_cross_entropy(logits, labels);
-  {
-    obs::ScopedSpan span(obs::Category::Compute, "backward");
-    model_.backward(res.grad);
-  }
-  // Charge simulated device time: forward + 2x backward.
-  const double fwd_flops = model_.forward_flops();
-  comm_.charge_compute(3.0 * fwd_flops, 0.0);
-  reduce_and_apply();
+  backward_reduce_apply(res.grad, model_.forward_flops());
   return {res.loss, nn::accuracy(logits, labels)};
 }
 
@@ -194,12 +236,7 @@ StepResult DistributedTrainer::step_regression(const nn::Tensor& x,
     return model_.forward(x, /*training=*/true);
   }();
   auto res = use_mae ? nn::mae_loss(pred, target) : nn::mse_loss(pred, target);
-  {
-    obs::ScopedSpan span(obs::Category::Compute, "backward");
-    model_.backward(res.grad);
-  }
-  comm_.charge_compute(3.0 * model_.forward_flops(), 0.0);
-  reduce_and_apply();
+  backward_reduce_apply(res.grad, model_.forward_flops());
   return {res.loss, 0.0};
 }
 

@@ -1,0 +1,92 @@
+// Hierarchical allreduce over the MSA topology (paper Sec. III: modules of
+// nodes joined by a slower inter-module fabric).
+//
+// A flat ring at world scale pays the slowest link on every hop.  The
+// hierarchical composition keeps the bulk of the traffic on fast intra-module
+// links: an intra-module ring reduce-scatter leaves each local rank owning
+// 1/P_intra of the reduction, only those owners cross the module boundary
+// (inter-module allreduce of the owned chunk — ring, tree, or GCE offload
+// when the fabric has one), and an intra-module allgather redistributes the
+// result.  Traffic on the slow fabric drops by the intra-module fan-in.
+//
+// make_hierarchical derives the two sub-communicators from the machine's
+// rank placement and decides eligibility (equal-size groups, both levels
+// non-trivial); callers fall back to the flat path when it reports disabled,
+// so the same call site is correct on any topology.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "comm/comm.hpp"
+
+namespace msa::dist {
+
+/// Which placement field defines the "close" group.
+enum class HierarchyLevel {
+  Node,    ///< ranks sharing a node (fast intra-node links)
+  Module,  ///< ranks sharing a module (cluster / booster / DAM)
+};
+
+/// The two-level decomposition of a world communicator.
+struct HierarchicalComms {
+  comm::Comm intra;  ///< ranks in my group (node or module)
+  comm::Comm cross;  ///< rank i of every group, i = my intra rank
+  /// False when the topology gives the composition nothing to exploit
+  /// (single group, singleton groups, or unequal group sizes — the chunked
+  /// exchange needs every group to own the same chunk count).
+  bool enabled = false;
+};
+
+/// Split @p world by rank placement into intra-group and cross-group
+/// communicators.  Collective (every member must call).  When the resulting
+/// decomposition is unusable, `enabled` is false and the comms are still
+/// valid (intra == self-group, cross == same-index peers) but callers should
+/// take the flat path.
+[[nodiscard]] HierarchicalComms make_hierarchical(
+    comm::Comm& world, HierarchyLevel level = HierarchyLevel::Node);
+
+/// Two-level allreduce: intra ring reduce-scatter, inter-group allreduce of
+/// the owned chunk (@p inter_alg — e.g. GCE offload when available), intra
+/// allgather.  Falls back to a flat world allreduce when @p topo is not
+/// enabled.  Equivalent reduction up to floating-point reassociation (exact
+/// for integer-valued data); the elementwise result uses every rank's
+/// contribution exactly once.
+template <typename T>
+void hierarchical_allreduce(
+    comm::Comm& world, HierarchicalComms& topo, std::span<T> data,
+    comm::ReduceOp op,
+    std::optional<simnet::CollectiveAlgorithm> inter_alg = {}) {
+  if (world.size() == 1) return;
+  if (!topo.enabled) {
+    world.allreduce(data, op, inter_alg);
+    return;
+  }
+  const int P = topo.intra.size();
+  const std::size_t chunk = data.size() / static_cast<std::size_t>(P);
+  if (chunk > 0) {
+    std::span<T> head(data.data(), chunk * static_cast<std::size_t>(P));
+    // Intra reduce-scatter: my chunk (index = intra rank) now holds the
+    // group-local reduction.
+    std::vector<T> mine = topo.intra.reduce_scatter(head, chunk, op);
+    // Cross-group reduction of my chunk only: 1/P of the payload crosses
+    // the slow fabric.
+    topo.cross.allreduce(std::span<T>(mine), op, inter_alg);
+    // Intra allgather is ordered by intra rank, which is exactly the chunk
+    // layout reduce_scatter used.
+    std::vector<T> gathered =
+        topo.intra.allgather(std::span<const T>(mine.data(), mine.size()));
+    std::copy(gathered.begin(), gathered.end(), head.begin());
+  }
+  // Tail too small to chunk: flat tree over the world (tiny payload).
+  const std::size_t tail = chunk * static_cast<std::size_t>(P);
+  if (tail < data.size()) {
+    world.allreduce(data.subspan(tail), op,
+                    simnet::CollectiveAlgorithm::BinomialTree);
+  }
+}
+
+}  // namespace msa::dist

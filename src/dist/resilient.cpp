@@ -133,6 +133,10 @@ void ResilientTrainer::recover() {
     // that retry this loop at different times still converge on the same
     // communicator.
     const std::vector<int> dead = comm_.acknowledge_failures();
+    // Any nonblocking requests this rank still holds were issued against the
+    // pre-failure world: abandon them so stray waits fail fast (typed
+    // RequestError) instead of draining a collective that can never finish.
+    comm_.abandon_requests();
     comm::Comm next = world_.shrink(dead);
     if (next.id() != comm_.id()) {
       comm_ = std::move(next);

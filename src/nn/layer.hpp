@@ -23,6 +23,18 @@ using tensor::Rng;
 using tensor::Shape;
 using tensor::Tensor;
 
+class Layer;
+
+/// Backward-pass hook: notified after each layer finishes backward(), in
+/// execution (i.e. reverse-topological) order.  This is how an overlapped
+/// gradient reducer learns that a layer's gradients are final and its bucket
+/// slices can be launched while earlier layers still compute — the Horovod
+/// pattern on the paper's stack.
+struct BackwardObserver {
+  virtual ~BackwardObserver() = default;
+  virtual void on_layer_backward(Layer& layer) = 0;
+};
+
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -41,6 +53,14 @@ class Layer {
 
   /// Arithmetic cost of the most recent forward pass (flops).
   [[nodiscard]] virtual double forward_flops() const { return 0.0; }
+
+  /// Install (or clear, with nullptr) a backward observer.  Default: ignored
+  /// — only containers that orchestrate per-layer backward (Sequential)
+  /// dispatch notifications; a bare layer used as a whole model has no
+  /// "partial progress" to report.
+  virtual void set_backward_observer(BackwardObserver* observer) {
+    (void)observer;
+  }
 
   void zero_grads() {
     for (Tensor* g : grads()) g->fill(0.0f);
@@ -73,8 +93,15 @@ class Sequential : public Layer {
     Tensor g = grad_out;
     for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
       g = (*it)->backward(g);
+      // Notify after the child completes: its parameter gradients are final
+      // for this microbatch and may be reduced while we keep unwinding.
+      if (observer_ != nullptr) observer_->on_layer_backward(**it);
     }
     return g;
+  }
+
+  void set_backward_observer(BackwardObserver* observer) override {
+    observer_ = observer;
   }
 
   std::vector<Tensor*> params() override {
@@ -117,6 +144,7 @@ class Sequential : public Layer {
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  BackwardObserver* observer_ = nullptr;
 };
 
 /// Total learnable parameter count of a layer tree.

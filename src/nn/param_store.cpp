@@ -1,6 +1,7 @@
 #include "nn/param_store.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <stdexcept>
 
 namespace msa::nn {
@@ -42,6 +43,25 @@ ParamStore::ParamStore(Layer& root)
   grad_slab_ = std::make_shared<tensor::Storage>(total_);
   relocate_into(param_slab_, params_);
   relocate_into(grad_slab_, grads_);
+  grad_index_.reserve(grads_.size());
+  for (std::size_t i = 0; i < grads_.size(); ++i) {
+    grad_index_.emplace_back(grads_[i], i);
+  }
+  // std::less on pointers gives a total order even across allocations.
+  std::sort(grad_index_.begin(), grad_index_.end(),
+            [](const auto& a, const auto& b) {
+              return std::less<const Tensor*>{}(a.first, b.first);
+            });
+}
+
+std::size_t ParamStore::index_of_grad(const Tensor* grad) const {
+  auto it = std::lower_bound(
+      grad_index_.begin(), grad_index_.end(), grad,
+      [](const auto& entry, const Tensor* g) {
+        return std::less<const Tensor*>{}(entry.first, g);
+      });
+  if (it == grad_index_.end() || it->first != grad) return npos;
+  return it->second;
 }
 
 void ParamStore::attach_optimizer(Optimizer& opt) {

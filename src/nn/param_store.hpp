@@ -74,6 +74,13 @@ class ParamStore {
   };
   [[nodiscard]] const std::vector<Range>& ranges() const { return ranges_; }
 
+  /// Registration index of a gradient tensor (the layer member relocated
+  /// into the grad slab), or npos if @p grad was not registered here.  Lets
+  /// a backward hook map "layer finished, these grad tensors are final" to
+  /// slab ranges in O(log n) without walking the tree.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t index_of_grad(const Tensor* grad) const;
+
   /// One fill over the gradient slab.
   void zero_grads() { grad_slab_->fill(0.0f); }
 
@@ -93,6 +100,9 @@ class ParamStore {
   std::vector<Tensor*> params_;
   std::vector<Tensor*> grads_;
   std::vector<Range> ranges_;
+  // (grad tensor pointer, registration index), sorted by pointer for the
+  // index_of_grad binary search.  Pointers are stable (see invariants above).
+  std::vector<std::pair<const Tensor*, std::size_t>> grad_index_;
   std::size_t total_ = 0;
   std::shared_ptr<tensor::Storage> param_slab_;
   std::shared_ptr<tensor::Storage> grad_slab_;

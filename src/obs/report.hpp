@@ -23,12 +23,16 @@ namespace msa::obs {
 /// Simulated-time breakdown for one rank (or the whole run, for aggregate).
 struct Attribution {
   int rank = -1;  ///< -1 in the aggregate row
-  double comm_s = 0.0;
+  double comm_s = 0.0;  ///< *exposed* comm: time the rank actually stalled on
   double compute_s = 0.0;
   double io_s = 0.0;
   double fault_s = 0.0;
   double other_s = 0.0;   ///< total - attributed (idle, skew, uninstrumented)
   double total_s = 0.0;   ///< rank's final simulated time
+  /// Comm overlapped behind compute (CommHidden spans).  A *concurrent*
+  /// interval: it runs under compute/other time and is deliberately excluded
+  /// from the sum-to-total identity above.
+  double comm_hidden_s = 0.0;
   std::uint64_t comm_bytes = 0;  ///< payload bytes of unshadowed comm spans
   std::uint64_t flops = 0;       ///< charged flops of unshadowed compute spans
   std::uint64_t spans = 0;       ///< spans contributing to this row
@@ -38,6 +42,11 @@ struct Attribution {
   }
   [[nodiscard]] double compute_fraction() const {
     return total_s > 0.0 ? compute_s / total_s : 0.0;
+  }
+  /// Share of total comm (hidden + exposed) that the overlap machinery hid.
+  [[nodiscard]] double hidden_comm_fraction() const {
+    const double all = comm_s + comm_hidden_s;
+    return all > 0.0 ? comm_hidden_s / all : 0.0;
   }
 };
 

@@ -19,6 +19,7 @@ const char* to_string(Category cat) {
     case Category::Step: return "step";
     case Category::Fault: return "fault";
     case Category::Other: return "other";
+    case Category::CommHidden: return "comm_hidden";
   }
   return "other";
 }
@@ -385,6 +386,28 @@ void instant(Category cat, const char* name, int rank,
              std::uint64_t detail) {
   if (!trace_enabled()) return;
   record_instant(cat, name, rank, sim, bytes, detail);
+}
+
+void record_interval(Category cat, const char* name, int rank,
+                     double sim_begin_s, double sim_end_s, std::uint64_t bytes,
+                     std::uint64_t detail) {
+  if (!trace_enabled()) return;
+  Tracer& tracer = Tracer::instance();
+  detail::TraceBuffer* buf = tracer.thread_buffer();
+  Span s;
+  s.sim_begin_s = sim_begin_s;
+  s.sim_end_s = sim_end_s;
+  s.real_begin_ns = tracer.real_now_ns();
+  s.real_end_ns = s.real_begin_ns;
+  s.bytes = bytes;
+  s.detail = detail;
+  s.seq = buf->next_seq++;
+  s.rank = rank;
+  s.shard = buf->shard;
+  s.cat = cat;
+  s.shadowed = buf->open_attribution > 0;
+  std::strncpy(s.name, name, Span::kNameCapacity);
+  buf->push(s);
 }
 
 }  // namespace msa::obs

@@ -50,8 +50,10 @@ enum class Category : std::uint8_t {
   Step = 3,     ///< trainer step envelope (not attributed)
   Fault = 4,    ///< injected faults, recovery machinery
   Other = 5,
+  CommHidden = 6,  ///< comm overlapped behind compute (concurrent interval:
+                   ///< reported separately, never part of the timeline sum)
 };
-inline constexpr int kCategoryCount = 6;
+inline constexpr int kCategoryCount = 7;
 
 [[nodiscard]] const char* to_string(Category cat);
 
@@ -245,5 +247,35 @@ void instant(Category cat, const char* name, std::uint64_t bytes = 0,
 void instant(Category cat, const char* name, int rank,
              const simnet::SimClock* sim, std::uint64_t bytes = 0,
              std::uint64_t detail = 0);
+
+/// Record a span with explicit simulated begin/end (real times are stamped
+/// as "now" for both ends).  The comm progress engine uses this to emit the
+/// hidden and exposed portions of a drained in-flight operation after the
+/// fact, once the overlap window is known.
+void record_interval(Category cat, const char* name, int rank,
+                     double sim_begin_s, double sim_end_s,
+                     std::uint64_t bytes = 0, std::uint64_t detail = 0);
+
+/// Marks everything recorded in its scope as shadowed (as if an attribution
+/// span were open), without recording a span itself.  The progress engine
+/// wraps each deferred-op replay in one: the sends/recvs inside the replayed
+/// collective must not bill to comm a second time — the engine emits the
+/// authoritative hidden/exposed intervals via record_interval afterwards.
+class ShadowScope {
+ public:
+  ShadowScope() {
+    if (!trace_enabled()) return;
+    buf_ = Tracer::instance().thread_buffer();
+    ++buf_->open_attribution;
+  }
+  ~ShadowScope() {
+    if (buf_ != nullptr) --buf_->open_attribution;
+  }
+  ShadowScope(const ShadowScope&) = delete;
+  ShadowScope& operator=(const ShadowScope&) = delete;
+
+ private:
+  detail::TraceBuffer* buf_ = nullptr;
+};
 
 }  // namespace msa::obs

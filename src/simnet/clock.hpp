@@ -23,6 +23,19 @@ class SimClock {
   /// Synchronise forward to @p t (never moves backwards).
   void sync_to(double t) { now_s_ = std::max(now_s_, t); }
 
+  /// Set the clock to @p t — possibly backwards — and return the previous
+  /// time.  The one sanctioned breach of monotonicity: the comm progress
+  /// engine replays a deferred operation inside its overlap window (rewinds
+  /// to the op's start, runs it, then restores to max(blocked time, op end)),
+  /// so overlapped sim time is accounted as max(compute, comm) per interval.
+  /// Every caller must restore a time >= the exchanged-out value before
+  /// returning to user code.
+  double exchange_time(double t) {
+    const double prev = now_s_;
+    now_s_ = t;
+    return prev;
+  }
+
   void reset() { now_s_ = 0.0; }
 
  private:

@@ -1,0 +1,37 @@
+// Link-occupancy serialization for in-flight (nonblocking) operations.
+//
+// The dual-clock overlap model accounts a deferred collective as starting at
+// max(issue time, when the rank's egress port frees up): two in-flight
+// gradient buckets on one NIC queue behind each other instead of
+// teleporting through the fabric simultaneously.  One LinkOccupancy per
+// rank, owned by its comm::ProgressEngine and touched only by that rank's
+// thread.
+#pragma once
+
+#include <algorithm>
+
+namespace msa::simnet {
+
+/// Busy-until tracker for one rank's egress port, in simulated seconds.
+class LinkOccupancy {
+ public:
+  /// Earliest start for an operation issued at @p issue_s: the port
+  /// serializes behind whatever is already in flight.
+  [[nodiscard]] double start_for(double issue_s) const {
+    return std::max(issue_s, busy_until_s_);
+  }
+
+  /// Mark the port busy through @p end_s (never moves backwards).
+  void occupy_until(double end_s) {
+    busy_until_s_ = std::max(busy_until_s_, end_s);
+  }
+
+  [[nodiscard]] double busy_until() const { return busy_until_s_; }
+
+  void reset() { busy_until_s_ = 0.0; }
+
+ private:
+  double busy_until_s_ = 0.0;
+};
+
+}  // namespace msa::simnet
