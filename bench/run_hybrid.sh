@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Hybrid-mesh check: build and run bench_hybrid (DP vs PP vs DP x PP on a
+# half-Cluster / half-Booster machine), write BENCH_hybrid.json at the repo
+# root, and assert the composition argument holds: at every scale point with
+# >= 64 simulated devices the module-aligned hybrid must beat BOTH
+# single-axis strategies on images/sec, and the pure-PP chain must degrade
+# relative to the hybrid as the bubble grows.
+#
+# Usage: bench/run_hybrid.sh
+# Env:   BUILD_DIR (default build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD_DIR:-build}
+
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j --target bench_hybrid >/dev/null
+
+"$BUILD/bench/bench_hybrid" BENCH_hybrid.json
+
+python3 - BENCH_hybrid.json <<'PY'
+import json, sys
+
+points = json.load(open(sys.argv[1]))["points"]
+by_scale = {}
+for p in points:
+    by_scale.setdefault(p["gpus"], {})[p["strategy"]] = p
+
+for gpus, strat in sorted(by_scale.items()):
+    dp, pp, hy = strat["dp"], strat["pp"], strat["hybrid"]
+    assert hy["stages"] == 2 and hy["replicas"] == gpus // 2, (
+        f"hybrid at {gpus} devices carved a {hy['stages']}x{hy['replicas']} "
+        f"mesh, expected 2x{gpus // 2}")
+    if gpus >= 64:
+        best = max(dp["images_per_s"], pp["images_per_s"])
+        assert hy["images_per_s"] > best, (
+            f"hybrid did not beat the best single axis at {gpus} devices: "
+            f"hybrid={hy['images_per_s']:.0f} dp={dp['images_per_s']:.0f} "
+            f"pp={pp['images_per_s']:.0f}")
+
+big = max(by_scale)
+hy, pp = by_scale[big]["hybrid"], by_scale[big]["pp"]
+assert hy["images_per_s"] > 2 * pp["images_per_s"], (
+    f"pure pipeline bubble should cost >2x throughput vs hybrid at {big} "
+    f"devices: hybrid={hy['images_per_s']:.0f} pp={pp['images_per_s']:.0f}")
+print(f"hybrid check OK over {len(by_scale)} scale points; at {big} devices "
+      f"hybrid={hy['images_per_s']:.0f} img/s vs best single axis "
+      f"{max(by_scale[big]['dp']['images_per_s'], pp['images_per_s']):.0f}")
+PY

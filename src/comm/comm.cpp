@@ -55,7 +55,8 @@ bool Comm::recv_abandoned(int src) const {
   auto gone = [&](int r) {
     const int world = members_[static_cast<std::size_t>(r)];
     return state_->state_of(world) != RankState::Alive ||
-           state_->is_abandoned(comm_id_, world);
+           state_->is_abandoned(comm_id_, world) ||
+           state_->is_recovering(world);
   };
   if (src != kAnySource) return gone(src);
   // Any-source: hopeless only when every other member is gone.
@@ -108,7 +109,8 @@ Envelope Comm::recv_envelope(int src, int tag) {
         if (r == rank_ || (src != kAnySource && r != src)) continue;
         const int world = members_[static_cast<std::size_t>(r)];
         if (state_->state_of(world) != RankState::Alive ||
-            state_->is_abandoned(comm_id_, world)) {
+            state_->is_abandoned(comm_id_, world) ||
+            state_->is_recovering(world)) {
           failed.push_back(world);
         }
       }
@@ -280,6 +282,11 @@ void Comm::rejoin() {
     // ordering between the two locks; mark_abandoned releases abandon_mutex
     // before poking, so there is no cycle.)
     state_->clear_abandoned(comm_id_);
+    // Same for the rank-wide recovery flags — cleared for EVERY member here,
+    // atomically with opening the generation, not by each waker on its own:
+    // a fast waker's first post-recovery recv must not see a still-flagged
+    // peer that simply has not woken yet.
+    for (const int world : members_) state_->set_recovering(world, false);
     ++js.generation;
     // Keep only recent generations' results (slow wakers read theirs).
     while (js.results.size() > 8) js.results.erase(js.results.begin());

@@ -120,6 +120,33 @@ struct SharedState {
     comm_abandoned.erase(comm_id);
   }
 
+  // Rank-wide recovery flags: a rank that enters recovery
+  // (Comm::abandon_requests) stops sending on EVERY communicator it belongs
+  // to until it passes its next rejoin().  Per-comm abandonment cannot tell
+  // peers blocked on the rank's OTHER communicators (a mesh's data axis
+  // while the rank aborted on the pipeline axis), and without this flag
+  // their only rescue is the slow wall-clock backstop — skewing survivors'
+  // rejoin arrivals past the rendezvous backstop.  The abort point stays
+  // deterministic: a blocked recv aborts at the first message the
+  // recovering rank provably will never send (it cannot resume before the
+  // waiter itself reaches rejoin).
+  std::vector<char> recovering;  // world flags, guarded by abandon_mutex
+  void set_recovering(int world_rank, bool on) {
+    {
+      std::lock_guard lock(abandon_mutex);
+      if (recovering.empty()) {
+        recovering.resize(static_cast<std::size_t>(machine.ranks()), 0);
+      }
+      recovering[static_cast<std::size_t>(world_rank)] = on ? 1 : 0;
+    }
+    if (on) poke_all();
+  }
+  [[nodiscard]] bool is_recovering(int world_rank) {
+    std::lock_guard lock(abandon_mutex);
+    return !recovering.empty() &&
+           recovering[static_cast<std::size_t>(world_rank)] != 0;
+  }
+
   // ---- recovery rendezvous board (Comm::rejoin) ----------------------------
   // Out-of-band agreement per communicator id, modelling a ULFM-style
   // shrink/agree service.  In-band barriers cannot serve as the recovery
@@ -401,6 +428,37 @@ class Comm {
     return out;
   }
 
+  /// In-place ring allgather: @p data holds size()*chunk elements; on entry
+  /// this rank's chunk [rank*chunk, (rank+1)*chunk) carries its contribution,
+  /// on return every chunk holds its owner's contribution.  Same ring (and
+  /// hence same simulated cost) as allgather(), but gathers straight into the
+  /// caller's buffer — the no-copy counterpart for destinations that are
+  /// already contiguous slabs (e.g. ZeRO's parameter gather).
+  template <typename T>
+  void allgather_inplace(std::span<T> data, std::size_t chunk) {
+    obs::ScopedSpan span(obs::Category::Comm, "allgather", world_rank(),
+                         &clock(), chunk * sizeof(T), 0, comm_id_);
+    const int P = size();
+    if (data.size() != chunk * static_cast<std::size_t>(P)) {
+      throw std::runtime_error("allgather_inplace: data must be size()*chunk");
+    }
+    if (P == 1) return;
+    const int tag = next_coll_tag();
+    const int right = (rank() + 1) % P;
+    const int left = (rank() + P - 1) % P;
+    int have = rank();  // block index we most recently obtained
+    for (int step = 0; step < P - 1; ++step) {
+      std::span<const T> outgoing(
+          data.data() + chunk * static_cast<std::size_t>(have), chunk);
+      send(outgoing, right, tag);
+      const int incoming = (have + P - 1) % P;
+      std::span<T> in_block(
+          data.data() + chunk * static_cast<std::size_t>(incoming), chunk);
+      recv_internal(in_block, left, tag);
+      have = incoming;
+    }
+  }
+
   /// Gather equal-size contributions at @p root (binomial tree).  Returns the
   /// concatenation at root, empty vector elsewhere.
   template <typename T>
@@ -611,7 +669,14 @@ class Comm {
 
   /// Abandon every in-flight request on this rank (recovery after failures).
   /// Outstanding handles then throw RequestError(Kind::Abandoned) on wait.
-  void abandon_requests() { progress_engine().abandon_all(); }
+  /// Also marks this rank as recovering on every communicator: peers blocked
+  /// on a recv from it — on ANY comm of a multi-axis layout — abort with the
+  /// usual typed errors instead of waiting out their wall backstop.  The
+  /// flag clears when this rank passes its next rejoin().
+  void abandon_requests() {
+    state_->set_recovering(world_rank(), true);
+    progress_engine().abandon_all();
+  }
 
   /// Split into sub-communicators by @p color; ranks ordered by (key, rank).
   [[nodiscard]] Comm split(int color, int key);

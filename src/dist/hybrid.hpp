@@ -1,0 +1,96 @@
+// Elastic hybrid DP x PP training strategy over the dist::Mesh.
+//
+// HybridStrategy plugs the mesh-based PipelineStage into the
+// ResilientTrainer loop (dist/resilient.hpp): one object that trains a batch
+// through the 1F1B pipeline with data-parallel replication, serialises a
+// partition-independent snapshot of the whole model, and — after a rank
+// loss — re-partitions the pipeline over the shrunken world.
+//
+// Re-partitioning policy: after a shrink to world' ranks, the new stage
+// count is the largest S' <= min(requested S, world') with world' % S' == 0.
+// Losing one rank of a [4 x 1] pipeline therefore re-partitions to [3 x 1];
+// losing one rank of a [2 x 2] mesh (world' = 3) degrades to [3 x 1] pure
+// data parallelism — training always continues on every survivor.
+//
+// Snapshots are partition-independent by construction: capture_state()
+// gathers every stage's parameter slab down the pipe axis (honest fabric
+// cost) into the full-model layout — parameters in layer order, optimizer
+// state role-major ([all m | all v] for Adam) — so load_state() can carve
+// the blob for *any* later partition: role j of a stage holding layers
+// [off, off+n) lives at blob.opt_state[j*N + off, j*N + off + n).
+//
+// The model is rebuilt from a deterministic factory on every re-partition
+// (same architecture, any init — parameters are overwritten by the restore).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "dist/mesh.hpp"
+#include "dist/pipeline.hpp"
+#include "dist/resilient.hpp"
+
+namespace msa::dist {
+
+struct HybridOptions {
+  /// Desired pipeline depth S.  Worlds (including shrunken ones) that
+  /// cannot host it use the largest feasible S' (see file header).
+  int pipeline_stages = 1;
+  /// Microbatches per optimisation step (the 1F1B schedule length).
+  int microbatches = 4;
+  bool topology_aware = true;  ///< mesh carving (see dist/mesh.hpp)
+  AllreduceOptions allreduce;  ///< data-axis gradient reduction knobs
+};
+
+class HybridStrategy final : public ResilientStrategy {
+ public:
+  /// Deterministically rebuilds the full model: same architecture every
+  /// call (initial values are irrelevant after the first restore).
+  using ModelFactory = std::function<std::unique_ptr<nn::Sequential>()>;
+  using OptimizerFactory = std::function<std::unique_ptr<nn::Optimizer>()>;
+
+  /// @p comm must be the resilience loop's owned handle (kept by
+  /// reference).  Collective: builds the initial mesh and pipeline.
+  HybridStrategy(comm::Comm& comm, ModelFactory model_factory,
+                 OptimizerFactory optimizer_factory, HybridOptions options);
+
+  StepResult step_classification(
+      const nn::Tensor& x, const std::vector<std::int32_t>& labels) override;
+  nn::ParamStore& param_store() override { return stage_->param_store(); }
+  nn::Optimizer& optimizer() override { return stage_->optimizer(); }
+  /// Shard per data-parallel replica: every stage of one replica chain
+  /// draws the same batch.
+  [[nodiscard]] std::pair<int, int> data_shard() const override {
+    return {stage_->mesh().replica(), stage_->mesh().replicas()};
+  }
+  StateBlob capture_state() override;
+  void load_state(const StateBlob& blob) override;
+  void align_initial() override;
+  void align_restored() override;
+  void rebuild() override { build(); }
+  double average_metric(double value) override;
+
+  [[nodiscard]] PipelineStage& pipeline() { return *stage_; }
+  [[nodiscard]] Mesh& mesh() { return stage_->mesh(); }
+  /// Stage count of the current partition (shrinks with the world).
+  [[nodiscard]] int current_stages() const { return stages_now_; }
+
+ private:
+  /// (Re)partition the model over comm_ with the largest feasible stage
+  /// count and construct the PipelineStage.  Collective.
+  void build();
+
+  comm::Comm& comm_;
+  ModelFactory model_factory_;
+  OptimizerFactory opt_factory_;
+  HybridOptions options_;
+  int stages_now_ = 1;
+  std::vector<std::size_t> part_sizes_;  ///< param count per current stage
+  std::unique_ptr<PipelineStage> stage_;
+};
+
+}  // namespace msa::dist

@@ -1,37 +1,32 @@
 #include "dist/pipeline.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <stdexcept>
+#include <utility>
+
+#include "obs/trace.hpp"
 
 namespace msa::dist {
 
 namespace {
 constexpr int kActTag = 801;   // activations flowing forward
 constexpr int kGradTag = 802;  // gradients flowing backward
-constexpr int kLossTag = 803;  // scalar loss broadcast
-}  // namespace
 
-PipelineStage::PipelineStage(comm::Comm& comm,
-                             std::unique_ptr<nn::Sequential> stage,
-                             std::unique_ptr<nn::Optimizer> optimizer)
-    : comm_(comm), stage_(std::move(stage)), optimizer_(std::move(optimizer)) {
-  if (!stage_) throw std::invalid_argument("PipelineStage: null stage");
-}
-
-void PipelineStage::send_tensor(const nn::Tensor& t, int dest, int tag) {
-  // Header: ndim + dims as floats (exact for the sizes we use), then data.
+/// Wire format: [ndim, dims..., data] as floats (exact for our sizes).
+std::vector<float> pack_tensor(const nn::Tensor& t) {
   std::vector<float> packed;
+  packed.reserve(1 + t.ndim() + t.numel());
   packed.push_back(static_cast<float>(t.ndim()));
   for (std::size_t d = 0; d < t.ndim(); ++d) {
     packed.push_back(static_cast<float>(t.dim(d)));
   }
   packed.insert(packed.end(), t.data(), t.data() + t.numel());
-  comm_.send(std::span<const float>(packed), dest, tag);
+  return packed;
 }
 
-nn::Tensor PipelineStage::recv_tensor(int src, int tag) {
-  const auto packed = comm_.recv_any_size<float>(src, tag);
+nn::Tensor unpack_tensor(const std::vector<float>& packed) {
   const auto ndim = static_cast<std::size_t>(packed[0]);
   nn::Shape shape;
   std::size_t numel = 1;
@@ -44,62 +39,260 @@ nn::Tensor PipelineStage::recv_tensor(int src, int tag) {
   return t;
 }
 
+}  // namespace
+
+nn::Sequential& PipelineStage::checked_stage() {
+  if (!stage_) throw std::invalid_argument("PipelineStage: null stage");
+  return *stage_;
+}
+
+PipelineStage::PipelineStage(Mesh mesh, std::unique_ptr<nn::Sequential> stage,
+                             std::unique_ptr<nn::Optimizer> optimizer,
+                             PipelineOptions options)
+    : mesh_(std::move(mesh)),
+      stage_(std::move(stage)),
+      optimizer_(std::move(optimizer)),
+      store_(checked_stage()),
+      options_(options),
+      xfer_(mesh_.pipe().dup()) {
+  if (!optimizer_) {
+    throw std::invalid_argument("PipelineStage: null optimizer");
+  }
+  store_.attach_optimizer(*optimizer_);
+  comm::Comm& data = mesh_.data();
+  if (data.size() > 1 && options_.allreduce.hierarchical) {
+    hier_ = make_hierarchical(data, options_.allreduce.hierarchy_level);
+    if (!hier_->enabled) hier_.reset();  // flat topology: nothing to exploit
+  }
+  if (data.size() > 1 && options_.allreduce.overlap) {
+    reducer_.emplace(data, store_, options_.allreduce,
+                     hier_ ? &*hier_ : nullptr);
+  }
+}
+
+PipelineStage::PipelineStage(comm::Comm& comm,
+                             std::unique_ptr<nn::Sequential> stage,
+                             std::unique_ptr<nn::Optimizer> optimizer)
+    : PipelineStage(
+          Mesh(comm, MeshOptions{/*pipeline_stages=*/comm.size(),
+                                 /*topology_aware=*/false}),
+          std::move(stage), std::move(optimizer), PipelineOptions{}) {}
+
+void PipelineStage::send_tensor(const nn::Tensor& t, int dest_stage, int tag) {
+  const std::vector<float> packed = pack_tensor(t);
+  xfer_.send(std::span<const float>(packed), dest_stage, tag);
+}
+
+PipelineStage::Pending PipelineStage::prefetch_tensor(
+    int src_stage, int tag, std::uint64_t bytes_hint) {
+  Pending p;
+  p.packed = std::make_shared<std::vector<float>>();
+  // The engine replays the body when the request is waited, rewinding to
+  // the post time: transfer time that fits under the compute issued between
+  // post and wait is attributed as hidden comm.
+  p.req = xfer_.idefer(
+      bytes_hint,
+      [c = xfer_, dst = p.packed, src_stage, tag]() mutable {
+        *dst = c.recv_any_size<float>(src_stage, tag);
+      });
+  return p;
+}
+
+nn::Tensor PipelineStage::take(Pending& p, const char* bubble_name) {
+  if (bubble_name != nullptr) {
+    // Structural stall: the whole wait bills to the pipeline bubble (the
+    // engine's comm intervals inside are shadowed — attributed once).
+    obs::ScopedSpan bubble(obs::Category::PipeBubble, bubble_name);
+    p.req.wait();
+  } else {
+    p.req.wait();
+  }
+  return unpack_tensor(*p.packed);
+}
+
 float PipelineStage::step_classification(
     const std::vector<nn::Tensor>& micro_inputs,
     const std::vector<std::vector<std::int32_t>>& micro_labels) {
   if (micro_inputs.size() != micro_labels.size() || micro_inputs.empty()) {
     throw std::invalid_argument("pipeline step: bad microbatch lists");
   }
-  stage_->zero_grads();
-  const int prev = comm_.rank() - 1;
-  const int next = comm_.rank() + 1;
-  double loss_sum = 0.0;
+  obs::ScopedSpan step_span(obs::Category::Step, "pipe_step");
+  const int M = static_cast<int>(micro_inputs.size());
+  const int S = mesh_.stages();
+  const int s = mesh_.stage();
+  comm::Comm& world = mesh_.world();
+  store_.zero_grads();
 
-  // Gradients accumulate across microbatches (layer contract), so one
-  // optimizer step at the end equals gradient-accumulated training.
-  for (std::size_t m = 0; m < micro_inputs.size(); ++m) {
-    nn::Tensor act = is_first() ? micro_inputs[m]
-                                : recv_tensor(prev, kActTag);
-    nn::Tensor out = stage_->forward(act, /*training=*/true);
+  std::vector<Pending> act_pending(static_cast<std::size_t>(M));
+  std::vector<Pending> grad_pending(static_cast<std::size_t>(M));
+  // Stage inputs stashed per in-flight microbatch: layers single-buffer
+  // their forward caches, so a backward whose forward was overwritten by a
+  // later microbatch recomputes it from here (activation checkpointing).
+  std::vector<nn::Tensor> inputs(static_cast<std::size_t>(M));
+  nn::Tensor loss_grad;  // last stage only: gradient of the pending loss
+  double loss_sum = 0.0;
+  int last_forward = -1;
+
+  auto forward_one = [&](int i) {
+    const auto ui = static_cast<std::size_t>(i);
+    nn::Tensor act;
+    if (is_first()) {
+      act = micro_inputs[ui];
+    } else {
+      // Post the next microbatch's receive before consuming this one, so
+      // its transfer hides behind the compute in between.
+      if (i + 1 < M) {
+        act_pending[ui + 1] =
+            prefetch_tensor(s - 1, kActTag, last_act_bytes_);
+      }
+      act = take(act_pending[ui], i == 0 ? "warmup_bubble" : nullptr);
+      last_act_bytes_ = act_pending[ui].packed->size() * sizeof(float);
+    }
+    inputs[ui] = act;
+    nn::Tensor out;
+    {
+      obs::ScopedSpan span(obs::Category::Compute, "forward");
+      out = stage_->forward(act, /*training=*/true);
+    }
+    world.charge_compute(stage_->forward_flops(), 0.0);
+    last_forward = i;
+    if (is_last()) {
+      auto res = nn::softmax_cross_entropy(out, micro_labels[ui]);
+      // Scale so the accumulated gradient is the mean over microbatches.
+      res.grad.scale_(1.0f / static_cast<float>(M));
+      loss_sum += res.loss;
+      loss_grad = std::move(res.grad);
+    } else {
+      send_tensor(out, s + 1, kActTag);
+      grad_pending[ui] = prefetch_tensor(s + 1, kGradTag, last_grad_bytes_);
+    }
+  };
+
+  auto backward_one = [&](int i, bool cooldown) {
+    const auto ui = static_cast<std::size_t>(i);
     nn::Tensor grad_in;
     if (is_last()) {
-      auto res = nn::softmax_cross_entropy(out, micro_labels[m]);
-      // Scale so the accumulated gradient is the mean over microbatches.
-      res.grad.scale_(1.0f / static_cast<float>(micro_inputs.size()));
-      loss_sum += res.loss;
-      grad_in = std::move(res.grad);
+      grad_in = std::move(loss_grad);
     } else {
-      send_tensor(out, next, kActTag);
-      grad_in = recv_tensor(next, kGradTag);
+      grad_in = take(grad_pending[ui], cooldown ? "cooldown_bubble" : nullptr);
+      last_grad_bytes_ = grad_pending[ui].packed->size() * sizeof(float);
     }
-    nn::Tensor grad_out = stage_->backward(grad_in);
-    if (!is_first()) {
-      send_tensor(grad_out, prev, kGradTag);
+    if (last_forward != i) {
+      obs::ScopedSpan span(obs::Category::Compute, "recompute");
+      (void)stage_->forward(inputs[ui], /*training=*/true);
+      world.charge_compute(stage_->forward_flops(), 0.0);
+      last_forward = i;
     }
-  }
-  optimizer_->step(stage_->params(), stage_->grads());
+    const double fwd_flops = stage_->forward_flops();
+    // The last microbatch's backward finalises the accumulated gradients
+    // layer by layer (reverse order) — exactly when the overlapped reducer
+    // may launch buckets.  Earlier backwards only accumulate.
+    const bool final_grads = i == M - 1 && reducer_.has_value();
+    if (final_grads) {
+      reducer_->begin_step();
+      stage_->set_backward_observer(&*reducer_);
+    }
+    nn::Tensor grad_out;
+    {
+      obs::ScopedSpan span(obs::Category::Compute, "backward");
+      grad_out = stage_->backward(grad_in);
+    }
+    // Ship the upstream gradient before draining our own reduction: the
+    // previous stage's schedule must not stall on our allreduce.
+    if (!is_first()) send_tensor(grad_out, s - 1, kGradTag);
+    if (final_grads) {
+      stage_->set_backward_observer(nullptr);
+      const double rem = 2.0 * fwd_flops - reducer_->charged_flops();
+      if (rem > 0.0) world.charge_compute(rem, 0.0);
+      // Drain outside any attribution span: the engine's hidden/exposed
+      // intervals are the authoritative record for in-flight buckets.
+      reducer_->finish();
+    } else {
+      world.charge_compute(2.0 * fwd_flops, 0.0);
+    }
+  };
 
-  // Broadcast the mean loss from the last stage.
-  float loss = static_cast<float>(loss_sum / micro_inputs.size());
-  std::array<float, 1> buf = {loss};
-  if (comm_.size() > 1) {
-    if (is_last()) {
-      for (int r = 0; r < comm_.size() - 1; ++r) {
-        comm_.send(std::span<const float>(buf), r, kLossTag);
-      }
+  // 1F1B: warmup forwards, steady one-forward-one-backward, cooldown.
+  const int W = std::min(M, S - 1 - s);
+  if (!is_first()) {
+    act_pending[0] = prefetch_tensor(s - 1, kActTag, last_act_bytes_);
+  }
+  for (int i = 0; i < W; ++i) forward_one(i);
+  for (int i = W; i < M; ++i) {
+    forward_one(i);
+    backward_one(i - W, /*cooldown=*/false);
+  }
+  for (int i = M - W; i < M; ++i) backward_one(i, /*cooldown=*/true);
+
+  // Data-axis reduction (the overlapped path already drained inside the
+  // final backward), then one flat optimizer sweep over the slabs.
+  if (mesh_.data().size() > 1 && !reducer_) {
+    obs::ScopedSpan span(obs::Category::Comm, "allreduce_grads",
+                         store_.grad_span().size_bytes());
+    if (hier_) {
+      allreduce_gradients(mesh_.data(), *hier_, store_, options_.allreduce);
     } else {
-      comm_.recv(std::span<float>(buf), comm_.size() - 1, kLossTag);
+      allreduce_gradients(mesh_.data(), store_, options_.allreduce);
     }
   }
+  {
+    obs::ScopedSpan span(obs::Category::Compute, "optimizer");
+    store_.step(*optimizer_);
+  }
+
+  // Mean loss over the global batch: average the replica means across the
+  // data axis on the last stage, then broadcast down the pipe.
+  float loss = static_cast<float>(loss_sum / M);
+  if (is_last() && mesh_.data().size() > 1) {
+    std::array<double, 1> v = {loss_sum / M};
+    mesh_.data().allreduce(std::span<double>(v), comm::ReduceOp::Sum);
+    loss = static_cast<float>(v[0] / mesh_.data().size());
+  }
+  std::array<float, 1> buf = {loss};
+  if (S > 1) mesh_.pipe().bcast(std::span<float>(buf), S - 1);
   return buf[0];
 }
 
-nn::Tensor PipelineStage::forward_inference(const nn::Tensor& x) {
-  nn::Tensor act = is_first() ? x : recv_tensor(comm_.rank() - 1, kActTag);
-  nn::Tensor out = stage_->forward(act, /*training=*/false);
+nn::Tensor PipelineStage::forward_inference(const nn::Tensor& x,
+                                            bool broadcast_result) {
+  const int s = mesh_.stage();
+  nn::Tensor act;
+  if (is_first()) {
+    act = x;
+  } else {
+    act = unpack_tensor(xfer_.recv_any_size<float>(s - 1, kActTag));
+  }
+  nn::Tensor out;
+  {
+    obs::ScopedSpan span(obs::Category::Compute, "forward");
+    out = stage_->forward(act, /*training=*/false);
+  }
+  mesh_.world().charge_compute(stage_->forward_flops(), 0.0);
   if (!is_last()) {
-    send_tensor(out, comm_.rank() + 1, kActTag);
-    return {};
+    send_tensor(out, s + 1, kActTag);
+    out = nn::Tensor{};
+  }
+  if (broadcast_result && mesh_.stages() > 1) {
+    // Optional logits broadcast so every stage can compute metrics.  Cost:
+    // one header bcast + one payload bcast (numel * 4 bytes) on the pipe.
+    const int root = mesh_.stages() - 1;
+    std::array<float, 8> header{};
+    if (is_last()) {
+      header[0] = static_cast<float>(out.ndim());
+      for (std::size_t d = 0; d < out.ndim(); ++d) {
+        header[1 + d] = static_cast<float>(out.dim(d));
+      }
+    }
+    mesh_.pipe().bcast(std::span<float>(header), root);
+    if (!is_last()) {
+      nn::Shape shape;
+      const auto ndim = static_cast<std::size_t>(header[0]);
+      for (std::size_t d = 0; d < ndim; ++d) {
+        shape.push_back(static_cast<std::size_t>(header[1 + d]));
+      }
+      out = nn::Tensor(shape);
+    }
+    mesh_.pipe().bcast(out.flat(), root);
   }
   return out;
 }
@@ -126,7 +319,8 @@ std::vector<std::unique_ptr<nn::Sequential>> partition_model(
   for (int part = 0; part < parts; ++part) {
     auto stage = std::make_unique<nn::Sequential>();
     const int remaining_parts = parts - part;
-    const std::size_t target = remaining / static_cast<std::size_t>(remaining_parts);
+    const std::size_t target =
+        remaining / static_cast<std::size_t>(remaining_parts);
     std::size_t acc = 0;
     while (at < n_layers) {
       // Leave at least one layer per remaining stage.

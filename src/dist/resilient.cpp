@@ -38,27 +38,79 @@ std::vector<std::int32_t> gather_labels(const std::vector<std::int32_t>& labels,
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// DataParallelStrategy
+
+DataParallelStrategy::DataParallelStrategy(comm::Comm& comm, nn::Layer& model,
+                                           nn::Optimizer& opt,
+                                           AllreduceOptions options)
+    : comm_(comm), opt_(opt), trainer_(comm_, model, opt_, options) {}
+
+StateBlob DataParallelStrategy::capture_state() {
+  nn::ParamStore& store = trainer_.param_store();
+  const auto params = store.param_span();
+  const auto opt_state = store.opt_span();
+  StateBlob blob;
+  blob.params.assign(params.begin(), params.end());
+  blob.opt_state.assign(opt_state.begin(), opt_state.end());
+  blob.scalars = opt_.scalar_state();
+  return blob;
+}
+
+void DataParallelStrategy::load_state(const StateBlob& blob) {
+  nn::ParamStore& store = trainer_.param_store();
+  std::copy(blob.params.begin(), blob.params.end(),
+            store.param_span().begin());
+  std::copy(blob.opt_state.begin(), blob.opt_state.end(),
+            store.opt_span().begin());
+  opt_.restore_scalar_state(blob.scalars);
+}
+
+void DataParallelStrategy::align_initial() {
+  broadcast_parameters(comm_, trainer_.param_store());
+}
+
+void DataParallelStrategy::align_restored() {
+  // Re-broadcast on the fabric so every survivor is bit-identical even if a
+  // local snapshot was somehow torn.  Charged like any bcast.
+  broadcast_parameters(comm_, trainer_.param_store());
+  auto opt_span = trainer_.param_store().opt_span();
+  if (!opt_span.empty()) comm_.bcast(opt_span, /*root=*/0);
+}
+
+// ---------------------------------------------------------------------------
+// ResilientTrainer
+
 ResilientTrainer::ResilientTrainer(comm::Comm& comm, nn::Layer& model,
                                    nn::Optimizer& opt,
                                    ResilientOptions options)
-    : comm_(comm),
-      world_(comm),
-      model_(model),
-      opt_(opt),
-      options_(std::move(options)),
-      trainer_(comm_, model_, opt_, options_.allreduce) {
+    : ResilientTrainer(
+          comm,
+          [&model, &opt, allreduce = options.allreduce](comm::Comm& c) {
+            return std::make_unique<DataParallelStrategy>(c, model, opt,
+                                                          allreduce);
+          },
+          options) {}
+
+ResilientTrainer::ResilientTrainer(comm::Comm& comm,
+                                   const StrategyFactory& make,
+                                   ResilientOptions options)
+    : comm_(comm), world_(comm), options_(std::move(options)) {
+  if (!make) throw std::invalid_argument("ResilientTrainer: null factory");
+  strategy_ = make(comm_);
+  if (!strategy_) throw std::invalid_argument("ResilientTrainer: null strategy");
   comm_.set_wall_backstop(options_.wall_backstop_s, options_.backstop_retries);
   world_.set_wall_backstop(options_.wall_backstop_s, options_.backstop_retries);
   report_.final_world = comm_.size();
 }
 
 void ResilientTrainer::take_snapshot(int epoch, int batch, int global_step) {
+  // Capture first: a mesh strategy gathers remote stage slabs here, and that
+  // traffic should be attributed as comm, not inside the Io span.
+  StateBlob blob = strategy_->capture_state();
   obs::ScopedSpan span(obs::Category::Io, "snapshot",
                        /*bytes=*/std::uint64_t{0}, /*flops=*/std::uint64_t{0},
                        static_cast<std::uint64_t>(global_step));
-  nn::ParamStore& store = trainer_.param_store();
-  const auto params = store.param_span();
-  const auto opt_state = store.opt_span();
   // Keep one generation of history: recovery may need to roll back to the
   // previous boundary when survivors disagree on whether the latest one was
   // reached (see recover()).  An interval boundary and an epoch boundary can
@@ -68,9 +120,7 @@ void ResilientTrainer::take_snapshot(int epoch, int batch, int global_step) {
     prev_ = std::move(snap_);
   }
   snap_ = Snapshot{};
-  snap_.params.assign(params.begin(), params.end());
-  snap_.opt_state.assign(opt_state.begin(), opt_state.end());
-  snap_.scalars = opt_.scalar_state();
+  snap_.state = std::move(blob);
   snap_.epoch = epoch;
   snap_.batch = batch;
   snap_.global_step = global_step;
@@ -79,18 +129,18 @@ void ResilientTrainer::take_snapshot(int epoch, int batch, int global_step) {
   snap_.metric_count = metric_count_;
   snap_.valid = true;
   // Honest cost: one contiguous write per slab to the storage module.
-  const double bytes = static_cast<double>(
-      (snap_.params.size() + snap_.opt_state.size()) * sizeof(float) +
-      snap_.scalars.size() * sizeof(double));
+  const double bytes = static_cast<double>(snap_.state.byte_size());
   const double t = comm_.machine().config().storage.write_time(bytes);
   span.add_bytes(static_cast<std::uint64_t>(bytes));
   comm_.charge_seconds(t);
   report_.checkpoint_time_s += t;
   if (!options_.checkpoint_dir.empty() && comm_.rank() == 0) {
     // Atomic tmp+rename write (nn/serialize): a kill mid-write never tears
-    // the previous on-disk checkpoint.
-    (void)nn::save_checkpoint(options_.checkpoint_dir + "/resilient", store,
-                              opt_);
+    // the previous on-disk checkpoint.  A mesh strategy writes its own
+    // stage's slabs (one shard of the partition-independent blob).
+    (void)nn::save_checkpoint(options_.checkpoint_dir + "/resilient",
+                              strategy_->param_store(),
+                              strategy_->optimizer());
   }
 }
 
@@ -101,28 +151,18 @@ void ResilientTrainer::restore_snapshot() {
   obs::ScopedSpan span(obs::Category::Io, "restore",
                        /*bytes=*/std::uint64_t{0}, /*flops=*/std::uint64_t{0},
                        static_cast<std::uint64_t>(snap_.global_step));
-  nn::ParamStore& store = trainer_.param_store();
-  std::copy(snap_.params.begin(), snap_.params.end(),
-            store.param_span().begin());
-  std::copy(snap_.opt_state.begin(), snap_.opt_state.end(),
-            store.opt_span().begin());
-  opt_.restore_scalar_state(snap_.scalars);
+  strategy_->load_state(snap_.state);
   loss_sum_ = snap_.loss_sum;
   acc_sum_ = snap_.acc_sum;
   metric_count_ = snap_.metric_count;
   // Honest cost: read the slabs back from the storage module...
-  const double bytes = static_cast<double>(
-      (snap_.params.size() + snap_.opt_state.size()) * sizeof(float) +
-      snap_.scalars.size() * sizeof(double));
+  const double bytes = static_cast<double>(snap_.state.byte_size());
   const double t = comm_.machine().config().storage.read_time(bytes);
   span.add_bytes(static_cast<std::uint64_t>(bytes));
   comm_.charge_seconds(t);
   report_.restore_time_s += t;
-  // ...then re-broadcast on the fabric so every survivor is bit-identical
-  // even if a local snapshot was somehow torn.  Charged like any bcast.
-  broadcast_parameters(comm_, store);
-  auto opt_span = store.opt_span();
-  if (!opt_span.empty()) comm_.bcast(opt_span, /*root=*/0);
+  // ...then realign across the fabric (parameters + optimizer state).
+  strategy_->align_restored();
 }
 
 void ResilientTrainer::recover() {
@@ -154,7 +194,8 @@ void ResilientTrainer::recover() {
       // step (match-wins delivery) and snapshotted it; a rank blocked on a
       // chunk its aborting neighbour never forwarded did not.  Agree on the
       // oldest snapshot step and fall back to prev_ where needed, then
-      // rebuild state and re-broadcast so every survivor is bit-identical.
+      // rebuild the layout over the survivors and re-load state so every
+      // survivor is bit-identical.
       int agreed = snap_.global_step;
       comm_.allreduce(std::span<int>(&agreed, 1), comm::ReduceOp::Min);
       if (agreed != snap_.global_step) {
@@ -165,6 +206,10 @@ void ResilientTrainer::recover() {
         }
         snap_ = prev_;
       }
+      // Re-wire the strategy first (a mesh strategy re-partitions its
+      // pipeline over the shrunken world), then restore into the new layout
+      // — the blob is partition-independent by contract.
+      strategy_->rebuild();
       restore_snapshot();
       break;
     } catch (const comm::RankFailedError&) {
@@ -184,7 +229,7 @@ TrainResult ResilientTrainer::train_classification(
   if (x.dim(0) != labels.size()) {
     throw std::invalid_argument("train_classification: N mismatch");
   }
-  broadcast_parameters(comm_, trainer_.param_store());
+  strategy_->align_initial();
   loss_sum_ = 0.0;
   acc_sum_ = 0.0;
   metric_count_ = 0;
@@ -195,7 +240,8 @@ TrainResult ResilientTrainer::train_classification(
   int global_step = 0;
   while (epoch < epochs) {
     try {
-      ShardedSampler sampler(x.dim(0), comm_.rank(), comm_.size(),
+      const auto [shard_rank, shard_count] = strategy_->data_shard();
+      ShardedSampler sampler(x.dim(0), shard_rank, shard_count,
                              options_.sampler_seed);
       const std::vector<std::size_t> indices = sampler.epoch_indices(
           static_cast<std::size_t>(epoch));
@@ -214,7 +260,7 @@ TrainResult ResilientTrainer::train_classification(
         const nn::Tensor bx = gather_rows(x, indices, begin, batch_size);
         const std::vector<std::int32_t> by =
             gather_labels(labels, indices, begin, batch_size);
-        const StepResult res = trainer_.step_classification(bx, by);
+        const StepResult res = strategy_->step_classification(bx, by);
         loss_sum_ += static_cast<double>(res.loss);
         acc_sum_ += res.accuracy;
         ++metric_count_;
@@ -254,9 +300,9 @@ TrainResult ResilientTrainer::train_classification(
   report_.final_world = comm_.size();
   TrainResult out;
   if (metric_count_ > 0) {
-    out.mean_loss = trainer_.average_metric(
+    out.mean_loss = strategy_->average_metric(
         loss_sum_ / static_cast<double>(metric_count_));
-    out.accuracy = trainer_.average_metric(
+    out.accuracy = strategy_->average_metric(
         acc_sum_ / static_cast<double>(metric_count_));
   }
   return out;

@@ -1,26 +1,34 @@
-// Elastic fault-tolerant data-parallel training (the recovery discipline the
-// paper's long Horovod runs on DEEP/JUWELS live by, and what elastic Horovod
-// automates: detect a dead worker, rebuild the communicator around it,
-// restore replicated state, re-shard the data, continue).
+// Elastic fault-tolerant training (the recovery discipline the paper's long
+// Horovod runs on DEEP/JUWELS live by, and what elastic Horovod automates:
+// detect a dead worker, rebuild the communicator around it, restore
+// replicated state, re-shard the data, continue).
 //
-// ResilientTrainer wraps the PR-2 DistributedTrainer step with:
-//   * periodic in-memory slab snapshots (one contiguous copy per slab), plus
+// ResilientTrainer is a strategy-agnostic resilience loop.  It owns the
+// communicator lifecycle and drives a ResilientStrategy — the object that
+// knows how one parallelism layout (plain data parallelism, a hybrid
+// DP x PP mesh, ...) trains a batch, serialises its resumable state, and
+// re-wires itself over a shrunken world.  The loop supplies:
+//   * periodic in-memory snapshots of the strategy's state blob, plus
 //     optional atomic on-disk checkpoints via nn/serialize,
 //   * failure detection through the comm layer's typed errors
 //     (RankFailedError from the liveness board, CommTimeoutError from the
 //     wall-clock backstop),
-//   * deterministic Comm::shrink around the dead set, snapshot restore,
-//     parameter re-broadcast, and ShardedSampler re-shard over the
-//     surviving world,
+//   * deterministic Comm::shrink around the dead set, strategy rebuild
+//     (e.g. pipeline stage re-partitioning), snapshot restore, state
+//     re-broadcast, and ShardedSampler re-shard over the survivors,
 //   * honest simulated cost: snapshots/restores are charged at the storage
 //     module's bandwidth and re-broadcasts ride the normal fabric model.
 //
-// With no faults armed, the execution is bit-identical to driving
-// DistributedTrainer directly (snapshots copy state but never mutate it).
+// With no faults armed, driving the default DataParallelStrategy is
+// bit-identical to driving DistributedTrainer directly (snapshots copy
+// state but never mutate it).
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "comm/comm.hpp"
@@ -35,7 +43,7 @@ struct ResilientOptions {
   int backstop_retries = 2;       ///< doubled re-waits for transient stragglers
   int max_recoveries = 8;         ///< abort after this many recovery cycles
   std::uint64_t sampler_seed = 42;
-  AllreduceOptions allreduce;
+  AllreduceOptions allreduce;     ///< used by the default DP strategy
 };
 
 /// What resilience cost during a training run.
@@ -54,34 +62,137 @@ struct TrainResult {
   double accuracy = 0.0;   ///< final-epoch accuracy, averaged across survivors
 };
 
+/// The strategy's resumable state, as captured at a snapshot boundary.
+/// Must be identical on every rank and sufficient to resume after *any*
+/// membership change (a mesh strategy therefore captures the full model,
+/// not just this rank's shard).
+struct StateBlob {
+  std::vector<float> params;
+  std::vector<float> opt_state;
+  std::vector<double> scalars;  ///< optimizer scalar state (e.g. Adam's t)
+  [[nodiscard]] std::uint64_t byte_size() const {
+    return (params.size() + opt_state.size()) * sizeof(float) +
+           scalars.size() * sizeof(double);
+  }
+};
+
+/// One parallelism layout under the resilience loop.  Implementations keep a
+/// reference to the loop's communicator handle (which is reseated in place
+/// on recovery) and re-derive everything else from it in rebuild().
+class ResilientStrategy {
+ public:
+  virtual ~ResilientStrategy() = default;
+
+  /// Train one batch (the strategy decides microbatching etc.).
+  virtual StepResult step_classification(
+      const nn::Tensor& x, const std::vector<std::int32_t>& labels) = 0;
+
+  /// This rank's live slab store (for checkpoints and inspection).
+  virtual nn::ParamStore& param_store() = 0;
+  /// The optimizer whose scalar state rides the snapshots.
+  virtual nn::Optimizer& optimizer() = 0;
+
+  /// (shard index, shard count) for the data sampler.  Plain DP shards per
+  /// rank; a mesh shards per data-parallel replica so every stage of one
+  /// replica chain sees the same batch.
+  [[nodiscard]] virtual std::pair<int, int> data_shard() const = 0;
+
+  /// Serialise resumable state (may communicate — e.g. gather every
+  /// pipeline stage's slab so the blob is partition-independent).
+  virtual StateBlob capture_state() = 0;
+  /// Local inverse of capture_state under the *current* layout (rebuild()
+  /// runs first after a membership change).  No communication.
+  virtual void load_state(const StateBlob& blob) = 0;
+
+  /// Cross-rank parameter alignment at train start.
+  virtual void align_initial() = 0;
+  /// Cross-rank realignment (parameters + optimizer state) after
+  /// load_state during recovery.
+  virtual void align_restored() = 0;
+
+  /// Re-wire onto the (reseated, possibly shrunken) communicator — e.g.
+  /// re-partition pipeline stages over the survivors.
+  virtual void rebuild() = 0;
+
+  /// Average of a scalar across ranks (metric reporting).
+  virtual double average_metric(double value) = 0;
+};
+
+/// The default strategy: plain data parallelism via DistributedTrainer.
+/// Snapshot blob = this rank's slabs (all replicas identical); rebuild is a
+/// no-op because every collective adapts to the shrunken communicator.
+class DataParallelStrategy final : public ResilientStrategy {
+ public:
+  /// @p comm must be the resilience loop's owned handle: the strategy keeps
+  /// the reference across recoveries.
+  DataParallelStrategy(comm::Comm& comm, nn::Layer& model, nn::Optimizer& opt,
+                       AllreduceOptions options = {});
+
+  StepResult step_classification(
+      const nn::Tensor& x, const std::vector<std::int32_t>& labels) override {
+    return trainer_.step_classification(x, labels);
+  }
+  nn::ParamStore& param_store() override { return trainer_.param_store(); }
+  nn::Optimizer& optimizer() override { return opt_; }
+  [[nodiscard]] std::pair<int, int> data_shard() const override {
+    return {comm_.rank(), comm_.size()};
+  }
+  StateBlob capture_state() override;
+  void load_state(const StateBlob& blob) override;
+  void align_initial() override;
+  void align_restored() override;
+  void rebuild() override {}
+  double average_metric(double value) override {
+    return trainer_.average_metric(value);
+  }
+
+ private:
+  comm::Comm& comm_;
+  nn::Optimizer& opt_;
+  DistributedTrainer trainer_;
+};
+
 class ResilientTrainer {
  public:
+  /// Builds the strategy over the trainer's owned communicator handle.
+  /// Called exactly once during construction; the strategy must keep the
+  /// comm reference (it is reseated in place on recovery).
+  using StrategyFactory =
+      std::function<std::unique_ptr<ResilientStrategy>(comm::Comm&)>;
+
+  /// Data-parallel form (legacy): wraps model/opt in DataParallelStrategy.
   /// @p comm is copied: the trainer owns its communicator handle so it can
   /// swap in shrunken replacements without disturbing the caller's.
   ResilientTrainer(comm::Comm& comm, nn::Layer& model, nn::Optimizer& opt,
                    ResilientOptions options = {});
 
+  /// Strategy form: resilience over any parallelism layout (see
+  /// dist/hybrid.hpp for the DP x PP mesh strategy).
+  ResilientTrainer(comm::Comm& comm, const StrategyFactory& make,
+                   ResilientOptions options = {});
+
   /// Train @p epochs epochs of classification over the full dataset
-  /// (@p x is [N, ...], one label per row), sharded per rank by
-  /// ShardedSampler and re-sharded over the survivors after every recovery.
+  /// (@p x is [N, ...], one label per row), sharded by the strategy's
+  /// data_shard() and re-sharded over the survivors after every recovery.
   /// Throws only if recovery itself fails max_recoveries times (or this
   /// rank is killed by an armed fault plan).
   TrainResult train_classification(const nn::Tensor& x,
                                    const std::vector<std::int32_t>& labels,
                                    std::size_t batch_size, int epochs);
 
-  [[nodiscard]] nn::ParamStore& param_store() { return trainer_.param_store(); }
+  [[nodiscard]] nn::ParamStore& param_store() {
+    return strategy_->param_store();
+  }
   /// Current communicator (shrinks as ranks die).
   [[nodiscard]] comm::Comm& comm() { return comm_; }
+  [[nodiscard]] ResilientStrategy& strategy() { return *strategy_; }
   [[nodiscard]] const ResilienceReport& report() const { return report_; }
 
  private:
-  /// Slab snapshot plus the loop position and metric accumulators needed to
+  /// Strategy blob plus the loop position and metric accumulators needed to
   /// resume mid-epoch.
   struct Snapshot {
-    std::vector<float> params;
-    std::vector<float> opt_state;
-    std::vector<double> scalars;
+    StateBlob state;
     int epoch = 0;
     int batch = 0;  ///< next batch index within epoch
     int global_step = 0;
@@ -93,21 +204,20 @@ class ResilientTrainer {
 
   void take_snapshot(int epoch, int batch, int global_step);
   void restore_snapshot();
-  /// Rebuild the communicator around the failed set and restore state.
-  /// Safe against failures racing with recovery: the shrink id is a pure
-  /// function of the dead set, so retries converge.  Survivors can abort at
-  /// most one snapshot boundary apart (a rank whose messages were already
-  /// queued finishes the boundary step, a rank blocked on an unforwarded
-  /// chunk does not), so after the rendezvous the survivors agree on the
-  /// minimum snapshot step and ranks ahead of it fall back to prev_.
+  /// Rebuild the communicator around the failed set, re-wire the strategy,
+  /// and restore state.  Safe against failures racing with recovery: the
+  /// shrink id is a pure function of the dead set, so retries converge.
+  /// Survivors can abort at most one snapshot boundary apart (a rank whose
+  /// messages were already queued finishes the boundary step, a rank
+  /// blocked on an unforwarded chunk does not), so after the rendezvous the
+  /// survivors agree on the minimum snapshot step and ranks ahead of it
+  /// fall back to prev_.
   void recover();
 
   comm::Comm comm_;   // current communicator; reseated on recovery
   comm::Comm world_;  // original communicator: the base every shrink derives from
-  nn::Layer& model_;
-  nn::Optimizer& opt_;
   ResilientOptions options_;
-  DistributedTrainer trainer_;  // references comm_, which outlives it
+  std::unique_ptr<ResilientStrategy> strategy_;
   Snapshot snap_;
   Snapshot prev_;  // one boundary older than snap_ (see recover())
   ResilienceReport report_;

@@ -2,13 +2,21 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
 
 namespace msa::dist {
 
 ZeroOptimizer::ZeroOptimizer(comm::Comm& comm,
-                             std::unique_ptr<nn::Optimizer> inner)
-    : comm_(comm), inner_(std::move(inner)) {
+                             std::unique_ptr<nn::Optimizer> inner,
+                             AllreduceOptions options)
+    : comm_(comm), inner_(std::move(inner)), options_(options) {
   if (!inner_) throw std::invalid_argument("ZeroOptimizer: null inner");
+  if (options_.hierarchical && comm_.size() > 1) {
+    hier_ = make_hierarchical(comm_, options_.hierarchy_level);
+    if (!hier_->enabled) hier_.reset();  // nothing to exploit: flat path
+  }
 }
 
 void ZeroOptimizer::initialise(std::size_t total_elems) {
@@ -16,38 +24,163 @@ void ZeroOptimizer::initialise(std::size_t total_elems) {
   const auto P = static_cast<std::size_t>(comm_.size());
   padded_ = (total_ + P - 1) / P * P;
   shard_elems_ = padded_ / P;
+  if (hier_) {
+    // Two-level shard position: the intra pass hands this rank the chunk at
+    // intra.rank(), the cross pass the sub-chunk at cross.rank() within it.
+    chunk_intra_ = padded_ / static_cast<std::size_t>(hier_->intra.size());
+    my_off_ = static_cast<std::size_t>(hier_->intra.rank()) * chunk_intra_ +
+              static_cast<std::size_t>(hier_->cross.rank()) * shard_elems_;
+  } else {
+    my_off_ = shard_elems_ * static_cast<std::size_t>(comm_.rank());
+  }
   param_shard_ = nn::Tensor({shard_elems_});
   grad_shard_ = nn::Tensor({shard_elems_});
-  flat_.assign(padded_, 0.0f);
   initialised_ = true;
 }
 
-std::vector<float> ZeroOptimizer::sharded_update() {
-  const float inv_world = 1.0f / static_cast<float>(comm_.size());
-
-  // 1. Reduce-scatter the flattened gradients: my shard receives the sum.
-  const auto reduced = comm_.size() > 1
-                           ? comm_.reduce_scatter(std::span<float>(flat_),
-                                                  shard_elems_,
-                                                  comm::ReduceOp::Sum)
-                           : std::vector<float>(flat_.begin(),
-                                                flat_.begin() + static_cast<std::ptrdiff_t>(shard_elems_));
-  for (std::size_t i = 0; i < shard_elems_; ++i) {
-    grad_shard_[i] = reduced[i] * inv_world;
+void ZeroOptimizer::run_phase(std::uint64_t wire_bytes,
+                              std::function<void()> body) {
+  if (options_.overlap && comm_.size() > 1) {
+    // Deferred through the progress engine: the transfer serialises with
+    // every other in-flight operation on this rank's NIC.  The immediate
+    // wait keeps the step synchronous; hiding comes from surrounding
+    // traffic, not from this call.
+    comm_.idefer(wire_bytes, std::move(body)).wait();
+  } else {
+    body();
   }
+}
 
-  // 2. Run the inner update rule on this rank's slice.
+void ZeroOptimizer::sharded_update(std::span<float> params,
+                                   std::span<float> grads) {
+  static obs::Counter& reduced_bytes_metric =
+      obs::Registry::instance().counter("zero.reduced_bytes");
+  static obs::Counter& gathered_bytes_metric =
+      obs::Registry::instance().counter("zero.gathered_bytes");
+
+  const float inv_world = 1.0f / static_cast<float>(comm_.size());
+  const std::size_t wire_sz =
+      options_.fp16_compression ? sizeof(Half) : sizeof(float);
+  // Payload handed to the fabric per phase: the full span on the (single or
+  // intra) pass plus the owned chunk on the cross pass.
+  const std::uint64_t phase_bytes =
+      comm_.size() > 1
+          ? static_cast<std::uint64_t>(padded_ + (hier_ ? chunk_intra_ : 0)) *
+                wire_sz
+          : 0;
+
+  // ---- Phase 1: reduce-scatter the gradients; my shard ends up summed and
+  // scaled, in place, at [my_off_, my_off_ + shard_elems_).
+  run_phase(phase_bytes, [this, grads, inv_world]() {
+    comm::Comm c = comm_;
+    if (c.size() > 1) {
+      if (!options_.fp16_compression) {
+        if (hier_) {
+          HierarchicalComms topo = *hier_;
+          (void)topo.intra.reduce_scatter(grads, chunk_intra_,
+                                          comm::ReduceOp::Sum);
+          auto sub = grads.subspan(
+              static_cast<std::size_t>(topo.intra.rank()) * chunk_intra_,
+              chunk_intra_);
+          (void)topo.cross.reduce_scatter(sub, shard_elems_,
+                                          comm::ReduceOp::Sum);
+        } else {
+          (void)c.reduce_scatter(grads, shard_elems_, comm::ReduceOp::Sum);
+        }
+        for (std::size_t i = 0; i < shard_elems_; ++i) {
+          grads[my_off_ + i] *= inv_world;
+        }
+        return;
+      }
+      // fp16 wire: reduce in binary16 (same precision model as the fp16
+      // gradient allreduce), unpack only the owned shard.
+      wire_.resize(padded_);
+      for (std::size_t i = 0; i < padded_; ++i) wire_[i] = Half(grads[i]);
+      const std::span<Half> w(wire_);
+      if (hier_) {
+        HierarchicalComms topo = *hier_;
+        (void)topo.intra.reduce_scatter(w, chunk_intra_, comm::ReduceOp::Sum);
+        auto sub =
+            w.subspan(static_cast<std::size_t>(topo.intra.rank()) *
+                          chunk_intra_,
+                      chunk_intra_);
+        (void)topo.cross.reduce_scatter(sub, shard_elems_,
+                                        comm::ReduceOp::Sum);
+      } else {
+        (void)c.reduce_scatter(w, shard_elems_, comm::ReduceOp::Sum);
+      }
+      for (std::size_t i = 0; i < shard_elems_; ++i) {
+        grads[my_off_ + i] = wire_[my_off_ + i].to_float() * inv_world;
+      }
+      return;
+    }
+    // Single rank: the "sum" is the local gradient.
+    for (std::size_t i = 0; i < shard_elems_; ++i) {
+      grads[my_off_ + i] *= inv_world;
+    }
+  });
+
+  // ---- Phase 2: inner update rule on this rank's 1/P slice.  Under fp16
+  // the slice is a persistent fp32 master (seeded on first step), so wire
+  // quantisation never feeds back into the optimizer state.
+  const bool reuse_master = options_.fp16_compression && master_live_;
+  if (!reuse_master) {
+    for (std::size_t i = 0; i < shard_elems_; ++i) {
+      param_shard_[i] = params[my_off_ + i];
+    }
+  }
+  for (std::size_t i = 0; i < shard_elems_; ++i) {
+    grad_shard_[i] = grads[my_off_ + i];
+  }
   std::vector<nn::Tensor*> ps = {&param_shard_};
   std::vector<nn::Tensor*> gs = {&grad_shard_};
   inner_->step(ps, gs);
-
-  // 3. Allgather the updated shards.
-  if (comm_.size() > 1) {
-    return comm_.allgather(
-        std::span<const float>(param_shard_.data(), shard_elems_));
+  master_live_ = true;
+  for (std::size_t i = 0; i < shard_elems_; ++i) {
+    params[my_off_ + i] = param_shard_[i];
   }
-  return std::vector<float>(param_shard_.data(),
-                            param_shard_.data() + shard_elems_);
+
+  // ---- Phase 3: allgather the updated shards, in place.  With fp16 every
+  // replica (owner included) installs the wire-format values, so replicas
+  // stay bit-identical; the fp32 master stays in param_shard_.
+  run_phase(phase_bytes, [this, params]() {
+    comm::Comm c = comm_;
+    if (c.size() == 1) return;
+    if (!options_.fp16_compression) {
+      if (hier_) {
+        HierarchicalComms topo = *hier_;
+        auto sub = params.subspan(
+            static_cast<std::size_t>(topo.intra.rank()) * chunk_intra_,
+            chunk_intra_);
+        topo.cross.allgather_inplace(sub, shard_elems_);
+        topo.intra.allgather_inplace(params, chunk_intra_);
+      } else {
+        c.allgather_inplace(params, shard_elems_);
+      }
+      return;
+    }
+    wire_.assign(padded_, Half{});
+    for (std::size_t i = 0; i < shard_elems_; ++i) {
+      wire_[my_off_ + i] = Half(params[my_off_ + i]);
+    }
+    const std::span<Half> w(wire_);
+    if (hier_) {
+      HierarchicalComms topo = *hier_;
+      auto sub = w.subspan(
+          static_cast<std::size_t>(topo.intra.rank()) * chunk_intra_,
+          chunk_intra_);
+      topo.cross.allgather_inplace(sub, shard_elems_);
+      topo.intra.allgather_inplace(w, chunk_intra_);
+    } else {
+      c.allgather_inplace(w, shard_elems_);
+    }
+    for (std::size_t i = 0; i < padded_; ++i) params[i] = wire_[i].to_float();
+  });
+
+  bytes_reduced_ += phase_bytes;
+  bytes_gathered_ += phase_bytes;
+  reduced_bytes_metric.add(phase_bytes);
+  gathered_bytes_metric.add(phase_bytes);
 }
 
 void ZeroOptimizer::step(const std::vector<nn::Tensor*>& params,
@@ -60,36 +193,38 @@ void ZeroOptimizer::step(const std::vector<nn::Tensor*>& params,
     for (const nn::Tensor* p : params) total += p->numel();
     initialise(total);
   }
-
-  const std::size_t my_lo = shard_elems_ * static_cast<std::size_t>(comm_.rank());
+  if (gflat_.size() != padded_) gflat_.assign(padded_, 0.0f);
+  if (pflat_.size() != padded_) pflat_.assign(padded_, 0.0f);
 
   // Flatten gradients tensor by tensor.
   std::size_t at = 0;
   for (const nn::Tensor* g : grads) {
-    std::copy(g->data(), g->data() + g->numel(), flat_.begin() + static_cast<std::ptrdiff_t>(at));
+    std::copy(g->data(), g->data() + g->numel(),
+              gflat_.begin() + static_cast<std::ptrdiff_t>(at));
     at += g->numel();
   }
-  std::fill(flat_.begin() + static_cast<std::ptrdiff_t>(total_), flat_.end(), 0.0f);
+  std::fill(gflat_.begin() + static_cast<std::ptrdiff_t>(total_),
+            gflat_.end(), 0.0f);
 
-  // Load my parameter slice from wherever it lives in the tensor list.
+  // Stage my parameter slice from wherever it lives in the tensor list.
   at = 0;
   for (const nn::Tensor* p : params) {
     const std::size_t lo = at, hi = at + p->numel();
-    const std::size_t s = std::max(lo, my_lo);
-    const std::size_t e = std::min(hi, my_lo + shard_elems_);
+    const std::size_t s = std::max(lo, my_off_);
+    const std::size_t e = std::min(hi, my_off_ + shard_elems_);
     for (std::size_t i = s; i < e; ++i) {
-      param_shard_[i - my_lo] = (*p)[i - lo];
+      pflat_[i] = (*p)[i - lo];
     }
     at = hi;
   }
 
-  const auto gathered = sharded_update();
+  sharded_update(std::span<float>(pflat_), std::span<float>(gflat_));
 
   // Scatter the updated parameters back into the tensors.
   at = 0;
   for (nn::Tensor* p : params) {
-    std::copy(gathered.begin() + static_cast<std::ptrdiff_t>(at),
-              gathered.begin() + static_cast<std::ptrdiff_t>(at + p->numel()),
+    std::copy(pflat_.begin() + static_cast<std::ptrdiff_t>(at),
+              pflat_.begin() + static_cast<std::ptrdiff_t>(at + p->numel()),
               p->data());
     at += p->numel();
   }
@@ -101,25 +236,32 @@ void ZeroOptimizer::step(nn::ParamStore& store) {
     throw std::invalid_argument("ZeroOptimizer::step: store size changed");
   }
 
-  const std::size_t my_lo = shard_elems_ * static_cast<std::size_t>(comm_.rank());
+  if (padded_ == total_) {
+    // Slabs are already flat and exactly padded: the collectives run
+    // directly on the slab ranges.  The gradient slab doubles as the ring
+    // scratch; updated parameters land in place in the parameter slab.
+    sharded_update(store.param_span(), store.grad_span());
+    return;
+  }
 
-  // Slabs are already flat: one contiguous copy per role instead of the
-  // per-tensor loops above.
+  // Padded case: one contiguous staging copy per role.
+  if (gflat_.size() != padded_) gflat_.assign(padded_, 0.0f);
+  if (pflat_.size() != padded_) pflat_.assign(padded_, 0.0f);
   const std::span<float> g = store.grad_span();
-  std::copy(g.begin(), g.end(), flat_.begin());
-  std::fill(flat_.begin() + static_cast<std::ptrdiff_t>(total_), flat_.end(), 0.0f);
-
+  std::copy(g.begin(), g.end(), gflat_.begin());
+  std::fill(gflat_.begin() + static_cast<std::ptrdiff_t>(total_),
+            gflat_.end(), 0.0f);
   const std::span<float> p = store.param_span();
-  const std::size_t lo = std::min(my_lo, total_);
-  const std::size_t hi = std::min(my_lo + shard_elems_, total_);
+  const std::size_t lo = std::min(my_off_, total_);
+  const std::size_t hi = std::min(my_off_ + shard_elems_, total_);
   std::copy(p.begin() + static_cast<std::ptrdiff_t>(lo),
             p.begin() + static_cast<std::ptrdiff_t>(hi),
-            param_shard_.data());
+            pflat_.begin() + static_cast<std::ptrdiff_t>(lo));
 
-  const auto gathered = sharded_update();
+  sharded_update(std::span<float>(pflat_), std::span<float>(gflat_));
 
-  std::copy(gathered.begin(),
-            gathered.begin() + static_cast<std::ptrdiff_t>(total_), p.begin());
+  std::copy(pflat_.begin(),
+            pflat_.begin() + static_cast<std::ptrdiff_t>(total_), p.begin());
 }
 
 }  // namespace msa::dist

@@ -4,18 +4,60 @@
 // Instead of every data-parallel replica holding full optimizer state
 // (Adam's m/v are 2x the model size), each rank owns 1/P of the flattened
 // parameter space:
-//   1. gradients are ring reduce-scattered (each rank receives the summed
+//   1. gradients are reduce-scattered (each rank receives the summed
 //      gradient of *its* shard only — half the allreduce traffic),
 //   2. the inner optimizer updates just the local shard (state memory 1/P),
-//   3. updated parameter shards are ring-allgathered back to every replica.
+//   3. updated parameter shards are allgathered back to every replica.
 // The update is element-wise, so the result is bit-identical to a full
 // allreduce + full optimizer step modulo summation order.
+//
+// Both collective phases ride the same substrate as gradient allreduce
+// (AllreduceOptions):
+//   - fp16_compression: both phases move binary16 on the wire.  A persistent
+//     fp32 master copy of this rank's parameter shard feeds the inner
+//     optimizer, so quantisation never accumulates into the update; every
+//     replica (including the shard owner) installs the same wire-format
+//     values, keeping replicas bit-identical.
+//   - hierarchical: reduce-scatter and allgather decompose into an
+//     intra-group pass over the fast fabric and a cross-group pass over the
+//     gateway (the shard this rank owns moves to the position the two-level
+//     decomposition dictates — see shard_offset()).
+//   - overlap: each phase is issued as a deferred operation on the progress
+//     engine, so ZeRO wire traffic serialises honestly with every other
+//     in-flight transfer on this rank (e.g. pipeline activations in a hybrid
+//     mesh run).  A bare step has no compute between issue and wait, so the
+//     phases themselves expose their full cost; the gain is scheduling
+//     fidelity, not analytic credit.
+//   (bucket_bytes and algorithm are not applicable: each phase is one fused
+//   collective over the whole parameter space — that is ZeRO's wire shape.)
+//
+// The slab path (step(nn::ParamStore&)) runs the collectives directly on
+// the store's contiguous slabs: the reduce-scatter uses the gradient slab as
+// its ring scratch (the slab is consumed — zero_grads() starts the next
+// step anyway) and the allgather lands updated parameters in place in the
+// parameter slab.  The old per-step full-model flatten/scatter copies are
+// gone; what remains is the rank's own 1/P shard staged into the inner
+// optimizer's tensors and, for fp16, the wire-format conversion buffer.
+// When the parameter count is not a multiple of the world size the slab
+// path pads through a scratch pair (one contiguous copy per role).
+//
+// Wire traffic is accounted per step: cumulative payload bytes handed to
+// the fabric by each phase are available via bytes_reduced() /
+// bytes_gathered() and exported through the obs metrics registry as
+// "zero.reduced_bytes" / "zero.gathered_bytes".
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "comm/comm.hpp"
+#include "dist/compression.hpp"
+#include "dist/distributed.hpp"
+#include "dist/overlap.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/param_store.hpp"
 
@@ -24,23 +66,31 @@ namespace msa::dist {
 class ZeroOptimizer {
  public:
   /// @p inner performs the actual update rule on this rank's shard.
-  ZeroOptimizer(comm::Comm& comm, std::unique_ptr<nn::Optimizer> inner);
+  /// Collective over @p comm when options.hierarchical is set (the two-level
+  /// decomposition must be agreed by every member); local otherwise.
+  ZeroOptimizer(comm::Comm& comm, std::unique_ptr<nn::Optimizer> inner,
+                AllreduceOptions options = {});
 
   /// One sharded update step.  Parameter/gradient lists must be stable
-  /// across calls (the flattening layout is fixed on first use).
+  /// across calls (the flattening layout is fixed on first use).  This is
+  /// the pack/scatter reference path; it shares the collective core with the
+  /// slab path below, so the two match bit for bit.
   void step(const std::vector<nn::Tensor*>& params,
             const std::vector<nn::Tensor*>& grads);
 
-  /// Slab path: shards are contiguous ranges of the store's slabs, so the
-  /// per-tensor flatten/scatter loops collapse into single range copies
-  /// (grad slab -> padded scratch, param slab range -> shard, gathered
-  /// params -> param slab).  Numerically identical to the list path.
+  /// Slab path: the collectives run directly on the store's slab ranges (see
+  /// file header).  The gradient slab is consumed as collective scratch.
+  /// Numerically identical to the list path.
   void step(nn::ParamStore& store);
 
   /// Elements of the parameter space this rank's optimizer state covers.
   [[nodiscard]] std::size_t shard_elements() const { return shard_elems_; }
   /// Total (padded) flattened size.
   [[nodiscard]] std::size_t padded_elements() const { return padded_; }
+  /// Offset of this rank's shard in the padded parameter space.  rank *
+  /// shard_elements() on a flat comm; the two-level position under
+  /// `hierarchical`.  Fixed after the first step.
+  [[nodiscard]] std::size_t shard_offset() const { return my_off_; }
 
   /// Optimizer-state memory per rank relative to unsharded data parallelism
   /// (1/P for element-wise optimizers).
@@ -48,24 +98,46 @@ class ZeroOptimizer {
     return static_cast<double>(shard_elems_) / static_cast<double>(padded_);
   }
 
+  /// Cumulative wire payload handed to the fabric by the reduce-scatter /
+  /// allgather phases (bytes; fp16 counts 2 per element, hierarchical counts
+  /// both levels).  Zero on a single-rank comm.
+  [[nodiscard]] std::uint64_t bytes_reduced() const { return bytes_reduced_; }
+  [[nodiscard]] std::uint64_t bytes_gathered() const {
+    return bytes_gathered_;
+  }
+
+  [[nodiscard]] const AllreduceOptions& options() const { return options_; }
+
   void set_lr(double lr) { inner_->set_lr(lr); }
   [[nodiscard]] double lr() const { return inner_->lr(); }
 
  private:
   void initialise(std::size_t total_elems);
-  /// Core sharded update: flat_ holds the (padded) flattened gradients and
-  /// param_shard_ this rank's parameter slice; reduce-scatters, runs the
-  /// inner rule, and returns the allgathered updated parameter space.
-  std::vector<float> sharded_update();
+  /// Core sharded update, shared by both paths: @p params / @p grads are
+  /// padded_ elements; on return params holds the allgathered updated
+  /// parameters and grads is scratch.
+  void sharded_update(std::span<float> params, std::span<float> grads);
+  /// Run one collective phase: deferred through the progress engine under
+  /// options_.overlap, inline otherwise.
+  void run_phase(std::uint64_t wire_bytes, std::function<void()> body);
 
   comm::Comm& comm_;
   std::unique_ptr<nn::Optimizer> inner_;
+  AllreduceOptions options_;
+  std::optional<HierarchicalComms> hier_;  // engaged only when exploitable
   std::size_t total_ = 0;        // true element count
   std::size_t padded_ = 0;       // padded to a multiple of comm.size()
   std::size_t shard_elems_ = 0;  // padded_ / P
-  nn::Tensor param_shard_;       // this rank's parameter slice
-  nn::Tensor grad_shard_;        // this rank's reduced gradient slice
-  std::vector<float> flat_;      // scratch: flattened grads / gathered params
+  std::size_t chunk_intra_ = 0;  // padded_ / intra group size (hierarchical)
+  std::size_t my_off_ = 0;       // my shard's offset in the padded space
+  nn::Tensor param_shard_;  // inner optimizer's view; fp32 master under fp16
+  nn::Tensor grad_shard_;   // this rank's reduced gradient slice
+  bool master_live_ = false;  // param_shard_ holds the persistent master
+  std::vector<float> gflat_;  // staging: list path / padded slab path
+  std::vector<float> pflat_;
+  std::vector<Half> wire_;  // fp16 wire-format scratch
+  std::uint64_t bytes_reduced_ = 0;
+  std::uint64_t bytes_gathered_ = 0;
   bool initialised_ = false;
 };
 

@@ -26,6 +26,7 @@ Report Report::from_spans(const std::vector<Span>& spans) {
         break;
       case Category::Io: a.io_s += dur; break;
       case Category::Fault: a.fault_s += dur; break;
+      case Category::PipeBubble: a.bubble_s += dur; break;
       case Category::CommHidden:
         // Concurrent with compute: tracked, but outside the timeline sum.
         a.comm_hidden_s += dur;
@@ -37,12 +38,13 @@ Report Report::from_spans(const std::vector<Span>& spans) {
   }
   Report report;
   for (auto& [rank, a] : per_rank) {
-    a.other_s = std::max(
-        0.0, a.total_s - a.comm_s - a.compute_s - a.io_s - a.fault_s);
+    a.other_s = std::max(0.0, a.total_s - a.comm_s - a.compute_s - a.io_s -
+                                  a.fault_s - a.bubble_s);
     report.aggregate_.comm_s += a.comm_s;
     report.aggregate_.compute_s += a.compute_s;
     report.aggregate_.io_s += a.io_s;
     report.aggregate_.fault_s += a.fault_s;
+    report.aggregate_.bubble_s += a.bubble_s;
     report.aggregate_.other_s += a.other_s;
     report.aggregate_.comm_hidden_s += a.comm_hidden_s;
     report.aggregate_.total_s += a.total_s;
@@ -62,11 +64,11 @@ namespace {
 
 void print_row(std::FILE* out, const char* label, const Attribution& a) {
   std::fprintf(out,
-               "%8s %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %7.1f%% "
-               "%7.1f%%\n",
+               "%8s %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f "
+               "%7.1f%% %7.1f%%\n",
                label, a.total_s * 1e3, a.comm_s * 1e3, a.comm_hidden_s * 1e3,
                a.compute_s * 1e3, a.io_s * 1e3, a.fault_s * 1e3,
-               a.other_s * 1e3, 100.0 * a.comm_fraction(),
+               a.bubble_s * 1e3, a.other_s * 1e3, 100.0 * a.comm_fraction(),
                100.0 * a.compute_fraction());
 }
 
@@ -77,12 +79,14 @@ void append_attribution_json(std::string& out, const Attribution& a) {
       "{\"rank\": %d, \"total_s\": %.9f, \"comm_s\": %.9f, "
       "\"comm_hidden_s\": %.9f, "
       "\"compute_s\": %.9f, \"io_s\": %.9f, \"fault_s\": %.9f, "
+      "\"bubble_s\": %.9f, "
       "\"other_s\": %.9f, \"comm_fraction\": %.6f, "
       "\"hidden_comm_fraction\": %.6f, "
       "\"compute_fraction\": %.6f, \"comm_bytes\": %llu, \"flops\": %llu, "
       "\"spans\": %llu}",
       a.rank, a.total_s, a.comm_s, a.comm_hidden_s, a.compute_s, a.io_s,
-      a.fault_s, a.other_s, a.comm_fraction(), a.hidden_comm_fraction(),
+      a.fault_s, a.bubble_s, a.other_s, a.comm_fraction(),
+      a.hidden_comm_fraction(),
       a.compute_fraction(), static_cast<unsigned long long>(a.comm_bytes),
       static_cast<unsigned long long>(a.flops),
       static_cast<unsigned long long>(a.spans));
@@ -93,9 +97,9 @@ void append_attribution_json(std::string& out, const Attribution& a) {
 
 void Report::print(std::FILE* out) const {
   std::fprintf(out,
-               "%8s %10s %10s %10s %10s %10s %10s %10s %8s %8s\n", "rank",
+               "%8s %10s %10s %10s %10s %10s %10s %10s %10s %8s %8s\n", "rank",
                "total[ms]", "comm[ms]", "hidden", "compute", "io", "fault",
-               "other", "comm%", "comp%");
+               "bubble", "other", "comm%", "comp%");
   char label[16];
   for (const Attribution& a : ranks_) {
     std::snprintf(label, sizeof label, "%d", a.rank);

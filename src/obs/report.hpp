@@ -27,6 +27,7 @@ struct Attribution {
   double compute_s = 0.0;
   double io_s = 0.0;
   double fault_s = 0.0;
+  double bubble_s = 0.0;  ///< pipeline stalls (1F1B warmup/cooldown bubbles)
   double other_s = 0.0;   ///< total - attributed (idle, skew, uninstrumented)
   double total_s = 0.0;   ///< rank's final simulated time
   /// Comm overlapped behind compute (CommHidden spans).  A *concurrent*
@@ -47,6 +48,9 @@ struct Attribution {
   [[nodiscard]] double hidden_comm_fraction() const {
     const double all = comm_s + comm_hidden_s;
     return all > 0.0 ? comm_hidden_s / all : 0.0;
+  }
+  [[nodiscard]] double bubble_fraction() const {
+    return total_s > 0.0 ? bubble_s / total_s : 0.0;
   }
 };
 

@@ -20,6 +20,7 @@ const char* to_string(Category cat) {
     case Category::Fault: return "fault";
     case Category::Other: return "other";
     case Category::CommHidden: return "comm_hidden";
+    case Category::PipeBubble: return "pipe_bubble";
   }
   return "other";
 }

@@ -52,15 +52,20 @@ enum class Category : std::uint8_t {
   Other = 5,
   CommHidden = 6,  ///< comm overlapped behind compute (concurrent interval:
                    ///< reported separately, never part of the timeline sum)
+  PipeBubble = 7,  ///< pipeline stall: a stage idle waiting on activations or
+                   ///< upstream gradients (1F1B warmup/cooldown bubbles)
 };
-inline constexpr int kCategoryCount = 7;
+inline constexpr int kCategoryCount = 8;
 
 [[nodiscard]] const char* to_string(Category cat);
 
-/// True for the categories obs::Report attributes time to.
+/// True for the categories obs::Report attributes time to.  PipeBubble is an
+/// attribution category so comm spans nested inside a bubble wait (the recv
+/// that ends the stall) are shadowed and the whole stall bills as bubble.
 [[nodiscard]] constexpr bool is_attribution(Category cat) {
   return cat == Category::Comm || cat == Category::Compute ||
-         cat == Category::Io || cat == Category::Fault;
+         cat == Category::Io || cat == Category::Fault ||
+         cat == Category::PipeBubble;
 }
 
 /// One recorded interval (or instant marker, when instant is set).
