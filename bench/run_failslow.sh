@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# E-failslow driver: build bench_failslow, prove the run is deterministic
+# across kernel-thread counts (MSA_THREADS=1 vs 8 must produce byte-identical
+# JSON — health decisions are simulated-time functions of allgathered data),
+# then assert the mitigation claims the experiment exists to make:
+#
+#   * re-shard / demote / full strictly beat no-mitigation at EVERY injected
+#     slowdown point (a mitigation that sometimes loses is worse than none:
+#     nobody would dare enable it);
+#   * full mitigation holds >= 80% of fault-free throughput with one rank at
+#     4x slowdown, while no-mitigation drags the whole job to ~1/4x.
+#
+# Usage: bench/run_failslow.sh
+# Env:   BUILD_DIR (default build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD_DIR:-build}
+
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j --target bench_failslow >/dev/null
+
+MSA_THREADS=1 "$BUILD"/bench/bench_failslow BENCH_failslow.json
+MSA_THREADS=8 "$BUILD"/bench/bench_failslow BENCH_failslow.threads8.json \
+  >/dev/null
+
+# The simulated trajectory — step times, health decisions (digest), losses,
+# mitigation actions — must be byte-identical across kernel-thread counts.
+# straggler_events is the one deliberately wall-clock quantity in the report
+# (real recv-backstop expiries, i.e. how often the liveness machinery got
+# impatient on THIS host), so it is stripped before the comparison.
+python3 - <<'EOF'
+import json, re, sys
+
+def normalized(path):
+    with open(path) as f:
+        text = f.read()
+    return re.sub(r'"straggler_events(?:_max)?": \d+, ', "", text)
+
+a, b = normalized("BENCH_failslow.json"), normalized("BENCH_failslow.threads8.json")
+if a != b:
+    sys.stderr.write("FAIL: simulated trajectory differs between MSA_THREADS=1 and 8\n")
+    raise SystemExit(1)
+print("determinism: MSA_THREADS=1 and 8 trajectories byte-identical")
+EOF
+rm -f BENCH_failslow.threads8.json
+
+python3 - <<'EOF'
+import json
+
+with open("BENCH_failslow.json") as f:
+    bench = json.load(f)
+
+rows = bench["rows"]
+clean = bench["clean_throughput"]
+by_key = {(r["mode"], r["slowdown"]): r for r in rows}
+slowdowns = sorted({r["slowdown"] for r in rows if r["slowdown"] > 1.0})
+failures = []
+
+# Mitigated throughput must strictly beat no-mitigation at every slowdown.
+for s in slowdowns:
+    none = by_key[("none", s)]["throughput"]
+    for mode in ("reshard", "demote", "full"):
+        got = by_key[(mode, s)]["throughput"]
+        if not got > none:
+            failures.append(
+                f"{mode}@{s}x: {got:.0f} ex/s does not beat none {none:.0f}")
+
+# Acceptance: 4x slow rank -> full mitigation >= 80% of fault-free while
+# no-mitigation is dragged near 1/4x by the one gray rank.
+full4 = by_key[("full", 4.0)]["throughput"] / clean
+none4 = by_key[("none", 4.0)]["throughput"] / clean
+if full4 < 0.80:
+    failures.append(f"full@4x holds only {full4:.2%} of fault-free (< 80%)")
+if not 0.20 <= none4 <= 0.35:
+    failures.append(f"none@4x at {none4:.2%} of fault-free, expected ~25%")
+
+for s in slowdowns:
+    line = f"  {s:.0f}x:"
+    for mode in ("none", "adaptive", "reshard", "demote", "full"):
+        line += f"  {mode}={by_key[(mode, s)]['throughput'] / clean:5.2f}x"
+    print(line)
+
+if failures:
+    for msg in failures:
+        print("FAIL:", msg)
+    raise SystemExit(1)
+print(f"mitigation claims hold: full@4x={full4:.2%}, none@4x={none4:.2%}")
+EOF

@@ -82,16 +82,42 @@ Envelope Comm::recv_envelope(int src, int tag) {
     bool abandoned() override { return comm->recv_abandoned(src); }
   } waiter(this, src);
   const auto& opts = state_->failure_opts;
+  // An installed BackstopPolicy overrides the fixed backstop with a per-peer
+  // adaptive timeout (EWMA of observed waits with backoff — see failure.hpp).
+  // Policies only see real wall-clock time; any-source recvs fall back to the
+  // fixed backstop because there is no single peer to adapt to.
+  BackstopPolicy* policy =
+      (backstop_policy_ != nullptr && src != kAnySource) ? backstop_policy_
+                                                         : nullptr;
+  const int peer_world =
+      policy != nullptr ? members_[static_cast<std::size_t>(src)] : -1;
   const double backstop =
-      wall_backstop_s_ >= 0.0 ? wall_backstop_s_ : opts.wall_backstop_s;
+      policy != nullptr
+          ? policy->recv_backstop_s(peer_world)
+          : (wall_backstop_s_ >= 0.0 ? wall_backstop_s_ : opts.wall_backstop_s);
   const int retries =
-      backstop_retries_ >= 0 ? backstop_retries_ : opts.backstop_retries;
+      policy != nullptr
+          ? policy->recv_retries(peer_world)
+          : (backstop_retries_ >= 0 ? backstop_retries_ : opts.backstop_retries);
+  const auto real_begin = policy != nullptr
+                              ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{};
   auto res = state_->mailboxes[static_cast<std::size_t>(world_rank())].get(
       comm_id_, src, tag, &waiter, backstop, retries);
+  if (policy != nullptr) {
+    const double waited =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      real_begin)
+            .count();
+    policy->observe_recv(peer_world, waited, res.late_waits);
+  }
   if (res.late_waits > 0) {
     state_->straggler_events[static_cast<std::size_t>(world_rank())]
         .fetch_add(static_cast<std::uint64_t>(res.late_waits),
                    std::memory_order_relaxed);
+    obs::instant(obs::Category::StragglerWait, "late_wait",
+                 /*bytes=*/0,
+                 /*detail=*/static_cast<std::uint64_t>(res.late_waits));
   }
   if (res.status == Mailbox::Status::Abandoned) {
     // This rank stops forwarding for the collective it is abandoning, so
@@ -133,7 +159,7 @@ Envelope Comm::recv_envelope(int src, int tag) {
     const auto& link = machine().link_between(src_world, world_rank());
     double transfer = link.transfer_time(env.payload.size());
     if (FaultHooks* h = state_->hooks.get()) {
-      transfer *= h->link_factor(src_world, world_rank());
+      transfer *= h->link_factor(src_world, world_rank(), clock().now());
     }
     // Fabric-transfer sub-span: covers the sync onto the simulated link's
     // arrival time (nested under "recv", so attribution-wise shadowed).
@@ -230,6 +256,7 @@ Comm Comm::split(int color, int key) {
   child.ack_epoch_ = ack_epoch_;
   child.wall_backstop_s_ = wall_backstop_s_;
   child.backstop_retries_ = backstop_retries_;
+  child.backstop_policy_ = backstop_policy_;
   return child;
 }
 
@@ -368,6 +395,7 @@ Comm Comm::shrink(const std::vector<int>& dead_world_ranks) const {
   child.ack_epoch_ = ack_epoch_;
   child.wall_backstop_s_ = wall_backstop_s_;
   child.backstop_retries_ = backstop_retries_;
+  child.backstop_policy_ = backstop_policy_;
   return child;
 }
 

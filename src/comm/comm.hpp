@@ -60,7 +60,8 @@ struct SharedState {
         mailboxes(static_cast<std::size_t>(machine.ranks())),
         clocks(static_cast<std::size_t>(machine.ranks())),
         rank_state(static_cast<std::size_t>(machine.ranks())),
-        straggler_events(static_cast<std::size_t>(machine.ranks())) {
+        straggler_events(static_cast<std::size_t>(machine.ranks())),
+        compute_charged_s(static_cast<std::size_t>(machine.ranks()), 0.0) {
     // Engines hold pointers into `clocks`, which never resizes after this.
     engines.reserve(static_cast<std::size_t>(machine.ranks()));
     for (int r = 0; r < machine.ranks(); ++r) {
@@ -86,6 +87,11 @@ struct SharedState {
 
   // Straggler tolerance accounting: backstop expiries survived per rank.
   std::vector<std::atomic<std::uint64_t>> straggler_events;
+
+  // Cumulative simulated compute seconds charged per rank (after any injected
+  // compute_factor).  Written and read only by the owning rank's thread — the
+  // health monitor samples its own slot and allgathers, so no atomics needed.
+  std::vector<double> compute_charged_s;
 
   // ---- collective abandonment board ----------------------------------------
   // ULFM-revoke-style propagation: a rank that aborts a collective mid-flight
@@ -224,6 +230,7 @@ struct SharedState {
       failed_ranks.clear();
     }
     for (auto& s : straggler_events) s.store(0, std::memory_order_relaxed);
+    for (auto& c : compute_charged_s) c = 0.0;
     for (auto& e : engines) e.reset();
     for (auto& mb : mailboxes) mb.clear();
     {
@@ -272,13 +279,26 @@ class Comm {
   [[nodiscard]] double sim_now() const { return clock().now(); }
 
   /// Charge compute time for a kernel of @p flops touching @p bytes, using
-  /// this rank's roofline profile.
+  /// this rank's roofline profile.  An armed fault plan may stretch the
+  /// charge (fail-slow compute degradation); the stretched time also feeds
+  /// the per-rank compute accounting the health monitor samples.
   void charge_compute(double flops, double bytes) {
     obs::ScopedSpan span(obs::Category::Compute, "charge_compute",
                          world_rank(), &clock(),
                          static_cast<std::uint64_t>(bytes),
                          static_cast<std::uint64_t>(flops), comm_id_);
-    clock().advance(machine().compute(world_rank()).kernel_time(flops, bytes));
+    double t = machine().compute(world_rank()).kernel_time(flops, bytes);
+    if (FaultHooks* h = state_->hooks.get()) {
+      t *= h->compute_factor(world_rank());
+    }
+    state_->compute_charged_s[static_cast<std::size_t>(world_rank())] += t;
+    clock().advance(t);
+  }
+
+  /// Cumulative simulated compute seconds this world rank has charged
+  /// (including any injected slowdown) — the health monitor's raw signal.
+  [[nodiscard]] double compute_charged_s() const {
+    return state_->compute_charged_s[static_cast<std::size_t>(world_rank())];
   }
 
   /// Charge an explicit duration (e.g. measured host time scaled to target).
@@ -695,6 +715,16 @@ class Comm {
     }
   }
 
+  /// Consult an armed fault plan about the checkpoint archive this rank just
+  /// committed (disk-fault injection: torn write / bit flip, applied by the
+  /// checkpoint writer).  None when no plan is armed.
+  [[nodiscard]] DiskFaultKind checkpoint_write_fault() {
+    if (FaultHooks* h = state_->hooks.get()) {
+      return h->on_checkpoint_write(world_rank());
+    }
+    return DiskFaultKind::None;
+  }
+
   /// Deterministically rebuild this communicator without @p dead_world_ranks.
   /// Pure function of (parent comm, removed set): every survivor that calls
   /// shrink with the same dead set gets the same communicator id, and repeated
@@ -736,6 +766,15 @@ class Comm {
   void set_wall_backstop(double seconds, int retries = 1) {
     wall_backstop_s_ = seconds;
     backstop_retries_ = retries;
+  }
+
+  /// Install an adaptive per-peer backstop policy on this handle (null
+  /// uninstalls).  When set it overrides the fixed wall backstop: recv asks
+  /// the policy per source rank and reports the real wait back to it.  The
+  /// policy must outlive the handle (and any split/shrink children, which
+  /// inherit the pointer).  Wall-clock only: simulated time is untouched.
+  void set_backstop_policy(BackstopPolicy* policy) {
+    backstop_policy_ = policy;
   }
 
   /// Times this rank survived a backstop expiry and then got its message —
@@ -819,7 +858,7 @@ class Comm {
       const auto& link = machine().link_between(src_world, world_rank());
       double transfer = link.transfer_time(env.payload.size());
       if (FaultHooks* h = state_->hooks.get()) {
-        transfer *= h->link_factor(src_world, world_rank());
+        transfer *= h->link_factor(src_world, world_rank(), clock().now());
       }
       clock().sync_to(env.send_time_s + transfer);
     } else {
@@ -900,6 +939,7 @@ class Comm {
   std::uint64_t ack_epoch_ = 0;       // failure epoch this handle has accepted
   double wall_backstop_s_ = -1.0;     // < 0: use FailureOptions default
   int backstop_retries_ = -1;         // < 0: use FailureOptions default
+  BackstopPolicy* backstop_policy_ = nullptr;  // adaptive override (not owned)
 };
 
 // ---- template implementations ----------------------------------------------

@@ -44,6 +44,17 @@ class RankKilledError : public std::runtime_error {
   int step_;
 };
 
+/// Thrown inside a rank that the health monitor voted out for persistent
+/// fail-slow behaviour.  Subclasses RankKilledError so the Runtime and the
+/// recovery path treat a demotion exactly like a crash: the thread unwinds,
+/// survivors shrink around it.  The distinct type keeps reports honest about
+/// *why* the rank left the world.
+class RankDemotedError : public RankKilledError {
+ public:
+  RankDemotedError(int world_rank, int step)
+      : RankKilledError(world_rank, step) {}
+};
+
 /// Thrown by recv/collectives on a *surviving* rank when a peer it depends on
 /// is dead (or exited without sending).  Carries the failed world-rank set so
 /// recovery code can Comm::shrink around it.
@@ -124,6 +135,13 @@ struct FailureOptions {
   int backstop_retries = 1;
 };
 
+/// What a disk fault does to the checkpoint file a rank just wrote.
+enum class DiskFaultKind : int {
+  None = 0,       ///< write landed intact
+  TornWrite = 1,  ///< file truncated mid-write (power loss after rename)
+  BitFlip = 2,    ///< one payload bit flipped (silent media corruption)
+};
+
 /// Hook interface for deterministic fault injection (implemented by
 /// fault::FaultInjector).  All methods are called concurrently from rank
 /// threads and must be thread-safe.  Methods may throw RankKilledError to
@@ -141,8 +159,44 @@ struct FaultHooks {
                          double sim_now) = 0;
 
   /// Multiplier (>= 1) applied to the link transfer time of a message from
-  /// @p src_world to @p dst_world (degraded-link injection).
-  virtual double link_factor(int src_world, int dst_world) = 0;
+  /// @p src_world to @p dst_world at simulated time @p sim_now (persistent
+  /// degraded links and time-windowed link flaps).
+  virtual double link_factor(int src_world, int dst_world, double sim_now) = 0;
+
+  /// Multiplier (>= 1) applied to every compute kernel @p world_rank charges
+  /// (thermal throttling / a gray-failed accelerator).  Evaluated against the
+  /// rank's last announced step, so it is a pure function of rank progress.
+  virtual double compute_factor(int /*world_rank*/) { return 1.0; }
+
+  /// Called after @p world_rank commits a checkpoint archive to disk; the
+  /// returned kind is applied to the just-written file.  Counted per rank in
+  /// write order, so plans name "the Nth checkpoint write of rank r".
+  virtual DiskFaultKind on_checkpoint_write(int /*world_rank*/) {
+    return DiskFaultKind::None;
+  }
+};
+
+/// Policy interface for adaptive per-peer recv backstops.  When installed on
+/// a Comm (Comm::set_backstop_policy) it replaces the fixed wall-clock
+/// backstop: recv asks it for the timeout and retry budget per source rank,
+/// and reports back the real wait it measured so the policy can adapt (EWMA
+/// of observed latencies, exponential backoff on expiry).  The policy only
+/// shapes *real* wall-clock waiting — it never touches simulated time, so a
+/// trajectory replayed with or without it is bit-identical.
+struct BackstopPolicy {
+  virtual ~BackstopPolicy() = default;
+
+  /// Wall-clock backstop in seconds for a blocking recv from @p src_world
+  /// (<= 0 means wait indefinitely for a liveness event).
+  virtual double recv_backstop_s(int src_world) = 0;
+
+  /// Doubled re-waits granted after the first expiry for @p src_world.
+  virtual int recv_retries(int src_world) = 0;
+
+  /// Feedback after a recv completes: the real seconds the receiver waited
+  /// and how many backstop expiries (late waits) it absorbed.
+  virtual void observe_recv(int src_world, double real_wait_s,
+                            int late_waits) = 0;
 };
 
 }  // namespace msa::comm

@@ -116,6 +116,19 @@ void allreduce_gradients(comm::Comm& comm, nn::ParamStore& store,
   }
 }
 
+std::vector<std::size_t> full_epoch_permutation(std::size_t dataset_size,
+                                                std::uint64_t seed,
+                                                std::size_t epoch) {
+  std::vector<std::size_t> perm(dataset_size);
+  std::iota(perm.begin(), perm.end(), 0);
+  tensor::Rng rng(seed + 0x51ED2701u * (epoch + 1));
+  for (std::size_t i = dataset_size; i > 1; --i) {
+    const std::size_t j = rng.uniform_index(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
 ShardedSampler::ShardedSampler(std::size_t dataset_size, int rank, int world,
                                std::uint64_t seed)
     : dataset_size_(dataset_size),
@@ -127,13 +140,8 @@ ShardedSampler::ShardedSampler(std::size_t dataset_size, int rank, int world,
 std::vector<std::size_t> ShardedSampler::epoch_indices(
     std::size_t epoch) const {
   // Same permutation on all ranks (common seed + epoch), then strided shard.
-  std::vector<std::size_t> perm(dataset_size_);
-  std::iota(perm.begin(), perm.end(), 0);
-  tensor::Rng rng(seed_ + 0x51ED2701u * (epoch + 1));
-  for (std::size_t i = dataset_size_; i > 1; --i) {
-    const std::size_t j = rng.uniform_index(i);
-    std::swap(perm[i - 1], perm[j]);
-  }
+  const std::vector<std::size_t> perm =
+      full_epoch_permutation(dataset_size_, seed_, epoch);
   std::vector<std::size_t> mine;
   mine.reserve(per_rank_);
   for (std::size_t k = 0; k < per_rank_; ++k) {
@@ -222,6 +230,9 @@ StepResult DistributedTrainer::step_classification(
     return model_.forward(x, /*training=*/true);
   }();
   auto res = nn::softmax_cross_entropy(logits, labels);
+  if (loss_scale_ != 1.0) {
+    for (float& g : res.grad.flat()) g *= static_cast<float>(loss_scale_);
+  }
   backward_reduce_apply(res.grad, model_.forward_flops());
   return {res.loss, nn::accuracy(logits, labels)};
 }
@@ -236,6 +247,9 @@ StepResult DistributedTrainer::step_regression(const nn::Tensor& x,
     return model_.forward(x, /*training=*/true);
   }();
   auto res = use_mae ? nn::mae_loss(pred, target) : nn::mse_loss(pred, target);
+  if (loss_scale_ != 1.0) {
+    for (float& g : res.grad.flat()) g *= static_cast<float>(loss_scale_);
+  }
   backward_reduce_apply(res.grad, model_.forward_flops());
   return {res.loss, 0.0};
 }

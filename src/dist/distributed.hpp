@@ -145,6 +145,13 @@ class OverlappedReducer : public nn::BackwardObserver {
   double charged_flops_ = 0.0;
 };
 
+/// The common epoch-@p epoch shuffle of [0, dataset_size) every rank agrees
+/// on (Fisher–Yates under a shared seed).  ShardedSampler strides over it;
+/// the health monitor's throughput-aware re-sharding slices it into
+/// contiguous weighted blocks instead.
+[[nodiscard]] std::vector<std::size_t> full_epoch_permutation(
+    std::size_t dataset_size, std::uint64_t seed, std::size_t epoch);
+
 /// Deterministic epoch-shuffled shard of [0, dataset_size) for one rank.
 /// All ranks use the same seed, so shards are disjoint and cover the set
 /// (up to equal-size truncation, as in practice with drop_last).
@@ -211,6 +218,13 @@ class DistributedTrainer {
   /// Average of a scalar across ranks (for loss/metric reporting).
   [[nodiscard]] double average_metric(double value);
 
+  /// Scale applied to the loss gradient before backward.  Under weighted
+  /// (throughput-aware) micro-batching each rank's gradient is a mean over a
+  /// different row count b_r; scaling by P*b_r/B_total makes the 1/P
+  /// allreduce average equal the true global-batch mean.  1.0 = uniform.
+  void set_loss_scale(double scale) { loss_scale_ = scale; }
+  [[nodiscard]] double loss_scale() const { return loss_scale_; }
+
  private:
   void reduce_and_apply();
   /// Shared tail of both step flavours: charge compute, reduce, apply.
@@ -223,6 +237,7 @@ class DistributedTrainer {
   AllreduceOptions options_;
   std::optional<HierarchicalComms> hier_;
   std::optional<OverlappedReducer> reducer_;
+  double loss_scale_ = 1.0;
 };
 
 }  // namespace msa::dist

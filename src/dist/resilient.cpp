@@ -1,7 +1,10 @@
 #include "dist/resilient.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <stdexcept>
 
 #include "nn/serialize.hpp"
@@ -34,6 +37,40 @@ std::vector<std::int32_t> gather_labels(const std::vector<std::int32_t>& labels,
   std::vector<std::int32_t> out(count);
   for (std::size_t i = 0; i < count; ++i) out[i] = labels[idx[begin + i]];
   return out;
+}
+
+/// Apply an injected disk fault to a just-committed archive: truncate to
+/// half (torn write — the rename landed but the media lost the tail) or flip
+/// one deterministic payload bit (silent corruption).  Either way the
+/// version-02 checksum trailer no longer matches.
+void corrupt_archive(const std::string& path, comm::DiskFaultKind kind) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const std::uintmax_t size = fs::file_size(path, ec);
+  if (ec || size < 24) return;  // nothing worth corrupting
+  if (kind == comm::DiskFaultKind::TornWrite) {
+    fs::resize_file(path, size / 2, ec);
+    return;
+  }
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!f) return;
+  const auto offset = static_cast<std::streamoff>(size / 2);
+  f.seekg(offset);
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x10);
+  f.seekp(offset);
+  f.write(&byte, 1);
+}
+
+/// On-disk checkpoint generations under @p prefix: the live pair and one
+/// ".prev" generation kept for corrupt-restore fallback.
+nn::Checkpoint live_generation(const std::string& prefix) {
+  return {prefix + ".params.bin", prefix + ".optstate.bin"};
+}
+
+nn::Checkpoint prev_generation(const std::string& prefix) {
+  return {prefix + ".prev.params.bin", prefix + ".prev.optstate.bin"};
 }
 
 }  // namespace
@@ -101,7 +138,36 @@ ResilientTrainer::ResilientTrainer(comm::Comm& comm,
   if (!strategy_) throw std::invalid_argument("ResilientTrainer: null strategy");
   comm_.set_wall_backstop(options_.wall_backstop_s, options_.backstop_retries);
   world_.set_wall_backstop(options_.wall_backstop_s, options_.backstop_retries);
+  health_ = HealthMonitor(options_.health);
+  grad_scale_supported_ = strategy_->set_grad_scale(1.0);
+  if (options_.health.adaptive_backstop) {
+    // Rung 1 of the mitigation ladder: per-peer EWMA timeouts replace the
+    // fixed backstop.  Installed on world_ too so shrink children inherit it.
+    adaptive_backstop_ = std::make_unique<AdaptiveBackstop>(
+        options_.health, comm_.machine().ranks(), options_.wall_backstop_s);
+    comm_.set_backstop_policy(adaptive_backstop_.get());
+    world_.set_backstop_policy(adaptive_backstop_.get());
+  }
   report_.final_world = comm_.size();
+}
+
+void ResilientTrainer::rearm_health(std::size_t batch_size) {
+  if (!options_.health.enabled) return;
+  health_.reset(comm_, static_cast<int>(batch_size));
+  if (grad_scale_supported_) strategy_->set_grad_scale(1.0);
+}
+
+void ResilientTrainer::apply_health_decision(const HealthDecision& decision,
+                                             int global_step) {
+  if (!decision.batch_counts.empty()) ++report_.rebalances;
+  if (decision.demote_world_rank >= 0) {
+    ++report_.demotions;
+    if (decision.demote_world_rank == comm_.world_rank()) {
+      // Evicted by the collective vote: unwind exactly like an injected
+      // crash; survivors shrink around this rank.
+      throw comm::RankDemotedError(comm_.world_rank(), global_step);
+    }
+  }
 }
 
 void ResilientTrainer::take_snapshot(int epoch, int batch, int global_step) {
@@ -135,12 +201,23 @@ void ResilientTrainer::take_snapshot(int epoch, int batch, int global_step) {
   comm_.charge_seconds(t);
   report_.checkpoint_time_s += t;
   if (!options_.checkpoint_dir.empty() && comm_.rank() == 0) {
+    const std::string prefix = options_.checkpoint_dir + "/resilient";
+    // Keep one on-disk generation of history to mirror prev_: if this write
+    // lands corrupt (torn write, bit flip — see corrupt_archive), recovery
+    // verifies the checksum trailer and promotes the previous generation.
+    const nn::Checkpoint live = live_generation(prefix);
+    const nn::Checkpoint prev = prev_generation(prefix);
+    (void)std::rename(live.params_path.c_str(), prev.params_path.c_str());
+    (void)std::rename(live.optimizer_path.c_str(), prev.optimizer_path.c_str());
     // Atomic tmp+rename write (nn/serialize): a kill mid-write never tears
     // the previous on-disk checkpoint.  A mesh strategy writes its own
     // stage's slabs (one shard of the partition-independent blob).
-    (void)nn::save_checkpoint(options_.checkpoint_dir + "/resilient",
-                              strategy_->param_store(),
-                              strategy_->optimizer());
+    const nn::Checkpoint written = nn::save_checkpoint(
+        prefix, strategy_->param_store(), strategy_->optimizer());
+    const comm::DiskFaultKind kind = comm_.checkpoint_write_fault();
+    if (kind != comm::DiskFaultKind::None) {
+      corrupt_archive(written.params_path, kind);
+    }
   }
 }
 
@@ -211,6 +288,25 @@ void ResilientTrainer::recover() {
       // — the blob is partition-independent by contract.
       strategy_->rebuild();
       restore_snapshot();
+      // The in-memory snapshot restored above is authoritative; the disk
+      // mirror exists for job-level restarts.  Audit it while we are here:
+      // if the newest generation fails its checksum trailer (torn write or
+      // bit flip injected at commit time), promote the previous generation
+      // so what is on disk always verifies.
+      if (!options_.checkpoint_dir.empty() && comm_.rank() == 0) {
+        const std::string prefix = options_.checkpoint_dir + "/resilient";
+        const nn::Checkpoint live = live_generation(prefix);
+        try {
+          nn::verify_checkpoint(live);
+        } catch (const nn::CheckpointError&) {
+          ++report_.checkpoint_fallbacks;
+          const nn::Checkpoint prev = prev_generation(prefix);
+          (void)std::rename(prev.params_path.c_str(),
+                            live.params_path.c_str());
+          (void)std::rename(prev.optimizer_path.c_str(),
+                            live.optimizer_path.c_str());
+        }
+      }
       break;
     } catch (const comm::RankFailedError&) {
       // A further rank died during recovery; go around with the larger set.
@@ -234,6 +330,13 @@ TrainResult ResilientTrainer::train_classification(
   acc_sum_ = 0.0;
   metric_count_ = 0;
   take_snapshot(/*epoch=*/0, /*batch=*/0, /*global_step=*/0);
+  rearm_health(batch_size);
+  // Throughput-aware re-sharding slices the epoch permutation into weighted
+  // contiguous blocks instead of the uniform strided shard; it needs the
+  // strategy to honour gradient re-weighting (plain DP does, a mesh keeps
+  // uniform shards and still gets detection + demotion).
+  const bool weighted = options_.health.enabled && options_.health.rebalance &&
+                        grad_scale_supported_;
 
   int epoch = 0;
   int batch = 0;
@@ -241,12 +344,14 @@ TrainResult ResilientTrainer::train_classification(
   while (epoch < epochs) {
     try {
       const auto [shard_rank, shard_count] = strategy_->data_shard();
-      ShardedSampler sampler(x.dim(0), shard_rank, shard_count,
-                             options_.sampler_seed);
-      const std::vector<std::size_t> indices = sampler.epoch_indices(
-          static_cast<std::size_t>(epoch));
-      const int n_batches =
-          static_cast<int>(sampler.size() / batch_size);
+      const std::vector<std::size_t> indices =
+          weighted ? full_epoch_permutation(x.dim(0), options_.sampler_seed,
+                                            static_cast<std::size_t>(epoch))
+                   : ShardedSampler(x.dim(0), shard_rank, shard_count,
+                                    options_.sampler_seed)
+                         .epoch_indices(static_cast<std::size_t>(epoch));
+      const int n_batches = static_cast<int>(
+          x.dim(0) / static_cast<std::size_t>(shard_count) / batch_size);
       if (batch > n_batches) batch = n_batches;
       if (batch == 0) {
         // Fresh epoch: metrics report the epoch being trained.
@@ -256,15 +361,44 @@ TrainResult ResilientTrainer::train_classification(
       }
       for (; batch < n_batches; ++batch) {
         comm_.progress(global_step);  // fault-injection kill site
-        const auto begin = static_cast<std::size_t>(batch) * batch_size;
-        const nn::Tensor bx = gather_rows(x, indices, begin, batch_size);
+        std::size_t begin = 0;
+        std::size_t rows = batch_size;
+        if (weighted) {
+          // Step `batch` consumes the permutation block
+          // [batch*B_total, (batch+1)*B_total); each rank takes the
+          // contiguous sub-slice its current micro-batch share dictates.
+          const std::vector<int>& counts = health_.batch_counts();
+          const auto b_total = static_cast<std::size_t>(health_.batch_total());
+          std::size_t offset = 0;
+          for (int q = 0; q < shard_rank; ++q) {
+            offset += static_cast<std::size_t>(counts[static_cast<std::size_t>(q)]);
+          }
+          begin = static_cast<std::size_t>(batch) * b_total + offset;
+          rows = static_cast<std::size_t>(
+              counts[static_cast<std::size_t>(shard_rank)]);
+          // Unequal row counts need re-weighted gradients: scaling rank r's
+          // loss grad by P*b_r/B_total makes the 1/P allreduce average equal
+          // the true global-batch mean.
+          strategy_->set_grad_scale(static_cast<double>(rows) *
+                                    static_cast<double>(shard_count) /
+                                    static_cast<double>(b_total));
+        } else {
+          begin = static_cast<std::size_t>(batch) * batch_size;
+        }
+        const nn::Tensor bx = gather_rows(x, indices, begin, rows);
         const std::vector<std::int32_t> by =
-            gather_labels(labels, indices, begin, batch_size);
+            gather_labels(labels, indices, begin, rows);
         const StepResult res = strategy_->step_classification(bx, by);
         loss_sum_ += static_cast<double>(res.loss);
         acc_sum_ += res.accuracy;
         ++metric_count_;
         ++global_step;
+        if (options_.health.enabled) {
+          if (const auto decision = health_.on_step(
+                  comm_, global_step, static_cast<int>(rows))) {
+            apply_health_decision(*decision, global_step);
+          }
+        }
         if (options_.checkpoint_interval > 0 &&
             global_step % options_.checkpoint_interval == 0) {
           take_snapshot(epoch, batch + 1, global_step);
@@ -283,6 +417,7 @@ TrainResult ResilientTrainer::train_classification(
       epoch = snap_.epoch;
       batch = snap_.batch;
       global_step = snap_.global_step;
+      rearm_health(batch_size);
     } catch (const comm::CommTimeoutError&) {
       // No rank is known dead — an extreme transient.  Roll back to the
       // snapshot on the (unchanged) communicator and retry.
@@ -293,10 +428,22 @@ TrainResult ResilientTrainer::train_classification(
       epoch = snap_.epoch;
       batch = snap_.batch;
       global_step = snap_.global_step;
+      rearm_health(batch_size);
     }
   }
 
-  report_.straggler_events = comm_.straggler_events();
+  // Aggregate the straggler count across the surviving world: the sum says
+  // how much late-wait churn the run saw, the max exposes the gray-failure
+  // signature (one rank's peers dominating the count).
+  {
+    std::uint64_t agg = comm_.straggler_events();
+    std::uint64_t mx = agg;
+    comm_.allreduce(std::span<std::uint64_t>(&agg, 1), comm::ReduceOp::Sum);
+    comm_.allreduce(std::span<std::uint64_t>(&mx, 1), comm::ReduceOp::Max);
+    report_.straggler_events = agg;
+    report_.straggler_events_max = mx;
+  }
+  report_.health_digest = health_.digest();
   report_.final_world = comm_.size();
   TrainResult out;
   if (metric_count_ > 0) {

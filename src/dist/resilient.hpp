@@ -33,6 +33,7 @@
 
 #include "comm/comm.hpp"
 #include "dist/distributed.hpp"
+#include "dist/health.hpp"
 
 namespace msa::dist {
 
@@ -44,17 +45,29 @@ struct ResilientOptions {
   int max_recoveries = 8;         ///< abort after this many recovery cycles
   std::uint64_t sampler_seed = 42;
   AllreduceOptions allreduce;     ///< used by the default DP strategy
+  /// Fail-slow detection and mitigation (see dist/health.hpp); off by
+  /// default so the fault-free fast path is untouched.
+  HealthOptions health;
 };
 
 /// What resilience cost during a training run.
 struct ResilienceReport {
   int recoveries = 0;              ///< completed shrink-restore cycles
   int steps_replayed = 0;          ///< steps re-executed after rollbacks
-  std::uint64_t straggler_events = 0;  ///< backstop expiries later satisfied
+  /// Backstop expiries later satisfied, summed across the final world (and
+  /// the per-rank maximum — gray failures show up as one rank dominating).
+  std::uint64_t straggler_events = 0;
+  std::uint64_t straggler_events_max = 0;
   std::vector<int> dead_ranks;     ///< world ranks removed from the job
   int final_world = 0;             ///< communicator size at the end
   double checkpoint_time_s = 0.0;  ///< simulated time writing snapshots
   double restore_time_s = 0.0;     ///< simulated time reading them back
+  int rebalances = 0;              ///< adopted re-shard decisions
+  int demotions = 0;               ///< ranks evicted for persistent slowness
+  /// Restores that found the newest on-disk checkpoint generation corrupt
+  /// (torn write / bit flip) and promoted the previous generation (rank 0).
+  int checkpoint_fallbacks = 0;
+  std::uint64_t health_digest = 0;  ///< HealthMonitor decision-chain digest
 };
 
 struct TrainResult {
@@ -116,6 +129,11 @@ class ResilientStrategy {
 
   /// Average of a scalar across ranks (metric reporting).
   virtual double average_metric(double value) = 0;
+
+  /// Scale the loss gradient by @p scale before backward (weighted
+  /// micro-batching under throughput-aware re-sharding).  Returns false when
+  /// the layout cannot honour it (the loop then keeps uniform shards).
+  virtual bool set_grad_scale(double /*scale*/) { return false; }
 };
 
 /// The default strategy: plain data parallelism via DistributedTrainer.
@@ -144,6 +162,10 @@ class DataParallelStrategy final : public ResilientStrategy {
   void rebuild() override {}
   double average_metric(double value) override {
     return trainer_.average_metric(value);
+  }
+  bool set_grad_scale(double scale) override {
+    trainer_.set_loss_scale(scale);
+    return true;
   }
 
  private:
@@ -187,6 +209,8 @@ class ResilientTrainer {
   [[nodiscard]] comm::Comm& comm() { return comm_; }
   [[nodiscard]] ResilientStrategy& strategy() { return *strategy_; }
   [[nodiscard]] const ResilienceReport& report() const { return report_; }
+  /// The fail-slow monitor (decision log and digest; see dist/health.hpp).
+  [[nodiscard]] const HealthMonitor& health() const { return health_; }
 
  private:
   /// Strategy blob plus the loop position and metric accumulators needed to
@@ -214,10 +238,20 @@ class ResilientTrainer {
   /// fall back to prev_.
   void recover();
 
+  /// Re-arm fail-slow machinery over the current membership (train start and
+  /// after every recovery): uniform shards, unit grad scale, fresh window.
+  void rearm_health(std::size_t batch_size);
+  /// Apply one collectively-agreed health decision; throws RankDemotedError
+  /// when this rank is the demotee.
+  void apply_health_decision(const HealthDecision& decision, int global_step);
+
   comm::Comm comm_;   // current communicator; reseated on recovery
   comm::Comm world_;  // original communicator: the base every shrink derives from
   ResilientOptions options_;
   std::unique_ptr<ResilientStrategy> strategy_;
+  HealthMonitor health_{HealthOptions{}};
+  std::unique_ptr<AdaptiveBackstop> adaptive_backstop_;
+  bool grad_scale_supported_ = false;
   Snapshot snap_;
   Snapshot prev_;  // one boundary older than snap_ (see recover())
   ResilienceReport report_;

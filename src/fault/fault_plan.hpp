@@ -48,6 +48,37 @@ struct DegradedLink {
   double factor = 1.0;
 };
 
+/// Fail-slow compute fault: multiply every compute kernel @p world_rank
+/// charges by @p factor while its announced step is in [from_step, to_step).
+/// to_step defaults to "forever" — the persistent gray failure the health
+/// monitor exists to catch.
+struct SlowRank {
+  int world_rank = 0;
+  int from_step = 0;
+  int to_step = 0x7fffffff;
+  double factor = 1.0;
+};
+
+/// Transient link flap: multiply the src -> dst transfer time by @p factor
+/// while simulated time is in [from_s, to_s).  Composes multiplicatively
+/// with any persistent DegradedLink on the same pair.
+struct LinkFlap {
+  int src_world = 0;
+  int dst_world = 0;
+  double from_s = 0.0;
+  double to_s = 0.0;
+  double factor = 1.0;
+};
+
+/// Corrupt the @p write_ordinal-th checkpoint archive @p world_rank commits
+/// (0-based, counted per rank in write order).
+struct DiskFault {
+  int world_rank = 0;
+  int write_ordinal = 0;
+  /// 1 = torn write (truncate), 2 = bit flip; mirrors comm::DiskFaultKind.
+  int kind = 1;
+};
+
 /// A complete, replayable fault scenario.
 struct FaultPlan {
   std::uint64_t seed = 0;
@@ -68,11 +99,21 @@ struct FaultPlan {
   /// Persistent slow links.
   std::vector<DegradedLink> degraded_links;
 
+  /// Fail-slow ranks (compute degradation over a step range).
+  std::vector<SlowRank> slow_ranks;
+
+  /// Time-windowed link flaps.
+  std::vector<LinkFlap> link_flaps;
+
+  /// Checkpoint-write corruption.
+  std::vector<DiskFault> disk_faults;
+
   /// True when the plan injects nothing (arming it is then a no-op).
   [[nodiscard]] bool empty() const {
     return kills.empty() && timed_kills.empty() && kill_probability <= 0.0 &&
            (delay_probability <= 0.0 || delay_s <= 0.0) &&
-           degraded_links.empty();
+           degraded_links.empty() && slow_ranks.empty() &&
+           link_flaps.empty() && disk_faults.empty();
   }
 };
 

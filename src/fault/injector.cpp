@@ -20,7 +20,11 @@ std::uint64_t hash3(std::uint64_t seed, std::uint64_t domain, std::uint64_t a,
 
 FaultInjector::FaultInjector(FaultPlan plan, int world_size)
     : plan_(std::move(plan)),
-      send_seq_(static_cast<std::size_t>(world_size)) {}
+      send_seq_(static_cast<std::size_t>(world_size)),
+      last_step_(static_cast<std::size_t>(world_size)),
+      ckpt_writes_(static_cast<std::size_t>(world_size)) {
+  for (auto& s : last_step_) s.store(-1, std::memory_order_relaxed);
+}
 
 std::shared_ptr<FaultInjector> FaultInjector::arm(comm::Runtime& rt,
                                                   FaultPlan plan) {
@@ -34,6 +38,8 @@ std::shared_ptr<FaultInjector> FaultInjector::arm(comm::Runtime& rt,
 }
 
 void FaultInjector::on_step(int world_rank, int step, double sim_now) {
+  last_step_[static_cast<std::size_t>(world_rank)].store(
+      step, std::memory_order_relaxed);
   for (const KillAtStep& k : plan_.kills) {
     if (k.world_rank == world_rank && k.step == step) {
       throw comm::RankKilledError(world_rank, step);
@@ -70,11 +76,53 @@ double FaultInjector::on_send(int src_world, int /*dst_world*/,
   return plan_.delay_s * (0.5 + jitter);
 }
 
-double FaultInjector::link_factor(int src_world, int dst_world) {
+double FaultInjector::link_factor(int src_world, int dst_world,
+                                  double sim_now) {
+  double factor = 1.0;
   for (const DegradedLink& l : plan_.degraded_links) {
-    if (l.src_world == src_world && l.dst_world == dst_world) return l.factor;
+    if (l.src_world == src_world && l.dst_world == dst_world) {
+      factor *= l.factor;
+    }
   }
-  return 1.0;
+  // Flaps compose multiplicatively with persistent degradation: a flapping
+  // cable on an already-slow link is both at once.
+  for (const LinkFlap& f : plan_.link_flaps) {
+    if (f.src_world == src_world && f.dst_world == dst_world &&
+        sim_now >= f.from_s && sim_now < f.to_s) {
+      factor *= f.factor;
+    }
+  }
+  return factor;
+}
+
+double FaultInjector::compute_factor(int world_rank) {
+  if (plan_.slow_ranks.empty()) return 1.0;
+  const int step =
+      last_step_[static_cast<std::size_t>(world_rank)].load(
+          std::memory_order_relaxed);
+  double factor = 1.0;
+  for (const SlowRank& s : plan_.slow_ranks) {
+    if (s.world_rank == world_rank && step >= s.from_step &&
+        step < s.to_step) {
+      factor *= s.factor;
+    }
+  }
+  return factor;
+}
+
+comm::DiskFaultKind FaultInjector::on_checkpoint_write(int world_rank) {
+  const int ordinal =
+      ckpt_writes_[static_cast<std::size_t>(world_rank)].fetch_add(
+          1, std::memory_order_relaxed);
+  for (const DiskFault& d : plan_.disk_faults) {
+    if (d.world_rank == world_rank && d.write_ordinal == ordinal) {
+      obs::instant(obs::Category::Fault, "ckpt_corrupt", /*bytes=*/0,
+                   /*detail=*/static_cast<std::uint64_t>(d.kind));
+      return d.kind == 2 ? comm::DiskFaultKind::BitFlip
+                         : comm::DiskFaultKind::TornWrite;
+    }
+  }
+  return comm::DiskFaultKind::None;
 }
 
 }  // namespace msa::fault

@@ -34,13 +34,22 @@ class FaultInjector final : public comm::FaultHooks {
   void on_step(int world_rank, int step, double sim_now) override;
   double on_send(int src_world, int dst_world, std::uint64_t bytes,
                  double sim_now) override;
-  double link_factor(int src_world, int dst_world) override;
+  double link_factor(int src_world, int dst_world, double sim_now) override;
+  double compute_factor(int world_rank) override;
+  comm::DiskFaultKind on_checkpoint_write(int world_rank) override;
 
  private:
   FaultPlan plan_;
   // Per-source send counter: the per-rank coordinate making send-level
   // decisions replayable (each rank's sends are sequential in its thread).
   std::vector<std::atomic<std::uint64_t>> send_seq_;
+  // Last step each rank announced via on_step: the coordinate SlowRank step
+  // ranges are evaluated against.  Written and read by the owning rank's
+  // thread only (compute charges happen on the same thread as progress), but
+  // atomic because survivors may cache-read a dead peer's slot.
+  std::vector<std::atomic<int>> last_step_;
+  // Per-rank checkpoint-write ordinal for DiskFault matching.
+  std::vector<std::atomic<int>> ckpt_writes_;
 };
 
 }  // namespace msa::fault

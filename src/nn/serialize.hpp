@@ -80,4 +80,12 @@ void load_checkpoint(const Checkpoint& ckpt, Layer& model,
 void load_checkpoint(const Checkpoint& ckpt, ParamStore& store,
                      Optimizer& optimizer);
 
+/// Streams both archives of @p ckpt end to end, validating structure and the
+/// version-02 checksum trailer, without touching any model state.  Throws
+/// CheckpointError on truncation or checksum mismatch — the recovery path
+/// calls this before committing to a restore so a torn or bit-flipped
+/// archive falls back to the previous generation instead of poisoning the
+/// run.
+void verify_checkpoint(const Checkpoint& ckpt);
+
 }  // namespace msa::nn

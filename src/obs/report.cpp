@@ -27,10 +27,15 @@ Report Report::from_spans(const std::vector<Span>& spans) {
       case Category::Io: a.io_s += dur; break;
       case Category::Fault: a.fault_s += dur; break;
       case Category::PipeBubble: a.bubble_s += dur; break;
+      case Category::Rebalance: a.rebalance_s += dur; break;
       case Category::CommHidden:
         // Concurrent with compute: tracked, but outside the timeline sum.
         a.comm_hidden_s += dur;
         a.comm_bytes += s.bytes;
+        break;
+      case Category::StragglerWait:
+        // Concurrent with the stall already attributed on the timeline.
+        a.straggler_wait_s += dur;
         break;
       case Category::Step:
       case Category::Other: break;  // envelopes — not attributed
@@ -39,13 +44,14 @@ Report Report::from_spans(const std::vector<Span>& spans) {
   Report report;
   for (auto& [rank, a] : per_rank) {
     a.other_s = std::max(0.0, a.total_s - a.comm_s - a.compute_s - a.io_s -
-                                  a.fault_s - a.bubble_s);
+                                  a.fault_s - a.bubble_s - a.rebalance_s);
     report.aggregate_.comm_s += a.comm_s;
     report.aggregate_.compute_s += a.compute_s;
     report.aggregate_.io_s += a.io_s;
     report.aggregate_.fault_s += a.fault_s;
     report.aggregate_.bubble_s += a.bubble_s;
-    report.aggregate_.other_s += a.other_s;
+    report.aggregate_.rebalance_s += a.rebalance_s;
+    report.aggregate_.straggler_wait_s += a.straggler_wait_s;
     report.aggregate_.comm_hidden_s += a.comm_hidden_s;
     report.aggregate_.total_s += a.total_s;
     report.aggregate_.comm_bytes += a.comm_bytes;
@@ -65,29 +71,32 @@ namespace {
 void print_row(std::FILE* out, const char* label, const Attribution& a) {
   std::fprintf(out,
                "%8s %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f "
-               "%7.1f%% %7.1f%%\n",
+               "%10.3f %10.3f %7.1f%% %7.1f%%\n",
                label, a.total_s * 1e3, a.comm_s * 1e3, a.comm_hidden_s * 1e3,
                a.compute_s * 1e3, a.io_s * 1e3, a.fault_s * 1e3,
-               a.bubble_s * 1e3, a.other_s * 1e3, 100.0 * a.comm_fraction(),
+               a.bubble_s * 1e3, a.rebalance_s * 1e3, a.straggler_wait_s * 1e3,
+               a.other_s * 1e3, 100.0 * a.comm_fraction(),
                100.0 * a.compute_fraction());
 }
 
 void append_attribution_json(std::string& out, const Attribution& a) {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof buf,
       "{\"rank\": %d, \"total_s\": %.9f, \"comm_s\": %.9f, "
       "\"comm_hidden_s\": %.9f, "
       "\"compute_s\": %.9f, \"io_s\": %.9f, \"fault_s\": %.9f, "
       "\"bubble_s\": %.9f, "
+      "\"rebalance_s\": %.9f, \"straggler_wait_s\": %.9f, "
       "\"other_s\": %.9f, \"comm_fraction\": %.6f, "
       "\"hidden_comm_fraction\": %.6f, "
-      "\"compute_fraction\": %.6f, \"comm_bytes\": %llu, \"flops\": %llu, "
+      "\"compute_fraction\": %.6f, \"straggler_fraction\": %.6f, "
+      "\"comm_bytes\": %llu, \"flops\": %llu, "
       "\"spans\": %llu}",
       a.rank, a.total_s, a.comm_s, a.comm_hidden_s, a.compute_s, a.io_s,
-      a.fault_s, a.bubble_s, a.other_s, a.comm_fraction(),
-      a.hidden_comm_fraction(),
-      a.compute_fraction(), static_cast<unsigned long long>(a.comm_bytes),
+      a.fault_s, a.bubble_s, a.rebalance_s, a.straggler_wait_s, a.other_s,
+      a.comm_fraction(), a.hidden_comm_fraction(), a.compute_fraction(),
+      a.straggler_fraction(), static_cast<unsigned long long>(a.comm_bytes),
       static_cast<unsigned long long>(a.flops),
       static_cast<unsigned long long>(a.spans));
   out += buf;
@@ -97,9 +106,11 @@ void append_attribution_json(std::string& out, const Attribution& a) {
 
 void Report::print(std::FILE* out) const {
   std::fprintf(out,
-               "%8s %10s %10s %10s %10s %10s %10s %10s %10s %8s %8s\n", "rank",
-               "total[ms]", "comm[ms]", "hidden", "compute", "io", "fault",
-               "bubble", "other", "comm%", "comp%");
+               "%8s %10s %10s %10s %10s %10s %10s %10s %10s %10s %10s %8s "
+               "%8s\n",
+               "rank", "total[ms]", "comm[ms]", "hidden", "compute", "io",
+               "fault", "bubble", "rebalance", "straggler", "other", "comm%",
+               "comp%");
   char label[16];
   for (const Attribution& a : ranks_) {
     std::snprintf(label, sizeof label, "%d", a.rank);

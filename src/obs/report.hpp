@@ -30,10 +30,16 @@ struct Attribution {
   double bubble_s = 0.0;  ///< pipeline stalls (1F1B warmup/cooldown bubbles)
   double other_s = 0.0;   ///< total - attributed (idle, skew, uninstrumented)
   double total_s = 0.0;   ///< rank's final simulated time
+  double rebalance_s = 0.0;  ///< health-monitor windows and re-shard work
   /// Comm overlapped behind compute (CommHidden spans).  A *concurrent*
   /// interval: it runs under compute/other time and is deliberately excluded
   /// from the sum-to-total identity above.
   double comm_hidden_s = 0.0;
+  /// Health section: simulated time this rank sat behind the slowest rank of
+  /// each health window (straggler skew).  Concurrent interval like
+  /// comm_hidden_s — it overlaps the comm/other stall already on the
+  /// timeline, so it is excluded from the sum-to-total identity.
+  double straggler_wait_s = 0.0;
   std::uint64_t comm_bytes = 0;  ///< payload bytes of unshadowed comm spans
   std::uint64_t flops = 0;       ///< charged flops of unshadowed compute spans
   std::uint64_t spans = 0;       ///< spans contributing to this row
@@ -51,6 +57,10 @@ struct Attribution {
   }
   [[nodiscard]] double bubble_fraction() const {
     return total_s > 0.0 ? bubble_s / total_s : 0.0;
+  }
+  /// Share of total time spent skewed behind the window-slowest rank.
+  [[nodiscard]] double straggler_fraction() const {
+    return total_s > 0.0 ? straggler_wait_s / total_s : 0.0;
   }
 };
 

@@ -21,6 +21,8 @@ const char* to_string(Category cat) {
     case Category::Other: return "other";
     case Category::CommHidden: return "comm_hidden";
     case Category::PipeBubble: return "pipe_bubble";
+    case Category::StragglerWait: return "straggler_wait";
+    case Category::Rebalance: return "rebalance";
   }
   return "other";
 }

@@ -54,8 +54,11 @@ enum class Category : std::uint8_t {
                    ///< reported separately, never part of the timeline sum)
   PipeBubble = 7,  ///< pipeline stall: a stage idle waiting on activations or
                    ///< upstream gradients (1F1B warmup/cooldown bubbles)
+  StragglerWait = 8,  ///< time skewed behind the slowest rank in a health
+                      ///< window (concurrent interval, like CommHidden)
+  Rebalance = 9,  ///< health-monitor evaluation and re-shard bookkeeping
 };
-inline constexpr int kCategoryCount = 8;
+inline constexpr int kCategoryCount = 10;
 
 [[nodiscard]] const char* to_string(Category cat);
 
@@ -65,7 +68,7 @@ inline constexpr int kCategoryCount = 8;
 [[nodiscard]] constexpr bool is_attribution(Category cat) {
   return cat == Category::Comm || cat == Category::Compute ||
          cat == Category::Io || cat == Category::Fault ||
-         cat == Category::PipeBubble;
+         cat == Category::PipeBubble || cat == Category::Rebalance;
 }
 
 /// One recorded interval (or instant marker, when instant is set).

@@ -432,6 +432,31 @@ TEST(Hybrid, MeshRunSurvivesRankKillAndMatchesFaultFreeLoss) {
       << "faulted " << faulted.mean_loss << " clean " << clean.mean_loss;
 }
 
+TEST(Hybrid, MeshRunSurvivesTwoSequentialKills) {
+  // Two ranks die at different steps of ONE run: the mesh re-partitions
+  // twice ([2 x 2] -> [3 x 1] -> [1 x 2], two survivors host the requested
+  // two stages again) and still matches the fault-free loss.  Exercises the
+  // repeated shrink path: the second recovery derives from the original
+  // world with the full dead set.
+  constexpr int P = 4;
+  const HybridOutcome clean = run_hybrid_resilient(P, FaultPlan{});
+
+  FaultPlan plan;
+  plan.kills.push_back({.world_rank = 2, .step = 5});
+  plan.kills.push_back({.world_rank = 1, .step = 9});
+  const HybridOutcome faulted = run_hybrid_resilient(P, plan);
+
+  EXPECT_GE(faulted.report.recoveries, 2);
+  EXPECT_EQ(faulted.report.final_world, P - 2);
+  ASSERT_EQ(faulted.report.dead_ranks.size(), 2u);
+  EXPECT_EQ(faulted.report.dead_ranks[0], 1);
+  EXPECT_EQ(faulted.report.dead_ranks[1], 2);
+  EXPECT_EQ(faulted.stages_end, 2);
+  EXPECT_TRUE(std::isfinite(faulted.mean_loss));
+  EXPECT_NEAR(faulted.mean_loss, clean.mean_loss, 0.5)
+      << "faulted " << faulted.mean_loss << " clean " << clean.mean_loss;
+}
+
 // ---- obs attribution of the pipeline ----------------------------------------
 
 TEST(HybridObs, PipelineStepAttributesHiddenCommAndBubbles) {
