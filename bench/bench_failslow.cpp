@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "comm/runtime.hpp"
+#include "common.hpp"
 #include "dist/resilient.hpp"
 #include "fault/injector.hpp"
 #include "nn/models.hpp"
@@ -56,25 +57,6 @@ struct SweepRow {
   double straggler_wait_s = 0.0;  // window skew behind the straggler (obs)
 };
 
-simnet::MachineConfig bench_config() {
-  simnet::MachineConfig cfg;
-  cfg.intra_node = {0.3e-6, 100e9, 0.1e-6};
-  cfg.intra_module = {1.0e-6, 10e9, 0.3e-6};
-  cfg.federation = {2.0e-6, 5e9, 0.5e-6};
-  cfg.storage = {1e-4, 2e9, 4e9};
-  return cfg;
-}
-
-/// A deliberately compute-bound profile: the MLP step costs ~1.2 simulated
-/// ms against ~0.1 ms of allreduce, so a compute slowdown shows up nearly
-/// undiluted in step time (as it would for a real large model).
-simnet::ComputeProfile slow_device_profile() {
-  simnet::ComputeProfile prof;
-  prof.name = "bench-failslow";
-  prof.peak_flops = 1e8;
-  return prof;
-}
-
 dist::HealthOptions mode_health(const std::string& mode) {
   dist::HealthOptions h;
   if (mode == "none") return h;
@@ -98,8 +80,11 @@ SweepRow run_once(int P, const char* mode, double slowdown, int epochs) {
   std::vector<std::int32_t> y(N);
   for (auto& v : y) v = static_cast<std::int32_t>(data_rng.uniform_index(classes));
 
-  comm::Runtime rt(simnet::Machine::homogeneous(P, 4, bench_config(),
-                                                slow_device_profile()));
+  // The compute-bound profile keeps the MLP step at ~1.2 simulated ms
+  // against ~0.1 ms of allreduce, so a compute slowdown shows up nearly
+  // undiluted in step time (as it would for a real large model).
+  comm::Runtime rt(bench::flat_machine(
+      P, 4, bench::compute_bound_profile("bench-failslow")));
   fault::FaultPlan plan;
   plan.seed = 2026;
   if (slowdown > 1.0) {
@@ -191,28 +176,37 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"experiment\": \"failslow-mitigation\",\n");
-  std::fprintf(f, "  \"ranks\": %d,\n  \"epochs\": %d,\n", P, epochs);
-  std::fprintf(f, "  \"clean_throughput\": %.3f,\n  \"rows\": [\n",
-               clean.throughput);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const SweepRow& r = rows[i];
-    std::fprintf(
-        f,
-        "    {\"mode\": \"%s\", \"slowdown\": %.1f, \"sim_time_s\": %.6f, "
-        "\"throughput\": %.3f, \"relative\": %.4f, \"recoveries\": %d, "
-        "\"rebalances\": %d, \"demotions\": %d, \"final_world\": %d, "
-        "\"straggler_events\": %llu, \"straggler_events_max\": %llu, "
-        "\"health_digest\": %llu, \"mean_loss\": %.4f, "
-        "\"rebalance_s\": %.6f, \"straggler_wait_s\": %.6f}%s\n",
-        r.mode, r.slowdown, r.sim_time_s, r.throughput, r.relative,
-        r.recoveries, r.rebalances, r.demotions, r.final_world,
-        static_cast<unsigned long long>(r.straggler_events),
-        static_cast<unsigned long long>(r.straggler_events_max),
-        static_cast<unsigned long long>(r.health_digest), r.mean_loss,
-        r.rebalance_s, r.straggler_wait_s, i + 1 < rows.size() ? "," : "");
+  {
+    bench::JsonWriter w(f);
+    w.obj_begin();
+    w.kv("experiment", "failslow-mitigation");
+    w.kv("ranks", P);
+    w.kv("epochs", epochs);
+    w.kv("clean_throughput", clean.throughput, "%.3f");
+    w.arr_begin("rows");
+    for (const SweepRow& r : rows) {
+      w.obj_begin();
+      w.kv("mode", r.mode);
+      w.kv("slowdown", r.slowdown, "%.1f");
+      w.kv("sim_time_s", r.sim_time_s, "%.6f");
+      w.kv("throughput", r.throughput, "%.3f");
+      w.kv("relative", r.relative, "%.4f");
+      w.kv("recoveries", r.recoveries);
+      w.kv("rebalances", r.rebalances);
+      w.kv("demotions", r.demotions);
+      w.kv("final_world", r.final_world);
+      w.kv("straggler_events", r.straggler_events);
+      w.kv("straggler_events_max", r.straggler_events_max);
+      w.kv("health_digest", r.health_digest);
+      w.kv("mean_loss", r.mean_loss, "%.4f");
+      w.kv("rebalance_s", r.rebalance_s, "%.6f");
+      w.kv("straggler_wait_s", r.straggler_wait_s, "%.6f");
+      w.obj_end();
+    }
+    w.arr_end();
+    w.obj_end();
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fputc('\n', f);
   std::fclose(f);
   std::printf("\nwrote %s (%zu rows)\n", out_path.c_str(), rows.size());
 

@@ -32,8 +32,7 @@
 #include <vector>
 
 #include "comm/runtime.hpp"
-#include "core/machine_builder.hpp"
-#include "core/module.hpp"
+#include "common.hpp"
 #include "dist/mesh.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -70,11 +69,7 @@ struct Point {
 Point run_point(const core::MsaSystem& system, int gpus, int stages,
                 const char* name, int steps = 3) {
   obs::Tracer::instance().clear();
-  const core::Module& cluster = system.module(core::ModuleKind::Cluster);
-  const core::Module& booster = system.module(core::ModuleKind::Booster);
-  comm::Runtime runtime(core::build_machine(
-      system, {{.module = &cluster, .ranks = gpus / 2},
-               {.module = &booster, .ranks = gpus / 2}}));
+  comm::Runtime runtime(bench::half_cluster_booster(system, gpus));
   runtime.run([&](comm::Comm& comm) {
     dist::Mesh mesh(comm,
                     {.pipeline_stages = stages, .topology_aware = true});
@@ -173,19 +168,28 @@ int main(int argc, char** argv) {
       "so it wins on throughput at scale.\n");
 
   if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
-    std::fprintf(f, "{\n  \"experiment\": \"hybrid-mesh\",\n  \"points\": [\n");
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      const Point& p = points[i];
-      std::fprintf(
-          f,
-          "    {\"gpus\": %d, \"strategy\": \"%s\", \"stages\": %d, "
-          "\"replicas\": %d, \"step_time_s\": %.9f, \"images_per_s\": %.3f, "
-          "\"exposed_s\": %.9f, \"hidden_s\": %.9f, \"compute_s\": %.9f}%s\n",
-          p.gpus, p.strategy, p.stages, p.replicas, p.step_time_s,
-          p.images_per_s, p.exposed_s, p.hidden_s, p.compute_s,
-          i + 1 < points.size() ? "," : "");
+    {
+      bench::JsonWriter w(f);
+      w.obj_begin();
+      w.kv("experiment", "hybrid-mesh");
+      w.arr_begin("points");
+      for (const Point& p : points) {
+        w.obj_begin();
+        w.kv("gpus", p.gpus);
+        w.kv("strategy", p.strategy);
+        w.kv("stages", p.stages);
+        w.kv("replicas", p.replicas);
+        w.kv("step_time_s", p.step_time_s, "%.9f");
+        w.kv("images_per_s", p.images_per_s, "%.3f");
+        w.kv("exposed_s", p.exposed_s, "%.9f");
+        w.kv("hidden_s", p.hidden_s, "%.9f");
+        w.kv("compute_s", p.compute_s, "%.9f");
+        w.obj_end();
+      }
+      w.arr_end();
+      w.obj_end();
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fputc('\n', f);
     std::fclose(f);
     std::printf("wrote %s (%zu points)\n", out_path.c_str(), points.size());
   } else {

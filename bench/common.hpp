@@ -1,0 +1,169 @@
+// Shared bench scaffolding: the machine shapes and JSON plumbing that every
+// experiment binary was quietly re-rolling by hand.
+//
+// Three machine builders cover the bench fleet's needs:
+//   flat_config()           the canonical flat link hierarchy (fast nodes,
+//                           10 GB/s module fabric, 5 GB/s federation)
+//   flat_machine(P, ...)    homogeneous P-rank machine on that hierarchy
+//   half_cluster_booster()  the heterogeneous half-Cluster / half-Booster
+//                           allocation of the hybrid/placement experiments
+//   serving_machine(...)    a router plus a mixed replica fleet: slow
+//                           single-device "Cluster" replicas next to fast
+//                           multi-device "Booster" ones, one module each
+//                           side of the federation gateway
+//
+// JsonWriter replaces the per-bench fprintf contraptions: a comma-stack
+// writer over a FILE* that keeps the output byte-deterministic (fixed
+// formats, insertion order) so run_*.sh can diff artifacts across
+// MSA_THREADS settings.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/machine_builder.hpp"
+#include "core/module.hpp"
+#include "simnet/machine.hpp"
+
+namespace msa::bench {
+
+/// The canonical flat bench hierarchy (hoisted from the failslow bench):
+/// NVLink-ish intra-node, 10 GB/s intra-module, 5 GB/s federation, slow
+/// checkpoint storage.
+inline simnet::MachineConfig flat_config() {
+  simnet::MachineConfig cfg;
+  cfg.intra_node = {0.3e-6, 100e9, 0.1e-6};
+  cfg.intra_module = {1.0e-6, 10e9, 0.3e-6};
+  cfg.federation = {2.0e-6, 5e9, 0.5e-6};
+  cfg.storage = {1e-4, 2e9, 4e9};
+  return cfg;
+}
+
+/// A deliberately compute-bound device (peak 1e8 flop/s): model steps cost
+/// simulated milliseconds against ~0.1 ms of comm, so compute slowdowns and
+/// batching overheads show up nearly undiluted.
+inline simnet::ComputeProfile compute_bound_profile(
+    const char* name = "bench-compute-bound", double peak_flops = 1e8) {
+  simnet::ComputeProfile prof;
+  prof.name = name;
+  prof.peak_flops = peak_flops;
+  return prof;
+}
+
+/// Homogeneous @p ranks-rank machine on the flat hierarchy.
+inline simnet::Machine flat_machine(int ranks, int devices_per_node = 4,
+                                    simnet::ComputeProfile profile =
+                                        compute_bound_profile()) {
+  return simnet::Machine::homogeneous(ranks, devices_per_node, flat_config(),
+                                      std::move(profile));
+}
+
+/// The hybrid experiments' heterogeneous allocation: half the devices on
+/// @p system's Cluster (slow CPUs), half on its Booster (fast GPUs).
+inline simnet::Machine half_cluster_booster(const core::MsaSystem& system,
+                                            int gpus) {
+  const core::Module& cluster = system.module(core::ModuleKind::Cluster);
+  const core::Module& booster = system.module(core::ModuleKind::Booster);
+  return core::build_machine(system, {{.module = &cluster, .ranks = gpus / 2},
+                                      {.module = &booster, .ranks = gpus / 2}});
+}
+
+/// Serving-fleet machine: rank 0 (the router) plus @p cluster_ranks on the
+/// Cluster-like module 0 and @p booster_ranks on the Booster-like module 1,
+/// two devices per node.  The router shares module 0 (a login/head node),
+/// so Cluster replies ride the module fabric and Booster replies cross the
+/// federation gateway — the reply leg is priced per module, like the real
+/// topology would.
+inline simnet::Machine serving_machine(int cluster_ranks, int booster_ranks,
+                                       double cluster_peak_flops,
+                                       double booster_peak_flops) {
+  std::vector<simnet::RankLocation> placement;
+  std::vector<simnet::ComputeProfile> compute;
+  const int total = 1 + cluster_ranks + booster_ranks;
+  placement.reserve(static_cast<std::size_t>(total));
+  compute.reserve(static_cast<std::size_t>(total));
+  auto add = [&](int module, int index, double peak, const char* name) {
+    placement.push_back(
+        {.module = module, .node = index / 2, .device = index % 2});
+    simnet::ComputeProfile prof;
+    prof.name = name;
+    prof.peak_flops = peak;
+    compute.push_back(prof);
+  };
+  add(0, 0, cluster_peak_flops, "serve-router");
+  for (int i = 0; i < cluster_ranks; ++i) {
+    add(0, 1 + i, cluster_peak_flops, "serve-cluster");
+  }
+  for (int i = 0; i < booster_ranks; ++i) {
+    add(1, i, booster_peak_flops, "serve-booster");
+  }
+  return simnet::Machine(flat_config(), std::move(placement),
+                         std::move(compute));
+}
+
+/// Comma-stack JSON writer over a FILE*.  Formats are explicit at every
+/// call site, so output stays byte-identical across runs and thread counts.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* f) : f_(f) {}
+
+  void obj_begin(const char* key = nullptr) { open(key, '{'); }
+  void obj_end() { close('}'); }
+  void arr_begin(const char* key = nullptr) { open(key, '['); }
+  void arr_end() { close(']'); }
+
+  void kv(const char* key, const char* v) {
+    item(key);
+    std::fprintf(f_, "\"%s\"", v);
+  }
+  void kv(const char* key, const std::string& v) { kv(key, v.c_str()); }
+  void kv(const char* key, bool v) {
+    item(key);
+    std::fputs(v ? "true" : "false", f_);
+  }
+  void kv(const char* key, int v) {
+    item(key);
+    std::fprintf(f_, "%d", v);
+  }
+  void kv(const char* key, std::uint64_t v) {
+    item(key);
+    std::fprintf(f_, "%llu", static_cast<unsigned long long>(v));
+  }
+  /// Doubles always carry an explicit printf format — determinism by
+  /// construction, and each field keeps the precision it needs.
+  void kv(const char* key, double v, const char* fmt = "%.6f") {
+    item(key);
+    std::fprintf(f_, fmt, v);
+  }
+
+ private:
+  void open(const char* key, char bracket) {
+    item(key);
+    std::fputc(bracket, f_);
+    depth_.push_back(false);
+  }
+  void close(char bracket) {
+    if (depth_.back()) std::fprintf(f_, "\n%*s", indent() - 2, "");
+    depth_.pop_back();
+    std::fputc(bracket, f_);
+  }
+  /// Comma/newline/indent bookkeeping shared by every value and container.
+  void item(const char* key) {
+    if (!depth_.empty()) {
+      if (depth_.back()) std::fputc(',', f_);
+      depth_.back() = true;
+      std::fprintf(f_, "\n%*s", indent(), "");
+    }
+    if (key != nullptr) std::fprintf(f_, "\"%s\": ", key);
+  }
+  [[nodiscard]] int indent() const {
+    return 2 * static_cast<int>(depth_.size());
+  }
+
+  std::FILE* f_;
+  std::vector<bool> depth_;  // per level: "wrote an item already"
+};
+
+}  // namespace msa::bench

@@ -29,3 +29,8 @@ ctest --output-on-failure -j "$(nproc)"
 # hybrid-mesh kills): redundant with the full suite above but cheap, and it
 # keeps the label wired so `ctest -L chaos` stays a supported entry point.
 ctest --output-on-failure -L chaos
+
+# Same deal for the serving label (msa::serve + forward_inference): the serve
+# router hands slab views and reply buffers across rank threads, which is
+# exactly what this build exists to check.
+ctest --output-on-failure -L serve

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# E-serve driver: build bench_serve, prove the serving run is deterministic
+# across kernel-thread counts (MSA_THREADS=1 vs 8 must produce byte-identical
+# JSON, result digests included — batch formation, routing, and latency
+# accounting are pure functions of the trace and the simulated clock), then
+# assert the two claims the experiment exists to make:
+#
+#   * continuous batching strictly beats batch-1 dispatch on goodput at
+#     every offered load >= 2x the fleet's aggregate single-request rate
+#     (batch-1 saturates there; batching amortises the per-batch overhead);
+#   * with one replica degraded 4x mid-run, health-aware routing keeps p99
+#     within 1.5x of the all-healthy p99 and flags the gray replica, while
+#     round-robin — which keeps feeding it and stalling on its replies —
+#     exceeds 3x.
+#
+# Usage: bench/run_serve.sh
+# Env:   BUILD_DIR (default build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD_DIR:-build}
+
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j --target bench_serve >/dev/null
+
+MSA_THREADS=1 "$BUILD"/bench/bench_serve BENCH_serve.json
+MSA_THREADS=8 "$BUILD"/bench/bench_serve BENCH_serve.threads8.json >/dev/null
+
+# Byte-identical including digests: routing decisions and latencies must not
+# depend on how many kernel threads the host lent the simulation.
+if ! diff -q BENCH_serve.json BENCH_serve.threads8.json >/dev/null; then
+  echo "FAIL: serving trajectory differs between MSA_THREADS=1 and 8" >&2
+  exit 1
+fi
+echo "determinism: MSA_THREADS=1 and 8 trajectories byte-identical"
+rm -f BENCH_serve.threads8.json
+
+python3 - <<'EOF'
+import json
+
+with open("BENCH_serve.json") as f:
+    bench = json.load(f)
+
+failures = []
+
+# (a) continuous batching beats batch-1 goodput at every load >= 2x the
+# single-request rate.
+sweep = {(p["multiplier"], p["policy"]): p for p in bench["load_sweep"]}
+mults = sorted({p["multiplier"] for p in bench["load_sweep"]})
+for m in mults:
+    b1 = sweep[(m, "batch1")]["goodput_rps"]
+    cont = sweep[(m, "continuous")]["goodput_rps"]
+    print(f"  {m:.1f}x: batch1={b1:7.0f} rps  continuous={cont:7.0f} rps")
+    if m >= 2.0 and not cont > b1:
+        failures.append(
+            f"continuous@{m}x: {cont:.0f} rps does not beat batch1 {b1:.0f}")
+
+# (b) p99 under one 4x-degraded replica: health-aware holds, RR collapses.
+deg = {p["mode"]: p for p in bench["degraded"]}
+healthy = deg["health-healthy"]["p99_s"]
+ha = deg["health-degraded"]["p99_s"]
+rr = deg["roundrobin-degraded"]["p99_s"]
+print(f"  p99: healthy={healthy * 1e3:.2f}ms  health-aware={ha * 1e3:.2f}ms"
+      f"  round-robin={rr * 1e3:.2f}ms")
+if not ha <= 1.5 * healthy:
+    failures.append(f"health-aware p99 {ha:.4f}s > 1.5x healthy {healthy:.4f}s")
+if not rr > 3.0 * healthy:
+    failures.append(f"round-robin p99 {rr:.4f}s <= 3x healthy {healthy:.4f}s")
+if not any(r["flagged"] for r in deg["health-degraded"]["replicas"]):
+    failures.append("health-aware run flagged no replica")
+if deg["health-degraded"]["completed"] != deg["health-degraded"]["admitted"]:
+    failures.append("health-aware run lost admitted requests")
+
+if failures:
+    for msg in failures:
+        print("FAIL:", msg)
+    raise SystemExit(1)
+print(f"serving claims hold: health-aware p99 {ha / healthy:.2f}x healthy, "
+      f"round-robin {rr / healthy:.1f}x")
+EOF

@@ -1,11 +1,36 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <mutex>
 #include <stdexcept>
 
 namespace msa::obs {
+
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::uint64_t>& counts, double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // rank = max(1, ceil(q * total)): the 1-indexed position in the sorted
+  // observation sequence that the quantile answers for.
+  const double want = std::ceil(q * static_cast<double>(total));
+  const std::uint64_t rank =
+      want < 1.0 ? 1 : static_cast<std::uint64_t>(want);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    cumulative += counts[b];
+    if (cumulative >= rank) {
+      // First bucket reaching the rank wins (tie-break: lowest bound);
+      // the overflow bucket reports the highest finite bound.
+      if (b < bounds.size()) return bounds[b];
+      break;
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
 
 namespace detail {
 
@@ -52,6 +77,10 @@ std::uint64_t Histogram::total() const {
   std::uint64_t sum = 0;
   for (const std::uint64_t c : counts()) sum += c;
   return sum;
+}
+
+double Histogram::quantile(double q) const {
+  return histogram_quantile(bounds_, counts(), q);
 }
 
 void Histogram::reset() {
@@ -160,7 +189,12 @@ std::string Registry::to_json() const {
                     static_cast<unsigned long long>(h.counts[b]));
       out += buf;
     }
-    out += "]}";
+    std::snprintf(buf, sizeof buf,
+                  "], \"p50\": %.17g, \"p95\": %.17g, \"p99\": %.17g}",
+                  histogram_quantile(h.bounds, h.counts, 0.50),
+                  histogram_quantile(h.bounds, h.counts, 0.95),
+                  histogram_quantile(h.bounds, h.counts, 0.99));
+    out += buf;
   }
   out += "\n  }\n}\n";
   return out;

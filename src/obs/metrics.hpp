@@ -43,6 +43,24 @@ struct alignas(64) PaddedCounter {
 
 }  // namespace detail
 
+/// Exact deterministic quantile over merged histogram buckets, usable on a
+/// live Histogram (via Histogram::quantile) or a Registry snapshot.
+///
+/// Merge-then-scan with documented tie-breaking:
+///   rank = max(1, ceil(q * total))   (q clamped to [0, 1])
+/// and the answer is the upper bound of the FIRST bucket whose cumulative
+/// count reaches rank — i.e. an upper bound on the true q-quantile that is
+/// exact with respect to the bucketisation (the brute-force reference:
+/// sort the raw observations, map each through its bucket's upper bound,
+/// index rank-1).  Observations past the last finite bound land in the
+/// overflow bucket and report bounds.back() (the Prometheus convention: the
+/// histogram cannot resolve beyond its grid).  An empty histogram returns
+/// 0.0.  Counts are exact integers, so the result is bit-identical across
+/// thread counts and replays.
+[[nodiscard]] double histogram_quantile(const std::vector<double>& bounds,
+                                        const std::vector<std::uint64_t>& counts,
+                                        double q);
+
 /// Monotonic counter (merged value is the exact sum of all adds).
 class Counter {
  public:
@@ -101,6 +119,8 @@ class Histogram {
   /// Per-bucket counts (bounds().size() + 1 entries, last = overflow).
   [[nodiscard]] std::vector<std::uint64_t> counts() const;
   [[nodiscard]] std::uint64_t total() const;
+  /// histogram_quantile over the merged counts (see its contract above).
+  [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
   void reset();
 

@@ -3,7 +3,48 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.hpp"
+
 namespace msa::obs {
+
+namespace {
+
+/// Fixed geometric grid for span-duration quantiles: 1 us .. ~100 s, x2
+/// steps.  Shared by every category so quantiles are comparable.
+std::vector<double> span_duration_bounds() {
+  std::vector<double> bounds;
+  for (double b = 1e-6; b <= 128.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<CategoryQuantiles> quantiles_from_spans(
+    const std::vector<Span>& spans) {
+  const std::vector<double> bounds = span_duration_bounds();
+  // Plain count vectors (not live Histograms): from_spans runs quiescent.
+  std::vector<std::vector<std::uint64_t>> counts(
+      kCategoryCount, std::vector<std::uint64_t>(bounds.size() + 1, 0));
+  std::vector<std::uint64_t> totals(kCategoryCount, 0);
+  for (const Span& s : spans) {
+    if (s.rank < 0 || s.instant) continue;
+    const double dur = std::max(0.0, s.sim_duration_s());
+    const auto cat = static_cast<std::size_t>(s.cat);
+    const auto b = static_cast<std::size_t>(
+        std::lower_bound(bounds.begin(), bounds.end(), dur) - bounds.begin());
+    ++counts[cat][b];
+    ++totals[cat];
+  }
+  std::vector<CategoryQuantiles> out;
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    if (totals[c] == 0) continue;
+    out.push_back({static_cast<Category>(c), totals[c],
+                   histogram_quantile(bounds, counts[c], 0.50),
+                   histogram_quantile(bounds, counts[c], 0.95),
+                   histogram_quantile(bounds, counts[c], 0.99)});
+  }
+  return out;
+}
+
+}  // namespace
 
 Report Report::from_spans(const std::vector<Span>& spans) {
   std::map<int, Attribution> per_rank;
@@ -38,10 +79,12 @@ Report Report::from_spans(const std::vector<Span>& spans) {
         a.straggler_wait_s += dur;
         break;
       case Category::Step:
+      case Category::Serve:
       case Category::Other: break;  // envelopes — not attributed
     }
   }
   Report report;
+  report.span_quantiles_ = quantiles_from_spans(spans);
   for (auto& [rank, a] : per_rank) {
     a.other_s = std::max(0.0, a.total_s - a.comm_s - a.compute_s - a.io_s -
                                   a.fault_s - a.bubble_s - a.rebalance_s);
@@ -127,7 +170,19 @@ std::string Report::to_json() const {
   }
   out += "], \"aggregate\": ";
   append_attribution_json(out, aggregate_);
-  out += "}";
+  out += ", \"span_quantiles\": {";
+  char buf[192];
+  for (std::size_t i = 0; i < span_quantiles_.size(); ++i) {
+    const CategoryQuantiles& cq = span_quantiles_[i];
+    std::snprintf(buf, sizeof buf,
+                  "%s\"%s\": {\"spans\": %llu, \"p50_s\": %.9f, "
+                  "\"p95_s\": %.9f, \"p99_s\": %.9f}",
+                  i ? ", " : "", to_string(cq.cat),
+                  static_cast<unsigned long long>(cq.spans), cq.p50_s,
+                  cq.p95_s, cq.p99_s);
+    out += buf;
+  }
+  out += "}}";
   return out;
 }
 

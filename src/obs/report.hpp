@@ -64,6 +64,18 @@ struct Attribution {
   }
 };
 
+/// Deterministic per-category span-duration quantiles (histogram
+/// merge-then-scan via obs::histogram_quantile over a fixed geometric
+/// bucket grid), so a report answers "what does a p99 allreduce / serve
+/// request cost" without keeping every span around.
+struct CategoryQuantiles {
+  Category cat = Category::Other;
+  std::uint64_t spans = 0;  ///< non-instant spans observed for the category
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+};
+
 /// Per-run comm/compute/io attribution table.
 class Report {
  public:
@@ -80,6 +92,12 @@ class Report {
   /// Sums over ranks; fractions are of summed total time.
   [[nodiscard]] const Attribution& aggregate() const { return aggregate_; }
 
+  /// Span-duration quantiles per category (only categories that recorded at
+  /// least one non-instant span appear, in Category order).
+  [[nodiscard]] const std::vector<CategoryQuantiles>& span_quantiles() const {
+    return span_quantiles_;
+  }
+
   /// Fixed-width table, one row per rank plus the aggregate.
   void print(std::FILE* out) const;
 
@@ -89,6 +107,7 @@ class Report {
  private:
   std::vector<Attribution> ranks_;
   Attribution aggregate_;
+  std::vector<CategoryQuantiles> span_quantiles_;
 };
 
 }  // namespace msa::obs

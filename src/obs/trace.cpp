@@ -23,6 +23,7 @@ const char* to_string(Category cat) {
     case Category::PipeBubble: return "pipe_bubble";
     case Category::StragglerWait: return "straggler_wait";
     case Category::Rebalance: return "rebalance";
+    case Category::Serve: return "serve";
   }
   return "other";
 }

@@ -57,8 +57,11 @@ enum class Category : std::uint8_t {
   StragglerWait = 8,  ///< time skewed behind the slowest rank in a health
                       ///< window (concurrent interval, like CommHidden)
   Rebalance = 9,  ///< health-monitor evaluation and re-shard bookkeeping
+  Serve = 10,  ///< inference-serving request phases (queue/batch/compute/
+               ///< reply envelopes on the router timeline — not attributed,
+               ///< so replica compute still bills to Compute)
 };
-inline constexpr int kCategoryCount = 10;
+inline constexpr int kCategoryCount = 11;
 
 [[nodiscard]] const char* to_string(Category cat);
 

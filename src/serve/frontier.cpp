@@ -1,0 +1,94 @@
+#include "serve/frontier.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "core/hash.hpp"
+
+namespace msa::serve {
+
+std::vector<Request> generate_trace(const ArrivalSpec& spec) {
+  std::vector<Request> out;
+  out.reserve(spec.count);
+  const std::uint64_t stream = hash::splitmix64(spec.seed);
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < spec.count; ++i) {
+    const double u = hash::uniform01(hash::combine(stream, i));
+    const double e = -std::log1p(-u);  // unit-mean exponential
+    double rate = spec.rate_hz;
+    switch (spec.pattern) {
+      case ArrivalPattern::Poisson:
+        break;
+      case ArrivalPattern::Burst: {
+        // Duty cycle: burst_fraction of each period runs at burst_factor x
+        // the mean; the remainder is scaled so the overall mean stays
+        // rate_hz (floored — a factor*fraction >= 1 would need a negative
+        // calm rate).
+        const double phase = std::fmod(t, spec.period_s) / spec.period_s;
+        const double calm =
+            (1.0 - spec.burst_factor * spec.burst_fraction) /
+            (1.0 - spec.burst_fraction);
+        rate *= phase < spec.burst_fraction ? spec.burst_factor
+                                            : std::max(calm, 0.05);
+        break;
+      }
+      case ArrivalPattern::Diurnal:
+        rate *= 1.0 + 0.8 * std::sin(2.0 * std::numbers::pi * t /
+                                     spec.period_s);
+        break;
+    }
+    t += e / rate;
+    out.push_back({.id = i, .arrival_s = t, .admit_s = 0.0,
+                   .redispatches = 0});
+  }
+  return out;
+}
+
+Frontier::Frontier(std::vector<Request> trace, std::size_t capacity)
+    : trace_(std::move(trace)), capacity_(capacity) {}
+
+double Frontier::next_arrival_s() const {
+  return next_ < trace_.size() ? trace_[next_].arrival_s
+                               : std::numeric_limits<double>::infinity();
+}
+
+int Frontier::pump_until(double now) {
+  int n = 0;
+  while (next_ < trace_.size() && trace_[next_].arrival_s <= now) {
+    Request r = trace_[next_++];
+    r.admit_s = now;
+    try {
+      enqueue(r);
+      ++n;
+    } catch (const AdmissionRejectedError&) {
+      // Open loop: the client gets a rejection, never a retry.  enqueue
+      // already counted it.
+    }
+  }
+  return n;
+}
+
+void Frontier::enqueue(Request r) {
+  if (queue_.size() >= capacity_) {
+    ++rejected_;
+    throw AdmissionRejectedError(r.id, capacity_);
+  }
+  queue_.push_back(r);
+  ++admitted_;
+}
+
+void Frontier::requeue_front(std::vector<Request> requests) {
+  for (auto it = requests.rbegin(); it != requests.rend(); ++it) {
+    it->redispatches += 1;
+    queue_.push_front(*it);
+  }
+}
+
+Request Frontier::pop() {
+  Request r = queue_.front();
+  queue_.pop_front();
+  return r;
+}
+
+}  // namespace msa::serve

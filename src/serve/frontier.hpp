@@ -1,0 +1,123 @@
+// Request frontier for the inference-serving subsystem: a seeded open-loop
+// arrival generator plus a bounded admission queue.
+//
+// Arrival traces are generated up front from fault-style splitmix64 streams
+// — Poisson (exponential inter-arrivals), Burst (duty-cycled rate with the
+// same mean), Diurnal (sinusoidally modulated rate) — so a trace is a pure
+// function of its ArrivalSpec and replays bit-identically.  Requests carry
+// no payload: each is one row of features derived lazily from
+// (data_seed, id, column) by the scheduler, which keeps traces tiny and the
+// packed batch content replayable too.
+//
+// Admission is open-loop: clients do not wait for capacity.  pump_until(now)
+// admits every arrival with arrival_s <= now into the bounded queue; a
+// request that finds the queue full is rejected (typed
+// AdmissionRejectedError, counted) and never retried — the serving story's
+// load-shedding contract.  requeue_front() re-inserts already-admitted
+// requests after a replica failure WITHOUT a capacity check: admitted work
+// is never lost to the bound it already passed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace msa::serve {
+
+/// One inference request (one feature row, generated lazily from its id).
+struct Request {
+  std::uint64_t id = 0;
+  double arrival_s = 0.0;  ///< open-loop arrival time from the trace
+  double admit_s = 0.0;    ///< when the router admitted it to the queue
+  int redispatches = 0;    ///< times re-queued after a replica failure
+};
+
+enum class ArrivalPattern {
+  Poisson,  ///< memoryless arrivals at rate_hz
+  Burst,    ///< duty-cycled: burst_factor x rate for burst_fraction of each
+            ///< period, calmer remainder, same overall mean
+  Diurnal,  ///< rate modulated 1 + 0.8 sin(2 pi t / period_s)
+};
+
+struct ArrivalSpec {
+  ArrivalPattern pattern = ArrivalPattern::Poisson;
+  double rate_hz = 1000.0;    ///< mean offered rate
+  std::uint64_t count = 1000; ///< requests in the trace
+  std::uint64_t seed = 1;     ///< splitmix64 stream seed
+  double burst_factor = 6.0;
+  double burst_fraction = 0.25;
+  double period_s = 0.5;      ///< burst / diurnal cycle length
+};
+
+/// Deterministic arrival trace: ids 0..count-1 with strictly increasing
+/// arrival_s.  Pure function of @p spec.
+[[nodiscard]] std::vector<Request> generate_trace(const ArrivalSpec& spec);
+
+/// Typed admission overflow: the bounded queue was full when the request
+/// arrived.  Carries the rejected id and the configured capacity.
+class AdmissionRejectedError : public std::runtime_error {
+ public:
+  AdmissionRejectedError(std::uint64_t request_id, std::size_t capacity)
+      : std::runtime_error("admission rejected: request " +
+                           std::to_string(request_id) +
+                           " overflowed queue capacity " +
+                           std::to_string(capacity)),
+        request_id_(request_id),
+        capacity_(capacity) {}
+
+  [[nodiscard]] std::uint64_t request_id() const { return request_id_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::uint64_t request_id_;
+  std::size_t capacity_;
+};
+
+/// Trace cursor + bounded FIFO admission queue.  Single-owner (the router
+/// rank); all times are simulated seconds.
+class Frontier {
+ public:
+  Frontier(std::vector<Request> trace, std::size_t capacity);
+
+  /// Arrival time of the next not-yet-admitted trace request (+inf once the
+  /// trace is exhausted).
+  [[nodiscard]] double next_arrival_s() const;
+
+  /// Admit every arrival with arrival_s <= now (admit_s = now); overflows
+  /// are rejected and counted.  Returns the number admitted.
+  int pump_until(double now);
+
+  /// Admit one request; throws AdmissionRejectedError (and counts the
+  /// rejection) when the queue is at capacity.
+  void enqueue(Request r);
+
+  /// Re-insert already-admitted requests at the FRONT of the queue, in the
+  /// given order, bumping each redispatch count.  No capacity check.
+  void requeue_front(std::vector<Request> requests);
+
+  /// Pop the oldest queued request.
+  [[nodiscard]] Request pop();
+
+  [[nodiscard]] bool queue_empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// admit_s of the oldest queued request (front of the FIFO).
+  [[nodiscard]] double oldest_admit_s() const { return queue_.front().admit_s; }
+  [[nodiscard]] bool exhausted() const { return next_ >= trace_.size(); }
+
+  [[nodiscard]] std::uint64_t offered() const { return trace_.size(); }
+  [[nodiscard]] std::uint64_t admitted() const { return admitted_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  std::vector<Request> trace_;
+  std::size_t next_ = 0;
+  std::deque<Request> queue_;
+  std::size_t capacity_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace msa::serve

@@ -1,0 +1,56 @@
+#include "serve/scheduler.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace msa::serve {
+
+BatchScheduler::BatchScheduler(BatchPolicy policy, std::size_t features,
+                               std::uint64_t data_seed)
+    : policy_(policy),
+      features_(features),
+      data_seed_(data_seed),
+      slab_(std::make_shared<tensor::Storage>(
+          static_cast<std::size_t>(policy.max_batch_rows) * features)) {
+  if (policy_.max_batch_rows < 1) {
+    throw std::invalid_argument("BatchPolicy: max_batch_rows must be >= 1");
+  }
+}
+
+bool BatchScheduler::ready(const Frontier& frontier, double now) const {
+  if (frontier.queue_empty()) return false;
+  if (frontier.queue_size() >=
+      static_cast<std::size_t>(policy_.max_batch_rows)) {
+    return true;
+  }
+  return now >= frontier.oldest_admit_s() + policy_.max_delay_s;
+}
+
+double BatchScheduler::deadline_s(const Frontier& frontier) const {
+  if (frontier.queue_empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return frontier.oldest_admit_s() + policy_.max_delay_s;
+}
+
+Batch BatchScheduler::form(Frontier& frontier, double now) {
+  Batch b;
+  b.seq = next_seq_++;
+  b.formed_s = now;
+  const std::size_t rows =
+      std::min(frontier.queue_size(),
+               static_cast<std::size_t>(policy_.max_batch_rows));
+  b.requests.reserve(rows);
+  float* dst = slab_->data();
+  for (std::size_t i = 0; i < rows; ++i) {
+    Request r = frontier.pop();
+    for (std::size_t c = 0; c < features_; ++c) {
+      dst[i * features_ + c] = feature_value(data_seed_, r.id, c);
+    }
+    b.requests.push_back(r);
+  }
+  b.input = tensor::Tensor::view_of(slab_, 0, {rows, features_});
+  return b;
+}
+
+}  // namespace msa::serve

@@ -1,0 +1,84 @@
+// Continuous-batching scheduler: forms dynamic micro-batches from the
+// admission queue under a max-latency / max-batch-rows policy.
+//
+// A batch dispatches when EITHER max_batch_rows requests are pending OR the
+// oldest pending request has waited max_delay_s since admission (the
+// latency cap flushes partial batches so a trickle of traffic is never
+// starved).  Both triggers are functions of (queue state, sim clock) only,
+// so batch formation is a pure function of the arrival trace, the policy,
+// and the simulated clock — bit-identical across MSA_THREADS and replays.
+//
+// Rows are packed into a reusable slab-backed input tensor: the scheduler
+// owns one max_batch_rows x features tensor::Storage and every formed batch
+// is a view of its prefix (dispatch serialises the view onto the wire
+// before the next form() reuses the slab), so steady-state serving does no
+// per-batch allocation for row data.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/hash.hpp"
+#include "serve/frontier.hpp"
+#include "tensor/tensor.hpp"
+
+namespace msa::serve {
+
+struct BatchPolicy {
+  int max_batch_rows = 8;     ///< dispatch when this many rows are pending
+  double max_delay_s = 2e-3;  ///< ... or when the oldest waited this long
+};
+
+/// One formed batch, ready to dispatch to a replica.
+struct Batch {
+  std::uint64_t seq = 0;          ///< formation order, dense from 0
+  std::vector<Request> requests;  ///< rows, in admission order
+  tensor::Tensor input;           ///< rows x features view of the slab
+  double formed_s = 0.0;
+};
+
+/// Deterministic per-(request, column) feature value in [-1, 1): requests
+/// carry no payload, their rows are re-derivable anywhere from the data
+/// seed (the replica-side check in tests uses exactly this).
+[[nodiscard]] inline float feature_value(std::uint64_t data_seed,
+                                         std::uint64_t id, std::size_t col) {
+  const std::uint64_t h =
+      hash::combine(hash::combine(hash::splitmix64(data_seed), id), col);
+  return static_cast<float>(hash::uniform01(h) * 2.0 - 1.0);
+}
+
+class BatchScheduler {
+ public:
+  BatchScheduler(BatchPolicy policy, std::size_t features,
+                 std::uint64_t data_seed);
+
+  [[nodiscard]] const BatchPolicy& policy() const { return policy_; }
+
+  /// True when a batch should dispatch now: a full batch is queued, or the
+  /// oldest queued request has reached its delay cap.
+  [[nodiscard]] bool ready(const Frontier& frontier, double now) const;
+
+  /// Sim time at which the oldest queued request hits the delay cap (+inf
+  /// for an empty queue) — the router's next flush deadline.
+  [[nodiscard]] double deadline_s(const Frontier& frontier) const;
+
+  /// Pop up to max_batch_rows requests and pack their feature rows into the
+  /// reused slab.  Caller must serialise batch.input before the next form().
+  [[nodiscard]] Batch form(Frontier& frontier, double now);
+
+  /// The reused row slab (identity is test-visible: it must never change).
+  [[nodiscard]] const tensor::Storage* slab() const { return slab_.get(); }
+
+  [[nodiscard]] std::size_t features() const { return features_; }
+  [[nodiscard]] std::uint64_t batches_formed() const { return next_seq_; }
+
+ private:
+  BatchPolicy policy_;
+  std::size_t features_;
+  std::uint64_t data_seed_;
+  std::shared_ptr<tensor::Storage> slab_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace msa::serve

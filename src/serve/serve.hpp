@@ -1,0 +1,11 @@
+// msa::serve — SLO-aware inference serving over heterogeneous module
+// replicas: seeded open-loop arrivals (frontier), continuous batching
+// (scheduler), module-carved pipelined replicas (replica_set), and the
+// SLO-/health-aware routing loop (server).  See DESIGN.md "Inference
+// serving" for the architecture and determinism argument.
+#pragma once
+
+#include "serve/frontier.hpp"      // IWYU pragma: export
+#include "serve/replica_set.hpp"   // IWYU pragma: export
+#include "serve/scheduler.hpp"     // IWYU pragma: export
+#include "serve/server.hpp"        // IWYU pragma: export

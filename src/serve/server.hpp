@@ -1,0 +1,227 @@
+// SLO-aware serving router: the subsystem's top half, running on comm rank 0.
+//
+// One event loop drives four pieces on the simulated clock: the Frontier
+// admits open-loop arrivals, the BatchScheduler forms continuous batches,
+// the routing policy picks a replica, and per-replica reply drains close the
+// loop.  Every decision is a pure function of (arrival trace, options, sim
+// clock, reply contents), and every receive names its source and tag, so a
+// whole serving run — batch boundaries, routing choices, latencies, the
+// result digest — replays bit-identically for any MSA_THREADS.
+//
+// Routing policies:
+//   RoundRobin   — cycle over alive replicas regardless of load or health.
+//                  When the chosen replica is at max_outstanding the router
+//                  BLOCKS on that replica's oldest reply: the naive stall
+//                  that drags the shared clock and inflates every queued
+//                  request's latency once one replica degrades.
+//   LeastLoaded  — argmin outstanding-batch depth over alive replicas (tie:
+//                  lowest index); when all are saturated, drain the replica
+//                  PREDICTED to reply soonest — nominal batch cost on its
+//                  machine profile times its health score, anchored to each
+//                  observed reply clock.  Draining the oldest sequence
+//                  number instead would lock the whole fleet into the
+//                  slowest replica's cadence (one drain enables one
+//                  dispatch, so seq order degenerates to round-robin).
+//   HealthAware  — LeastLoaded restricted to unflagged replicas while at
+//                  least one healthy replica is alive (flagged replicas
+//                  only see traffic again if every healthy one is dead).
+//
+// Health signal (the HealthMonitor idea transplanted to the serving tier):
+// each reply carries the head rank's cumulative charged-compute watermark
+// and its cumulative NOMINAL compute watermark (the same flops priced on
+// the head's own roofline profile, blind to injected slowdowns).  The
+// router differences consecutive watermarks and EWMA-smooths the
+// charged/nominal ratio — exactly the rank's slowdown factor, by
+// construction independent of batch size and of device speed, so a
+// slow-but-healthy Cluster replica is not penalised next to a fast Booster
+// replica.  A further self-baseline (each replica's EWMA over the minimum
+// EWMA it has itself exhibited) guards against any constant bias.  A
+// replica is flagged (one-way ratchet, like a gray-failure quarantine) once
+// it has enough replies for a baseline and score > slow_factor_min,
+// confirmed for fleets of >= 4 alive replicas by a median+MAD outlier test
+// across scores (small fleets skip the robust test: with 2-3 replicas the
+// median is not a usable consensus).
+//
+// Failure handling: a drain that throws RankFailedError marks the replica
+// dead, re-queues its outstanding requests at the FRONT of the admission
+// queue in dispatch order (original arrival/admit stamps intact — admitted
+// work is never lost, it is re-dispatched), and sends a STOP so surviving
+// members drain out.  Buffered sends to dead mailboxes are harmless by the
+// comm layer's contract.  All batch/reply traffic rides per-replica channel
+// communicators (see replica_set.hpp): the aborted drain marks the router
+// abandoned only on the dead replica's channel, so healthy replicas'
+// pending recvs never see the failure.
+//
+// Latency accounting: per request, enqueue -> admit -> batch -> compute ->
+// reply timestamps are kept in RequestRecord and emitted as obs Serve spans
+// (serve_queue / serve_batch / serve_compute / serve_reply, detail = request
+// id) on the router's timeline; the reply leg is priced off the machine's
+// link model from the head rank's send clock, so completion times do not
+// depend on when the router happens to drain.  Latencies feed the
+// "serve.latency_s" registry histogram; p50/p95/p99 come from the exact
+// deterministic Histogram::quantile.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "serve/frontier.hpp"
+#include "serve/replica_set.hpp"
+#include "serve/scheduler.hpp"
+
+namespace msa::obs {
+class Histogram;
+}
+
+namespace msa::serve {
+
+enum class RoutingMode {
+  RoundRobin,
+  LeastLoaded,
+  HealthAware,
+};
+
+struct HealthRoutingOptions {
+  double slow_factor_min = 2.0;  ///< flag when EWMA/self-baseline exceeds
+  double mad_threshold = 4.0;    ///< robust outlier gate (fleets >= 4)
+  double ewma_alpha = 0.5;       ///< slowdown-ratio smoothing
+  int min_replies = 3;           ///< replies before a baseline is trusted
+};
+
+struct ServeOptions {
+  ArrivalSpec arrivals;
+  BatchPolicy batch;
+  std::size_t queue_capacity = 64;
+  ReplicaSetOptions replicas;
+  RoutingMode routing = RoutingMode::LeastLoaded;
+  HealthRoutingOptions health;
+  /// Batches in flight per replica before the router must drain a reply.
+  int max_outstanding = 2;
+  /// Seed for the lazily derived request feature rows.
+  std::uint64_t data_seed = 42;
+  /// Emit per-request obs Serve spans (4 per request — disable for big
+  /// sweeps where only the histogram matters).
+  bool record_spans = true;
+  /// Keep per-request logits in the records (tests compare them against a
+  /// local forward; big sweeps leave this off).
+  bool keep_predictions = false;
+};
+
+/// Canonical bucket grid for the serving latency histogram — one shared
+/// definition because Registry::histogram requires all call sites to agree.
+[[nodiscard]] std::vector<double> latency_bounds();
+
+/// Full per-request timeline, filled in completion order.
+struct RequestRecord {
+  std::uint64_t id = 0;
+  double arrival_s = 0.0;   ///< open-loop arrival (trace)
+  double admit_s = 0.0;     ///< admission into the bounded queue
+  double dispatch_s = 0.0;  ///< batch send to the replica leader
+  double sent_s = 0.0;      ///< head rank's clock when the reply left
+  double reply_s = 0.0;     ///< reply delivery (sent_s + link transfer)
+  double latency_s = 0.0;   ///< reply_s - arrival_s
+  int replica = -1;
+  std::uint64_t seq = 0;    ///< batch it rode in
+  int redispatches = 0;
+  std::vector<float> logits;  ///< only when keep_predictions
+};
+
+struct ReplicaStats {
+  int replica = -1;
+  int leader_rank = -1;
+  int reply_rank = -1;
+  std::uint64_t batches = 0;
+  std::uint64_t rows = 0;
+  bool dead = false;
+  bool flagged = false;
+  double slowdown_ewma = 0.0;  ///< smoothed charged/nominal ratio
+  double score = 0.0;          ///< EWMA / self-baseline (1.0 = healthy)
+};
+
+struct ServeStats {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t redispatched = 0;  ///< completions that survived a failure
+  std::uint64_t replicas_failed = 0;
+  double makespan_s = 0.0;    ///< last reply_s
+  double goodput_rps = 0.0;   ///< completed / makespan
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+  /// Order-sensitive splitmix64 digest over (id, latency bits, replica,
+  /// logit bits) in completion order — the replay bit-identity witness.
+  std::uint64_t digest = 0;
+  std::vector<ReplicaStats> replicas;
+  std::vector<RequestRecord> records;  ///< completion order
+};
+
+/// Router-side engine.  Construct on comm rank 0 with the ReplicaSet that
+/// the member ranks are serving on, then run() to completion.
+class Server {
+ public:
+  Server(comm::Comm& world, ReplicaSet& replicas, ServeOptions options);
+
+  /// Drive the full trace: admit, batch, route, drain, stop replicas.
+  /// Throws std::runtime_error if every replica dies.
+  [[nodiscard]] ServeStats run();
+
+ private:
+  struct OutBatch {
+    std::uint64_t seq = 0;
+    std::vector<Request> requests;
+    double dispatch_s = 0.0;
+  };
+  struct ReplicaMeter {
+    bool alive = true;
+    bool flagged = false;
+    std::uint64_t batches = 0;
+    std::uint64_t rows = 0;
+    int replies = 0;
+    double last_compute_wm = 0.0;   ///< previous reply's charged watermark
+    double last_nominal_wm = 0.0;   ///< previous reply's nominal watermark
+    double ewma = 0.0;              ///< smoothed charged/nominal ratio
+    double busy_until = 0.0;        ///< predicted clock of the last reply
+    double baseline = 0.0;          ///< min EWMA seen (self-normalisation)
+    double score = 0.0;             ///< ewma / baseline (1.0 = healthy)
+    std::deque<OutBatch> outstanding;
+  };
+
+  void dispatch(Batch batch);
+  int pick_replica();
+  /// Blocking drain of @p replica's oldest outstanding reply; on
+  /// RankFailedError falls through to on_replica_dead.
+  void drain_one(int replica);
+  void on_replica_dead(int replica);
+  void update_health(int replica, double compute_wm, double nominal_wm);
+  void refresh_flags();
+  /// Alive replica with outstanding work whose next reply is predicted
+  /// soonest (tie: lowest index) — the non-round-robin drain victim.
+  [[nodiscard]] int next_reply_replica() const;
+  [[nodiscard]] bool any_outstanding() const;
+  void send_stop(int replica);
+
+  comm::Comm world_;
+  ReplicaSet& replicas_;
+  ServeOptions options_;
+  Frontier frontier_;
+  BatchScheduler scheduler_;
+  std::vector<ReplicaMeter> meters_;
+  std::vector<double> nominal_batch_s_;  ///< full-batch cost per replica
+  obs::Histogram* hist_ = nullptr;  ///< "serve.latency_s", bound in run()
+  int rr_next_ = 0;
+  std::uint64_t replicas_failed_ = 0;
+  std::uint64_t digest_ = 0;
+  ServeStats stats_;
+};
+
+/// Whole-subsystem entry point, collective over @p comm: rank 0 routes, all
+/// other ranks serve.  Returns the filled ServeStats on the router and a
+/// default-constructed one on members.  Pass the runtime's root
+/// communicator (comm ranks are world ranks for link/placement lookups).
+[[nodiscard]] ServeStats run(comm::Comm& comm, const ServeOptions& options);
+
+}  // namespace msa::serve

@@ -1,0 +1,448 @@
+// msa::serve — SLO-aware inference serving subsystem tests.
+//
+// Layers under test: the seeded open-loop Frontier (trace generation,
+// bounded admission, typed overflow, failure requeue), the
+// continuous-batching BatchScheduler (full-batch and delay-cap triggers,
+// slab reuse, deterministic feature rows), the exact obs::Histogram
+// quantile the latency stats ride on, and the end-to-end serving story:
+// replays are bit-identical (including across MSA_THREADS), served logits
+// equal a local forward of the same model, health-aware routing shifts load
+// off a gray replica, and a replica killed mid-run drains without losing a
+// single admitted request.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "comm/runtime.hpp"
+#include "core/hash.hpp"
+#include "fault/injector.hpp"
+#include "nn/models.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "par/pool.hpp"
+#include "serve/serve.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using msa::comm::Comm;
+using msa::comm::Runtime;
+using msa::fault::FaultInjector;
+using msa::fault::FaultPlan;
+using msa::simnet::ComputeProfile;
+using msa::simnet::Machine;
+using msa::simnet::MachineConfig;
+using msa::tensor::Tensor;
+
+namespace serve = msa::serve;
+
+MachineConfig test_config() {
+  MachineConfig cfg;
+  cfg.intra_node = {0.3e-6, 100e9, 0.1e-6};
+  cfg.intra_module = {1.0e-6, 10e9, 0.3e-6};
+  cfg.federation = {2.0e-6, 5e9, 0.5e-6};
+  return cfg;
+}
+
+/// Compute-bound serving device: a batch costs simulated milliseconds, so
+/// batching overheads and injected slowdowns dominate the wire time.
+Machine serve_machine(int ranks) {
+  ComputeProfile prof;
+  prof.name = "test-serve";
+  prof.peak_flops = 2e8;
+  return Machine::homogeneous(ranks, 2, test_config(), prof);
+}
+
+/// Router + four single-rank replicas, defaults sized so the healthy fleet
+/// absorbs ~7600 rows/s and a single request costs ~4 ms.
+serve::ServeOptions fleet_options(std::uint64_t count, double rate_hz,
+                                  int batch_rows = 8) {
+  serve::ServeOptions o;
+  o.arrivals.pattern = serve::ArrivalPattern::Poisson;
+  o.arrivals.rate_hz = rate_hz;
+  o.arrivals.count = count;
+  o.arrivals.seed = 5;
+  o.batch.max_batch_rows = batch_rows;
+  o.batch.max_delay_s = 2e-3;
+  o.queue_capacity = 512;
+  o.replicas.replica_sizes = {1, 1, 1, 1};
+  o.replicas.overhead_flops = 4e5;
+  o.record_spans = false;
+  return o;
+}
+
+serve::ServeStats run_serve(const Machine& machine,
+                            const serve::ServeOptions& options,
+                            const FaultPlan* plan = nullptr) {
+  Runtime rt(machine);
+  if (plan != nullptr) FaultInjector::arm(rt, *plan);
+  serve::ServeStats out;
+  std::mutex m;
+  rt.run([&](Comm& comm) {
+    serve::ServeStats stats = serve::run(comm, options);
+    if (comm.rank() == 0) {
+      std::lock_guard lock(m);
+      out = std::move(stats);
+    }
+  });
+  return out;
+}
+
+std::vector<serve::Request> requests_at(std::initializer_list<double> times) {
+  std::vector<serve::Request> out;
+  std::uint64_t id = 0;
+  for (double t : times) {
+    out.push_back({.id = id++, .arrival_s = t, .admit_s = 0.0,
+                   .redispatches = 0});
+  }
+  return out;
+}
+
+class ParGuard {
+ public:
+  ParGuard() : saved_(msa::par::num_threads()) {}
+  ~ParGuard() { msa::par::set_num_threads(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+// ---- frontier ---------------------------------------------------------------
+
+TEST(Serve, TraceIsDeterministicShapedAndSeedSensitive) {
+  for (const auto pattern :
+       {serve::ArrivalPattern::Poisson, serve::ArrivalPattern::Burst,
+        serve::ArrivalPattern::Diurnal}) {
+    serve::ArrivalSpec spec;
+    spec.pattern = pattern;
+    spec.rate_hz = 500.0;
+    spec.count = 400;
+    spec.seed = 9;
+    const std::vector<serve::Request> a = serve::generate_trace(spec);
+    const std::vector<serve::Request> b = serve::generate_trace(spec);
+    ASSERT_EQ(a.size(), 400u);
+    ASSERT_EQ(b.size(), 400u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, i);
+      EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);  // bit-identical replay
+      if (i > 0) {
+        EXPECT_GT(a[i].arrival_s, a[i - 1].arrival_s);
+      }
+    }
+    // Mean rate lands in the right decade for every pattern.
+    const double span = a.back().arrival_s;
+    EXPECT_GT(span, 400.0 / 500.0 * 0.3);
+    EXPECT_LT(span, 400.0 / 500.0 * 3.0);
+
+    serve::ArrivalSpec reseeded = spec;
+    reseeded.seed = 10;
+    const std::vector<serve::Request> c = serve::generate_trace(reseeded);
+    EXPECT_NE(a[1].arrival_s, c[1].arrival_s);
+  }
+}
+
+TEST(Serve, AdmissionOverflowIsTypedAndCounted) {
+  serve::Frontier f(requests_at({0.0, 0.0, 0.0, 0.0, 0.0}), 3);
+  EXPECT_EQ(f.pump_until(0.0), 3);
+  EXPECT_EQ(f.admitted(), 3u);
+  EXPECT_EQ(f.rejected(), 2u);
+  EXPECT_EQ(f.queue_size(), 3u);
+  EXPECT_TRUE(f.exhausted());
+
+  try {
+    f.enqueue({.id = 99, .arrival_s = 1.0, .admit_s = 0.0, .redispatches = 0});
+    FAIL() << "enqueue past capacity must throw";
+  } catch (const serve::AdmissionRejectedError& e) {
+    EXPECT_EQ(e.request_id(), 99u);
+    EXPECT_EQ(e.capacity(), 3u);
+  }
+  EXPECT_EQ(f.rejected(), 3u);
+}
+
+TEST(Serve, RequeueFrontRestoresDispatchOrderWithoutCapacityCheck) {
+  serve::Frontier f(requests_at({0.0, 0.0, 0.0}), 3);
+  f.pump_until(0.0);  // queue at capacity: 0, 1, 2
+  std::vector<serve::Request> inflight = {f.pop(), f.pop()};  // ids 0, 1
+  EXPECT_EQ(f.queue_size(), 1u);
+  f.requeue_front(std::move(inflight));
+  // Already-admitted work re-enters at the FRONT, in order, even though the
+  // queue is back at the bound it already passed once.
+  EXPECT_EQ(f.queue_size(), 3u);
+  const serve::Request r0 = f.pop();
+  const serve::Request r1 = f.pop();
+  const serve::Request r2 = f.pop();
+  EXPECT_EQ(r0.id, 0u);
+  EXPECT_EQ(r1.id, 1u);
+  EXPECT_EQ(r2.id, 2u);
+  EXPECT_EQ(r0.redispatches, 1);
+  EXPECT_EQ(r1.redispatches, 1);
+  EXPECT_EQ(r2.redispatches, 0);
+}
+
+// ---- scheduler --------------------------------------------------------------
+
+TEST(Serve, SchedulerFormsFullBatchesAndFlushesOnDeadline) {
+  serve::Frontier f(
+      requests_at({0.0, 1e-4, 2e-4, 3e-4, 4e-4, 5e-4}), 64);
+  serve::BatchScheduler sched({.max_batch_rows = 4, .max_delay_s = 2e-3},
+                              /*features=*/3, /*data_seed=*/42);
+  EXPECT_FALSE(sched.ready(f, 0.0));  // nothing admitted yet
+  f.pump_until(5e-4);                 // all six requests admitted
+  ASSERT_TRUE(sched.ready(f, 5e-4));  // full-batch trigger
+
+  const msa::tensor::Storage* slab = sched.slab();
+  serve::Batch full = sched.form(f, 5e-4);
+  EXPECT_EQ(full.seq, 0u);
+  ASSERT_EQ(full.requests.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(full.requests[i].id, i);
+  ASSERT_EQ(full.input.numel(), 4u * 3u);
+  for (std::size_t row = 0; row < 4; ++row) {
+    for (std::size_t col = 0; col < 3; ++col) {
+      EXPECT_EQ(full.input.data()[row * 3 + col],
+                serve::feature_value(42, full.requests[row].id, col));
+    }
+  }
+
+  // Two stragglers left: below max_batch_rows, so only the delay cap can
+  // flush them.
+  EXPECT_FALSE(sched.ready(f, 6e-4));
+  const double deadline = sched.deadline_s(f);
+  EXPECT_DOUBLE_EQ(deadline, 5e-4 + 2e-3);  // oldest admit + max_delay
+  ASSERT_TRUE(sched.ready(f, deadline));
+  serve::Batch flush = sched.form(f, deadline);
+  EXPECT_EQ(flush.seq, 1u);
+  ASSERT_EQ(flush.requests.size(), 2u);
+  EXPECT_EQ(flush.requests[0].id, 4u);
+  EXPECT_EQ(flush.requests[1].id, 5u);
+  EXPECT_EQ(sched.slab(), slab);  // the row slab is reused, never replaced
+  EXPECT_EQ(sched.batches_formed(), 2u);
+}
+
+TEST(Serve, SchedulerRejectsDegenerateBatchPolicy) {
+  EXPECT_THROW(
+      serve::BatchScheduler({.max_batch_rows = 0, .max_delay_s = 1e-3}, 4, 1),
+      std::invalid_argument);
+}
+
+// ---- histogram quantile -----------------------------------------------------
+
+TEST(Serve, HistogramQuantileMatchesBruteForce) {
+  const std::vector<double> bounds = serve::latency_bounds();
+  msa::obs::Histogram hist(bounds);
+  std::vector<double> values;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const double v = msa::hash::uniform01(msa::hash::splitmix64(i)) * 0.5;
+    values.push_back(v);
+    hist.observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.0, 0.01, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    const double want = std::ceil(q * static_cast<double>(values.size()));
+    const std::size_t rank = want < 1.0 ? 1 : static_cast<std::size_t>(want);
+    const double vr = values[rank - 1];
+    // Exact contract: the upper bound of the bucket holding the rank-th
+    // smallest observation (observe() buckets by lower_bound).
+    const auto it = std::lower_bound(bounds.begin(), bounds.end(), vr);
+    const double expected = it != bounds.end() ? *it : bounds.back();
+    EXPECT_DOUBLE_EQ(hist.quantile(q), expected) << "q=" << q;
+  }
+
+  msa::obs::Histogram empty(bounds);
+  EXPECT_EQ(empty.quantile(0.99), 0.0);
+}
+
+// ---- end-to-end serving -----------------------------------------------------
+
+TEST(Serve, RunCompletesAllAdmittedAndReplaysBitIdentically) {
+  const serve::ServeOptions opts = fleet_options(1200, 3000.0);
+  const serve::ServeStats a = run_serve(serve_machine(5), opts);
+  const serve::ServeStats b = run_serve(serve_machine(5), opts);
+
+  EXPECT_EQ(a.offered, 1200u);
+  EXPECT_EQ(a.rejected, 0u);
+  EXPECT_EQ(a.completed, a.admitted);
+  EXPECT_EQ(a.records.size(), a.completed);
+  EXPECT_GT(a.makespan_s, 0.0);
+  EXPECT_LE(a.p50_s, a.p95_s);
+  EXPECT_LE(a.p95_s, a.p99_s);
+  EXPECT_NE(a.digest, 0u);
+
+  // Same options, fresh Runtime: byte-identical trajectory.
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.p99_s, b.p99_s);
+  ASSERT_EQ(a.replicas.size(), b.replicas.size());
+  for (std::size_t r = 0; r < a.replicas.size(); ++r) {
+    EXPECT_EQ(a.replicas[r].rows, b.replicas[r].rows);
+  }
+}
+
+TEST(Serve, RunIdenticalAcrossKernelThreadCounts) {
+  const serve::ServeOptions opts = fleet_options(800, 3000.0);
+  ParGuard guard;
+  msa::par::set_num_threads(1);
+  const serve::ServeStats serial = run_serve(serve_machine(5), opts);
+  msa::par::set_num_threads(8);
+  const serve::ServeStats threaded = run_serve(serve_machine(5), opts);
+  EXPECT_EQ(serial.digest, threaded.digest);
+  EXPECT_EQ(serial.completed, threaded.completed);
+  EXPECT_EQ(serial.p99_s, threaded.p99_s);
+  EXPECT_EQ(serial.makespan_s, threaded.makespan_s);
+}
+
+TEST(Serve, ServedLogitsMatchLocalModelBitExact) {
+  // Two 2-stage pipelined replicas; every reply's logits must equal a local
+  // single-process forward of the identically seeded model, bit for bit, so
+  // routing and pipelining never change answers.
+  serve::ServeOptions opts = fleet_options(240, 2500.0, /*batch_rows=*/4);
+  opts.replicas.replica_sizes = {2, 2};
+  opts.keep_predictions = true;
+  const serve::ServeStats stats = run_serve(serve_machine(5), opts);
+  ASSERT_EQ(stats.completed, stats.admitted);
+  ASSERT_FALSE(stats.records.empty());
+
+  msa::tensor::Rng rng(opts.replicas.model.seed);
+  const auto model =
+      msa::nn::make_mlp(opts.replicas.model.features, opts.replicas.model.hidden,
+                        opts.replicas.model.classes, rng);
+  const std::size_t features = opts.replicas.model.features;
+  const std::size_t classes = opts.replicas.model.classes;
+  for (const serve::RequestRecord& rec : stats.records) {
+    Tensor x({1, features});
+    for (std::size_t c = 0; c < features; ++c) {
+      x.data()[c] = serve::feature_value(opts.data_seed, rec.id, c);
+    }
+    const Tensor y = model->forward(x, false);
+    ASSERT_EQ(rec.logits.size(), classes);
+    for (std::size_t c = 0; c < classes; ++c) {
+      ASSERT_EQ(rec.logits[c], y.data()[c]) << "request " << rec.id;
+    }
+  }
+}
+
+TEST(Serve, HealthAwareRoutingShiftsLoadOffGrayReplica) {
+  const Machine machine = serve_machine(5);
+  FaultPlan plan;
+  plan.seed = 2026;
+  // Replica 1 (world rank 2) degrades 4x after five clean batches — enough
+  // for the router's self-baseline.
+  plan.slow_ranks.push_back({.world_rank = 2, .from_step = 6, .factor = 4.0});
+
+  serve::ServeOptions opts = fleet_options(2000, 6500.0);
+  opts.routing = serve::RoutingMode::HealthAware;
+  const serve::ServeStats ha = run_serve(machine, opts, &plan);
+
+  EXPECT_EQ(ha.completed, ha.admitted);  // shed at admission, never lost
+  EXPECT_EQ(ha.replicas_failed, 0u);
+  ASSERT_EQ(ha.replicas.size(), 4u);
+  EXPECT_TRUE(ha.replicas[1].flagged);
+  EXPECT_GT(ha.replicas[1].score, 2.0);
+  std::uint64_t healthy_min = UINT64_MAX;
+  for (const std::size_t r : {0u, 2u, 3u}) {
+    EXPECT_FALSE(ha.replicas[r].flagged);
+    healthy_min = std::min(healthy_min, ha.replicas[r].rows);
+  }
+  // The gray replica serves only its pre-flag warmup share.
+  EXPECT_LT(ha.replicas[1].rows, healthy_min / 4);
+
+  // Round-robin keeps feeding it batch for batch and eats the stalls.
+  serve::ServeOptions rr_opts = opts;
+  rr_opts.routing = serve::RoutingMode::RoundRobin;
+  const serve::ServeStats rr = run_serve(machine, rr_opts, &plan);
+  std::uint64_t rr_min = UINT64_MAX, rr_max = 0;
+  for (const serve::ReplicaStats& r : rr.replicas) {
+    rr_min = std::min(rr_min, r.batches);
+    rr_max = std::max(rr_max, r.batches);
+  }
+  EXPECT_LE(rr_max - rr_min, 1u);      // still uniform, fault and all
+  EXPECT_GT(rr.p99_s, 2.0 * ha.p99_s);  // and the tail pays for it
+}
+
+TEST(Serve, RoundRobinUniformAcrossHealthyReplicas) {
+  serve::ServeOptions opts = fleet_options(1000, 3000.0);
+  opts.routing = serve::RoutingMode::RoundRobin;
+  const serve::ServeStats stats = run_serve(serve_machine(5), opts);
+  EXPECT_EQ(stats.completed, stats.admitted);
+  std::uint64_t lo = UINT64_MAX, hi = 0;
+  for (const serve::ReplicaStats& r : stats.replicas) {
+    lo = std::min(lo, r.batches);
+    hi = std::max(hi, r.batches);
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(Serve, ReplicaKillMidRunDrainsAndLosesNoAdmittedRequest) {
+  // Replica 0 is a 2-stage pipeline (world ranks 1-2); stage 0 dies at its
+  // 4th batch.  The router must mark the replica dead, requeue its in-flight
+  // requests, and finish the trace on the survivors with zero loss.
+  serve::ServeOptions opts = fleet_options(800, 3500.0);
+  opts.replicas.replica_sizes = {2, 1, 1};
+  FaultPlan plan;
+  plan.seed = 2026;
+  plan.kills.push_back({.world_rank = 1, .step = 4});
+  const serve::ServeStats stats = run_serve(serve_machine(5), opts, &plan);
+
+  EXPECT_EQ(stats.replicas_failed, 1u);
+  ASSERT_EQ(stats.replicas.size(), 3u);
+  EXPECT_TRUE(stats.replicas[0].dead);
+  EXPECT_FALSE(stats.replicas[1].dead);
+  EXPECT_FALSE(stats.replicas[2].dead);
+  EXPECT_EQ(stats.completed, stats.admitted);
+  EXPECT_GE(stats.redispatched, 1u);
+
+  // Every admitted id completed exactly once: nothing lost, nothing doubled.
+  std::set<std::uint64_t> ids;
+  for (const serve::RequestRecord& rec : stats.records) {
+    EXPECT_TRUE(ids.insert(rec.id).second) << "duplicate id " << rec.id;
+    if (rec.redispatches > 0) {
+      EXPECT_NE(rec.replica, 0);
+    }
+  }
+  EXPECT_EQ(ids.size(), stats.admitted);
+}
+
+TEST(Serve, PerRequestSpansLandOnRouterTimeline) {
+  msa::obs::Tracer::instance().clear();
+  serve::ServeOptions opts = fleet_options(120, 2000.0);
+  opts.record_spans = true;
+  const serve::ServeStats stats = run_serve(serve_machine(5), opts);
+  ASSERT_GT(stats.completed, 0u);
+
+  std::uint64_t queue_n = 0, batch_n = 0, compute_n = 0, reply_n = 0;
+  for (const msa::obs::Span& s : msa::obs::Tracer::instance().snapshot()) {
+    if (s.cat != msa::obs::Category::Serve) continue;
+    EXPECT_EQ(s.rank, 0);  // the router owns the serving timeline
+    EXPECT_LE(s.sim_begin_s, s.sim_end_s);
+    const std::string name(s.name);
+    if (name == "serve_queue") ++queue_n;
+    if (name == "serve_batch") ++batch_n;
+    if (name == "serve_compute") ++compute_n;
+    if (name == "serve_reply") ++reply_n;
+  }
+  EXPECT_EQ(queue_n, stats.completed);
+  EXPECT_EQ(batch_n, stats.completed);
+  EXPECT_EQ(compute_n, stats.completed);
+  EXPECT_EQ(reply_n, stats.completed);
+}
+
+TEST(Serve, ContinuousBatchingBeatsBatchOneUnderOverload) {
+  // ~2.6x the fleet's single-request rate: batch-1 dispatch saturates and
+  // sheds, continuous batching amortises the per-batch overhead and keeps
+  // absorbing the same trace.
+  const serve::ServeOptions batched = fleet_options(1200, 2600.0, 8);
+  serve::ServeOptions single = fleet_options(1200, 2600.0, 1);
+  single.queue_capacity = 64;  // batch-1 must shed, not buffer forever
+  const serve::ServeStats b = run_serve(serve_machine(5), batched);
+  const serve::ServeStats s = run_serve(serve_machine(5), single);
+  EXPECT_EQ(b.completed, b.admitted);
+  EXPECT_GT(b.goodput_rps, 1.5 * s.goodput_rps);
+  EXPECT_LT(b.p99_s, s.p99_s);
+}
+
+}  // namespace
