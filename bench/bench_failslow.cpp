@@ -32,7 +32,9 @@
 #include "fault/injector.hpp"
 #include "nn/models.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -55,6 +57,10 @@ struct SweepRow {
   double mean_loss = 0.0;
   double rebalance_s = 0.0;       // health-subsystem overhead (obs)
   double straggler_wait_s = 0.0;  // window skew behind the straggler (obs)
+  std::uint64_t msgs_sent = 0;    // registry deltas for this run only
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t dropped_spans = 0;
+  std::string health_jsonl;  // per-window health.* telemetry (rank 0)
 };
 
 dist::HealthOptions mode_health(const std::string& mode) {
@@ -96,7 +102,9 @@ SweepRow run_once(int P, const char* mode, double slowdown, int epochs) {
   SweepRow row;
   row.mode = mode;
   row.slowdown = slowdown;
-  obs::Tracer::instance().clear();  // attribute this run's spans only
+  obs::Tracer::instance().clear();   // attribute this run's spans only
+  obs::Registry::instance().reset();  // per-phase metric deltas, not totals
+  obs::TimeSeries health_ts("health.");
   std::mutex m;
   rt.run([&](comm::Comm& comm) {
     tensor::Rng rng(7);
@@ -106,6 +114,7 @@ SweepRow run_once(int P, const char* mode, double slowdown, int epochs) {
     options.checkpoint_interval = 4;
     options.max_recoveries = 8;
     options.health = mode_health(mode);
+    options.health.timeseries = &health_ts;  // sampled by rank 0 only
     dist::ResilientTrainer trainer(comm, *model, opt, options);
     auto result = trainer.train_classification(x, y, /*batch_size=*/8, epochs);
     if (trainer.comm().rank() == 0) {
@@ -127,6 +136,11 @@ SweepRow run_once(int P, const char* mode, double slowdown, int epochs) {
   const obs::Attribution attr = obs::Report::from_tracer().aggregate();
   row.rebalance_s = attr.rebalance_s;
   row.straggler_wait_s = attr.straggler_wait_s;
+  row.msgs_sent = obs::Registry::instance().counter("comm.msgs_sent").value();
+  row.bytes_sent = obs::Registry::instance().counter("comm.bytes_sent").value();
+  row.dropped_spans =
+      obs::Registry::instance().counter("obs.trace.dropped_spans").value();
+  row.health_jsonl = health_ts.to_jsonl();
   return row;
 }
 
@@ -201,6 +215,9 @@ int main(int argc, char** argv) {
       w.kv("mean_loss", r.mean_loss, "%.4f");
       w.kv("rebalance_s", r.rebalance_s, "%.6f");
       w.kv("straggler_wait_s", r.straggler_wait_s, "%.6f");
+      w.kv("msgs_sent", r.msgs_sent);
+      w.kv("bytes_sent", r.bytes_sent);
+      w.kv("dropped_spans", r.dropped_spans);
       w.obj_end();
     }
     w.arr_end();
@@ -209,6 +226,27 @@ int main(int argc, char** argv) {
   std::fputc('\n', f);
   std::fclose(f);
   std::printf("\nwrote %s (%zu rows)\n", out_path.c_str(), rows.size());
+
+  // Sidecar: window-by-window health.* telemetry (modes with monitoring on
+  // produce rows; a {"mode", "slowdown"} marker line precedes each run's).
+  std::string ts_path = out_path;
+  if (const auto dot = ts_path.rfind('.'); dot != std::string::npos) {
+    ts_path.erase(dot);
+  }
+  ts_path += "_timeseries.jsonl";
+  if (std::FILE* tf = std::fopen(ts_path.c_str(), "w")) {
+    for (const SweepRow& r : rows) {
+      if (r.health_jsonl.empty()) continue;
+      std::fprintf(tf, "{\"mode\": \"%s\", \"slowdown\": %.1f}\n", r.mode,
+                   r.slowdown);
+      std::fwrite(r.health_jsonl.data(), 1, r.health_jsonl.size(), tf);
+    }
+    std::fclose(tf);
+    std::printf("wrote %s\n", ts_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", ts_path.c_str());
+    return 1;
+  }
 
   std::printf(
       "\npaper shape: unmitigated, the whole job runs at ~1/slowdown — one\n"

@@ -29,6 +29,7 @@
 #include "nn/models.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/schedule.hpp"
+#include "obs/critpath.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 
@@ -55,6 +56,7 @@ struct StackOptions {
 struct StepModel {
   double step_time_s = 0.0;
   double images_per_s = 0.0;
+  double total_time_s = 0.0;  ///< makespan of the whole priced run
 };
 
 /// Price `steps` optimiser steps of ResNet-50 training on `gpus` devices.
@@ -130,7 +132,8 @@ StepModel model_training(const core::MsaSystem& system,
     }
   });
   StepModel m;
-  m.step_time_s = runtime.max_sim_time() / steps;
+  m.total_time_s = runtime.max_sim_time();
+  m.step_time_s = m.total_time_s / steps;
   m.images_per_s = gpus * kPerGpuBatch / m.step_time_s;
   return m;
 }
@@ -139,6 +142,7 @@ struct ScalingRow {
   int gpus = 0;
   StepModel model;
   obs::Attribution attr;  // aggregate over ranks, from obs::Report
+  obs::critpath::Analysis path;  // critical path of the same run's spans
 };
 
 data::ImageDataset rs_dataset(std::size_t samples, std::uint64_t seed) {
@@ -176,7 +180,8 @@ int main(int argc, char** argv) {
     // this row covers exactly this row's spans.
     obs::Tracer::instance().clear();
     const auto m = model_training(juwels, booster, gpus, production);
-    rows.push_back({gpus, m, obs::Report::from_tracer().aggregate()});
+    rows.push_back({gpus, m, obs::Report::from_tracer().aggregate(),
+                    obs::critpath::from_tracer()});
     if (gpus == 1) base = m.images_per_s;
     const double speedup = m.images_per_s / base;
     const double steps_per_epoch =
@@ -216,6 +221,24 @@ int main(int argc, char** argv) {
       "(hid%% = hidden / (hidden + exposed)); only the exposed slice (comm%%)\n"
       "stretches the step.\n");
 
+  // ---- critical path & wait states (obs::critpath over the same runs) ----------
+  std::printf("\n--- critical path: which rank/wait chain sets the makespan? ---\n");
+  std::printf("%6s %11s %11s %11s %11s %11s %8s\n", "GPUs", "path[ms]",
+              "local[ms]", "skew[ms]", "nic[ms]", "late[ms]", "comm%");
+  for (const auto& row : rows) {
+    const auto& p = row.path;
+    std::printf("%6d %11.2f %11.2f %11.2f %11.2f %11.2f %7.1f%%\n", row.gpus,
+                p.path_length_s * 1e3, p.local_total_s * 1e3,
+                p.waits.collective_skew_s * 1e3, p.waits.nic_s * 1e3,
+                p.waits.late_sender_s * 1e3,
+                100.0 * p.exposed_comm_fraction());
+  }
+  std::printf(
+      "\nreading: path == end-to-end sim time by construction; the wait\n"
+      "columns say WHY the path rank was blocked (collective skew vs wire\n"
+      "time vs a late peer), where the attribution table only said THAT\n"
+      "comm time was exposed.\n");
+
   if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
     std::fprintf(f, "{\n  \"experiment\": \"resnet50-scaling-fig3\",\n");
     std::fprintf(f, "  \"per_gpu_batch\": %d,\n  \"rows\": [\n", kPerGpuBatch);
@@ -230,12 +253,15 @@ int main(int argc, char** argv) {
           "\"io_s\": %.9f, \"other_s\": %.9f, \"total_s\": %.9f, "
           "\"comm_fraction\": %.6f, \"hidden_comm_fraction\": %.6f, "
           "\"compute_fraction\": %.6f, "
-          "\"comm_bytes\": %llu, \"spans\": %llu}}%s\n",
+          "\"comm_bytes\": %llu, \"spans\": %llu},\n"
+          "     \"total_sim_time_s\": %.9f,\n"
+          "     \"critpath\": %s}%s\n",
           r.gpus, r.model.step_time_s, r.model.images_per_s, a.comm_s,
           a.comm_hidden_s, a.compute_s, a.io_s, a.other_s, a.total_s,
           a.comm_fraction(), a.hidden_comm_fraction(), a.compute_fraction(),
           static_cast<unsigned long long>(a.comm_bytes),
           static_cast<unsigned long long>(a.spans),
+          r.model.total_time_s, r.path.to_json().c_str(),
           i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -243,6 +269,14 @@ int main(int argc, char** argv) {
     std::printf("wrote %s (%zu rows)\n\n", out_path.c_str(), rows.size());
   } else {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+  }
+
+  // Scaling-only mode for drivers (bench/run_critpath.sh) that re-run the
+  // sweep several times to compare JSON byte-for-byte: the ablation/ESB/
+  // accuracy sections below don't feed the JSON and cost most of the time.
+  if (std::getenv("MSA_SCALING_ONLY") != nullptr) {
+    std::printf("MSA_SCALING_ONLY set: skipping ablation/ESB/accuracy sections\n");
+    return 0;
   }
 
   // ---- what the optimisations buy (ablation) -----------------------------------

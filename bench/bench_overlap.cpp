@@ -20,6 +20,7 @@
 #include "comm/runtime.hpp"
 #include "core/machine_builder.hpp"
 #include "core/module.hpp"
+#include "obs/critpath.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 
@@ -40,6 +41,7 @@ struct Point {
   double exposed_s = 0.0;  // per-rank mean over the run
   double hidden_s = 0.0;
   double compute_s = 0.0;
+  obs::critpath::Analysis path;  // critical path of the same run
 };
 
 /// Price `steps` gradient-exchange rounds; mirrors the production path of
@@ -106,6 +108,7 @@ Point run_point(const core::MsaSystem& system, const core::Module& module,
   p.exposed_s = a.comm_s / gpus;
   p.hidden_s = a.comm_hidden_s / gpus;
   p.compute_s = a.compute_s / gpus;
+  p.path = obs::critpath::from_tracer();
   return p;
 }
 
@@ -152,10 +155,12 @@ int main(int argc, char** argv) {
           f,
           "    {\"gpus\": %d, \"bucket_bytes\": %zu, \"overlap\": %s, "
           "\"step_time_s\": %.9f, \"exposed_s\": %.9f, \"hidden_s\": %.9f, "
-          "\"compute_s\": %.9f, \"exposed_fraction\": %.6f}%s\n",
+          "\"compute_s\": %.9f, \"exposed_fraction\": %.6f,\n"
+          "     \"critpath\": %s}%s\n",
           p.gpus, p.bucket_bytes, p.overlap ? "true" : "false", p.step_time_s,
           p.exposed_s, p.hidden_s, p.compute_s,
           total > 0.0 ? p.exposed_s / total : 0.0,
+          p.path.to_json().c_str(),
           i + 1 < points.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

@@ -31,6 +31,10 @@
 #include "comm/runtime.hpp"
 #include "common.hpp"
 #include "fault/injector.hpp"
+#include "obs/critpath.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
 #include "serve/serve.hpp"
 
 namespace {
@@ -95,10 +99,22 @@ double single_request_rate(const simnet::Machine& m) {
 struct RunResult {
   serve::ServeStats stats;
   double sim_time_s = 0.0;
+  // Registry deltas for THIS run (the registry is reset at run entry, so
+  // the per-phase numbers are not polluted by earlier sweep points).
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t dropped_spans = 0;
+  obs::critpath::Analysis path;  // only filled when spans were recorded
 };
 
 RunResult run_once(double rate_hz, std::uint64_t count, int batch_rows,
-                   serve::RoutingMode routing, bool degraded) {
+                   serve::RoutingMode routing, bool degraded,
+                   bool record_spans = false,
+                   obs::TimeSeries* timeseries = nullptr) {
+  // Fresh metric registry and span timeline per phase: every point reports
+  // its own counts, and the critpath/time-series outputs cover one run.
+  obs::Registry::instance().reset();
+  obs::Tracer::instance().clear();
   serve::ServeOptions opts;
   opts.arrivals.pattern = serve::ArrivalPattern::Poisson;
   opts.arrivals.rate_hz = rate_hz;
@@ -115,7 +131,12 @@ RunResult run_once(double rate_hz, std::uint64_t count, int batch_rows,
   // window is what lets the fast Boosters buffer through a blocking drain
   // on a slow Cluster batch instead of idling behind it.
   opts.max_outstanding = 4;
-  opts.record_spans = false;  // sweep: the latency histogram is enough
+  // The load sweep skips span recording (the latency histogram is enough);
+  // the degraded points turn it on so the critical path of the stall is in
+  // the JSON, and attach a time series for the per-window telemetry.
+  opts.record_spans = record_spans;
+  opts.timeseries = timeseries;
+  opts.timeseries_every = timeseries != nullptr ? 50 : 0;
 
   comm::Runtime rt(fleet_machine());
   if (degraded) {
@@ -140,6 +161,11 @@ RunResult run_once(double rate_hz, std::uint64_t count, int batch_rows,
     }
   });
   out.sim_time_s = rt.max_sim_time();
+  out.msgs_sent = obs::Registry::instance().counter("comm.msgs_sent").value();
+  out.bytes_sent = obs::Registry::instance().counter("comm.bytes_sent").value();
+  out.dropped_spans =
+      obs::Registry::instance().counter("obs.trace.dropped_spans").value();
+  if (record_spans) out.path = obs::critpath::from_tracer();
   return out;
 }
 
@@ -223,10 +249,17 @@ int main(int argc, char** argv) {
   slo.push_back({"health-degraded", serve::RoutingMode::HealthAware, true, {}});
   slo.push_back({"roundrobin-degraded", serve::RoutingMode::RoundRobin, true,
                  {}});
+  // Per-window serve.* telemetry for all three SLO points, concatenated into
+  // one JSONL sidecar; a {"mode": ...} marker line precedes each run's rows.
+  std::string ts_jsonl;
   std::printf("\n%20s %9s %11s %11s %11s  replica rows\n", "mode", "completed",
               "goodput", "p95[ms]", "p99[ms]");
   for (DegradedPoint& p : slo) {
-    p.r = run_once(slo_rate, 6000, 8, p.routing, p.degraded);
+    obs::TimeSeries ts("serve.");
+    p.r = run_once(slo_rate, 6000, 8, p.routing, p.degraded,
+                   /*record_spans=*/true, &ts);
+    ts_jsonl += "{\"mode\": \"" + std::string(p.mode) + "\"}\n";
+    ts_jsonl += ts.to_jsonl();
     std::printf("%20s %9llu %11.0f %11.2f %11.2f  [", p.mode,
                 static_cast<unsigned long long>(p.r.stats.completed),
                 p.r.stats.goodput_rps, p.r.stats.p95_s * 1e3,
@@ -273,6 +306,10 @@ int main(int argc, char** argv) {
       w.kv("rate_hz", slo_rate, "%.3f");
       emit_stats(w, p.r.stats);
       emit_replicas(w, p.r.stats);
+      w.kv("msgs_sent", p.r.msgs_sent);
+      w.kv("bytes_sent", p.r.bytes_sent);
+      w.kv("dropped_spans", p.r.dropped_spans);
+      w.raw("critpath", p.r.path.to_json());
       w.obj_end();
     }
     w.arr_end();
@@ -281,5 +318,20 @@ int main(int argc, char** argv) {
   std::fputc('\n', f);
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
+
+  // Sidecar: per-window telemetry of the three SLO points.
+  std::string ts_path = out_path;
+  if (const auto dot = ts_path.rfind('.'); dot != std::string::npos) {
+    ts_path.erase(dot);
+  }
+  ts_path += "_timeseries.jsonl";
+  if (std::FILE* tf = std::fopen(ts_path.c_str(), "w")) {
+    std::fwrite(ts_jsonl.data(), 1, ts_jsonl.size(), tf);
+    std::fclose(tf);
+    std::printf("wrote %s\n", ts_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", ts_path.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -137,6 +137,12 @@ class JsonWriter {
     item(key);
     std::fprintf(f_, fmt, v);
   }
+  /// Pre-rendered JSON value (e.g. a critpath analysis blob) spliced in
+  /// verbatim; the caller guarantees it is well-formed.
+  void raw(const char* key, const std::string& json) {
+    item(key);
+    std::fputs(json.c_str(), f_);
+  }
 
  private:
   void open(const char* key, char bracket) {

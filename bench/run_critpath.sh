@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Critical-path gate: runs the instrumented ResNet-50 scaling sweep several
+# times and holds obs::critpath to its contract:
+#
+#   (1) accounting — at every scale the critical path partitions the run
+#       exactly: path_length_s == end_time_s == total_sim_time_s, the wait
+#       categories sum to blocked_s, and local + blocked == path;
+#   (2) agreement — the path's exposed-comm fraction matches the independent
+#       span-attribution comm fraction to within one point;
+#   (3) determinism — the full JSON (critpath blobs included) is
+#       byte-identical across a replay and across MSA_THREADS=1 vs 8.
+#
+# MSA_SCALING_ONLY=1 keeps each run to the 1..128 GPU sweep that feeds the
+# JSON (the ablation/ESB/accuracy sections cost most of the wall time and
+# don't emit rows).
+#
+# Usage: bench/run_critpath.sh [outdir]     (default: repo root)
+# Env:   BUILD_DIR (default build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD_DIR:-build}
+OUTDIR=${1:-.}
+
+cmake -B "$BUILD" -S . -DMSA_OBS=ON >/dev/null
+cmake --build "$BUILD" -j --target bench_fig3_resnet_scaling >/dev/null
+
+OUT="$OUTDIR/BENCH_critpath_scaling.json"
+REPLAY="$OUTDIR/.critpath_replay.json"
+T1="$OUTDIR/.critpath_t1.json"
+T8="$OUTDIR/.critpath_t8.json"
+
+run() { MSA_SCALING_ONLY=1 "$BUILD/bench/bench_fig3_resnet_scaling" "$1" >/dev/null; }
+
+run "$OUT"
+run "$REPLAY"
+MSA_THREADS=1 run "$T1"
+MSA_THREADS=8 run "$T8"
+
+cmp "$OUT" "$REPLAY" || { echo "FAIL: replay JSON differs" >&2; exit 1; }
+cmp "$OUT" "$T1" || { echo "FAIL: MSA_THREADS=1 JSON differs" >&2; exit 1; }
+cmp "$OUT" "$T8" || { echo "FAIL: MSA_THREADS=8 JSON differs" >&2; exit 1; }
+rm -f "$REPLAY" "$T1" "$T8"
+echo "determinism OK: replay and MSA_THREADS={1,8} byte-identical"
+
+python3 - "$OUT" <<'PY'
+import json, sys
+
+rows = json.load(open(sys.argv[1]))["rows"]
+assert rows, "no scaling rows"
+print(f"{sys.argv[1]}: {len(rows)} scales")
+print(f"{'GPUs':>5} {'path[ms]':>10} {'blocked[ms]':>12} "
+      f"{'cp comm%':>9} {'attr comm%':>11}")
+for r in rows:
+    cp, waits, loc = r["critpath"], r["critpath"]["waits"], r["critpath"]["local"]
+
+    # (1) exact accounting: the segments partition [0, T].  The engine's sums
+    # are exact; the JSON rounds every field to 1e-9, so summing k rounded
+    # terms may drift by k/2 ulps — hence the 1e-8 slack.
+    path, end, sim = cp["path_length_s"], cp["end_time_s"], r["total_sim_time_s"]
+    assert abs(path - end) <= 1e-8 + 1e-9 * end, (r["gpus"], path, end)
+    assert abs(end - sim) <= 1e-8 + 1e-9 * sim, (r["gpus"], end, sim)
+    cats = (waits["late_sender_s"] + waits["late_receiver_s"] +
+            waits["collective_skew_s"] + waits["nic_occupancy_s"] +
+            waits["pipeline_bubble_s"])
+    assert abs(cats - cp["blocked_s"]) <= 1e-8, (r["gpus"], cats, cp["blocked_s"])
+    assert abs(loc["total_s"] + cp["blocked_s"] - path) <= 1e-8 + 1e-9 * path
+    assert cp["diag"]["recvs_unmatched"] == 0, "holes in the recorded timeline"
+
+    # (2) two independent accountings of exposed comm agree to <= 1 point.
+    cp_frac = cp["exposed_comm_fraction"]
+    attr_frac = r["attribution"]["comm_fraction"]
+    assert abs(cp_frac - attr_frac) <= 0.01, (r["gpus"], cp_frac, attr_frac)
+
+    print(f"{r['gpus']:>5} {1e3*path:>10.3f} {1e3*cp['blocked_s']:>12.3f} "
+          f"{100*cp_frac:>8.2f}% {100*attr_frac:>10.2f}%")
+print("OK: path == sim time, wait categories sum, critpath agrees with "
+      "attribution at every scale")
+PY

@@ -28,14 +28,18 @@ MSA_THREADS=8 "$BUILD"/bench/bench_failslow BENCH_failslow.threads8.json \
 # mitigation actions — must be byte-identical across kernel-thread counts.
 # straggler_events is the one deliberately wall-clock quantity in the report
 # (real recv-backstop expiries, i.e. how often the liveness machinery got
-# impatient on THIS host), so it is stripped before the comparison.
+# impatient on THIS host), so it is stripped before the comparison; so is
+# dropped_spans, because each backstop expiry records an instant span and,
+# once the ring is full, one extra ring overwrite.
 python3 - <<'EOF'
 import json, re, sys
 
 def normalized(path):
     with open(path) as f:
         text = f.read()
-    return re.sub(r'"straggler_events(?:_max)?": \d+, ', "", text)
+    return re.sub(
+        r'"(?:straggler_events(?:_max)?|dropped_spans)": \d+,?\n\s*', "",
+        text)
 
 a, b = normalized("BENCH_failslow.json"), normalized("BENCH_failslow.threads8.json")
 if a != b:
@@ -43,7 +47,10 @@ if a != b:
     raise SystemExit(1)
 print("determinism: MSA_THREADS=1 and 8 trajectories byte-identical")
 EOF
-rm -f BENCH_failslow.threads8.json
+# The telemetry sidecar (window-by-window health.* snapshots) is part of
+# the same contract.
+cmp BENCH_failslow_timeseries.jsonl BENCH_failslow.threads8_timeseries.jsonl
+rm -f BENCH_failslow.threads8.json BENCH_failslow.threads8_timeseries.jsonl
 
 python3 - <<'EOF'
 import json

@@ -34,3 +34,20 @@ ctest --output-on-failure -L chaos
 # router hands slab views and reply buffers across rank threads, which is
 # exactly what this build exists to check.
 ctest --output-on-failure -L serve
+
+# Post-mortem path under the sanitizers: arm the flight recorder via env and
+# drive the injected-kill tests — Runtime::run's failure hook must leave a
+# parseable dump behind (the dump walks every rank's span tail plus the
+# critpath analysis, all freshly-freed-adjacent memory if anything is wrong).
+FLIGHT="$PWD/flight_postmortem.json"
+rm -f "$FLIGHT"
+MSA_FLIGHT_OUT="$FLIGHT" ./tests/msa_tests --gtest_filter='Fault*'
+python3 - "$FLIGHT" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["reason"], "post-mortem missing reason"
+assert d["ranks"], "post-mortem missing rank tails"
+assert "critpath" in d and "metrics" in d, "post-mortem missing analysis"
+print(f"flight post-mortem OK: {sys.argv[1]} "
+      f"({len(d['ranks'])} rank tails, reason={d['reason']!r})")
+PY

@@ -33,7 +33,10 @@ if ! diff -q BENCH_serve.json BENCH_serve.threads8.json >/dev/null; then
   exit 1
 fi
 echo "determinism: MSA_THREADS=1 and 8 trajectories byte-identical"
-rm -f BENCH_serve.threads8.json
+# The telemetry sidecar (per-drain serve.* snapshots) is part of the same
+# contract.
+cmp BENCH_serve_timeseries.jsonl BENCH_serve.threads8_timeseries.jsonl
+rm -f BENCH_serve.threads8.json BENCH_serve.threads8_timeseries.jsonl
 
 python3 - <<'EOF'
 import json

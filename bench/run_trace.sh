@@ -30,6 +30,10 @@ trace_path, attr_path = sys.argv[1], sys.argv[2]
 trace = json.load(open(trace_path))
 events = trace["traceEvents"]
 assert events, "empty trace"
+dropped = int(trace.get("otherData", {}).get("dropped_spans", 0))
+assert dropped == 0, (
+    f"tracer dropped {dropped} spans (ring overwrites) — the trace has holes; "
+    "raise MSA_TRACE_SPANS")
 pids = {e["pid"] for e in events if e.get("ph") == "X"}
 print(f"{trace_path}: {len(events)} events across {len(pids)} rank timelines")
 

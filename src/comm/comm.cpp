@@ -15,6 +15,7 @@ void Comm::send_bytes(std::span<const std::byte> bytes, int dest, int tag,
   const int dest_world = members_[static_cast<std::size_t>(dest)];
   obs::ScopedSpan span(obs::Category::Comm, "send", world_rank(), &clock(),
                        bytes.size(), 0, comm_id_);
+  span.set_edge(obs::EdgeKind::Send, dest_world, tag);
   if (obs::trace_enabled()) {
     static obs::Counter& msgs =
         obs::Registry::instance().counter("comm.msgs_sent");
@@ -154,6 +155,11 @@ Envelope Comm::recv_envelope(int src, int tag) {
   }
   Envelope env = std::move(res.env);
   span.add_bytes(env.payload.size());
+  // The matched source is known only now; the edge (comm id in `detail`,
+  // source world rank, tag) is what lets obs::critpath pair this recv with
+  // the k-th same-key send without replaying mailbox state.
+  span.set_edge(obs::EdgeKind::Recv,
+                members_[static_cast<std::size_t>(env.src)], tag);
   if (env.charge_link) {
     const int src_world = members_[static_cast<std::size_t>(env.src)];
     const auto& link = machine().link_between(src_world, world_rank());
@@ -166,6 +172,7 @@ Envelope Comm::recv_envelope(int src, int tag) {
     obs::ScopedSpan xfer(obs::Category::Comm, "xfer", world_rank(), &clock(),
                          env.payload.size(), 0,
                          static_cast<std::uint64_t>(src_world));
+    xfer.set_edge(obs::EdgeKind::None, src_world, tag);
     clock().sync_to(env.send_time_s + transfer);
   } else {
     clock().sync_to(env.send_time_s);
@@ -179,6 +186,7 @@ void Comm::barrier() {
   obs::ScopedSpan span(obs::Category::Comm, "barrier", world_rank(), &clock(),
                        0, 0, comm_id_);
   const int tag = next_coll_tag();
+  span.set_edge(obs::EdgeKind::None, -1, tag);  // collective window marker
   // Dissemination barrier: round k talks to rank +/- 2^k.
   for (int dist = 1; dist < P; dist <<= 1) {
     const int to = (rank_ + dist) % P;

@@ -360,6 +360,7 @@ class Comm {
                          data.size_bytes(), 0, comm_id_);
     const int vrank = virtual_rank(rank(), root);
     const int tag = next_coll_tag();
+    span.set_edge(obs::EdgeKind::None, -1, tag);
     // Receive from parent, then forward to children, in virtual rank space.
     if (vrank != 0) {
       const int parent = actual_rank(parent_of(vrank), root);
@@ -379,6 +380,7 @@ class Comm {
                          data.size_bytes(), 0, comm_id_);
     const int vrank = virtual_rank(rank(), root);
     const int tag = next_coll_tag();
+    span.set_edge(obs::EdgeKind::None, -1, tag);
     std::vector<T> incoming(data.size());
     // Children first (deepest subtrees), then send partial to parent.
     for (int child : children_of(vrank)) {
@@ -853,6 +855,8 @@ class Comm {
     }
     obs::ScopedSpan span(obs::Category::Comm, "recv", world_rank(), &clock(),
                          env.payload.size(), 0, comm_id_);
+    span.set_edge(obs::EdgeKind::Recv,
+                  members_[static_cast<std::size_t>(env.src)], tag);
     if (env.charge_link) {
       const int src_world = members_[static_cast<std::size_t>(env.src)];
       const auto& link = machine().link_between(src_world, world_rank());

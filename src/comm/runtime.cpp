@@ -5,6 +5,9 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+
+#include "obs/flight.hpp"
 
 namespace msa::comm {
 
@@ -78,6 +81,15 @@ void Runtime::run(const std::function<void(Comm&)>& fn) {
   std::sort(killed_.begin(), killed_.end());
   std::sort(errors.begin(), errors.end(),
             [](const RankError& a, const RankError& b) { return a.rank < b.rank; });
+  if (!killed_.empty() || !errors.empty()) {
+    // Every rank thread has joined, so the tracer/registry are quiescent:
+    // dump the post-mortem before any rethrow can unwind the driver.
+    std::vector<std::pair<int, std::string>> whats;
+    whats.reserve(errors.size());
+    for (const auto& e : errors) whats.emplace_back(e.rank, e.what);
+    obs::flight::FlightRecorder::instance().on_failure(
+        errors.empty() ? "rank_killed" : "rank_errors", killed_, whats);
+  }
   if (errors.size() == 1) std::rethrow_exception(errors.front().ptr);
   if (errors.size() > 1) {
     std::vector<std::pair<int, std::string>> msgs;

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "core/hash.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace msa::dist {
@@ -259,13 +261,34 @@ std::optional<HealthDecision> HealthMonitor::on_step(comm::Comm& comm,
   if (slowest > my_compute) {
     const double end = comm.sim_now();
     obs::record_interval(obs::Category::StragglerWait, "window_skew",
-                         comm.world_rank(), end - (slowest - my_compute), end);
+                         comm.world_rank(), end - (slowest - my_compute), end,
+                         /*bytes=*/0, /*detail=*/comm.id());
   }
 
   steps_in_window_ = 0;
   rows_in_window_ = 0.0;
   fold_decision(d);
   log_.push_back(d);
+
+  // Telemetry: one rank publishes the collectively-agreed verdict so the
+  // gauges (and any attached time series) are single-writer deterministic.
+  // The 64-bit digest rides in two 32-bit halves — both exact in a double.
+  if (comm.rank() == 0) {
+    auto& reg = obs::Registry::instance();
+    reg.gauge("health.windows").set(static_cast<double>(window_index_));
+    reg.gauge("health.median_row_s").set(d.median_s);
+    reg.gauge("health.mad_s").set(d.mad_s);
+    reg.gauge("health.flagged").set(static_cast<double>(d.flagged_world.size()));
+    reg.gauge("health.demoted_rank")
+        .set(static_cast<double>(d.demote_world_rank));
+    reg.gauge("health.digest.hi")
+        .set(static_cast<double>(static_cast<std::uint32_t>(digest_ >> 32)));
+    reg.gauge("health.digest.lo")
+        .set(static_cast<double>(static_cast<std::uint32_t>(digest_)));
+    if (options_.timeseries != nullptr) {
+      options_.timeseries->sample(comm.sim_now(), "health_window");
+    }
+  }
   return d;
 }
 

@@ -48,6 +48,10 @@
 
 #include "comm/comm.hpp"
 
+namespace msa::obs {
+class TimeSeries;
+}  // namespace msa::obs
+
 namespace msa::dist {
 
 /// Knobs for fail-slow detection and the mitigation ladder.  Defaults keep
@@ -74,6 +78,11 @@ struct HealthOptions {
   double backstop_min_s = 0.02;
   double backstop_max_s = 2.0;
   int backstop_retries = 3;
+  /// Optional telemetry sink: comm-rank 0 samples it at every window
+  /// boundary (after health.* gauges are published), stamped with the
+  /// window-close simulated time.  Window boundaries are collectively
+  /// agreed, so the resulting series is deterministic.  Not owned.
+  obs::TimeSeries* timeseries = nullptr;
 };
 
 /// One window's collectively-agreed verdict.  Identical on every rank.

@@ -101,8 +101,11 @@ PipelineStage::Pending PipelineStage::prefetch_tensor(
 nn::Tensor PipelineStage::take(Pending& p, const char* bubble_name) {
   if (bubble_name != nullptr) {
     // Structural stall: the whole wait bills to the pipeline bubble (the
-    // engine's comm intervals inside are shadowed — attributed once).
-    obs::ScopedSpan bubble(obs::Category::PipeBubble, bubble_name);
+    // engine's comm intervals inside are shadowed — attributed once).  The
+    // replayed recv spans inherit the PipeBubble context, which is how
+    // obs::critpath classifies these waits as bubbles.
+    obs::ScopedSpan bubble(obs::Category::PipeBubble, bubble_name,
+                           std::uint64_t{0}, std::uint64_t{0}, xfer_.id());
     p.req.wait();
   } else {
     p.req.wait();
@@ -228,7 +231,8 @@ float PipelineStage::step_classification(
   // final backward), then one flat optimizer sweep over the slabs.
   if (mesh_.data().size() > 1 && !reducer_) {
     obs::ScopedSpan span(obs::Category::Comm, "allreduce_grads",
-                         store_.grad_span().size_bytes());
+                         store_.grad_span().size_bytes(), 0,
+                         mesh_.data().id());
     if (hier_) {
       allreduce_gradients(mesh_.data(), *hier_, store_, options_.allreduce);
     } else {

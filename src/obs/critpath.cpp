@@ -1,0 +1,379 @@
+#include "obs/critpath.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <tuple>
+
+namespace msa::obs::critpath {
+
+const char* to_string(WaitState w) {
+  switch (w) {
+    case WaitState::None: return "none";
+    case WaitState::LateSender: return "late_sender";
+    case WaitState::LateReceiver: return "late_receiver";
+    case WaitState::CollectiveSkew: return "collective_skew";
+    case WaitState::NicOccupancy: return "nic_occupancy";
+    case WaitState::PipelineBubble: return "pipeline_bubble";
+  }
+  return "none";
+}
+
+namespace {
+
+/// A recv span with positive simulated duration: the only way a rank's
+/// clock jumps forward on someone else's account.
+struct WaitEvent {
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  double send_time_s = 0.0;  ///< matched send span's clock (valid if matched)
+  std::uint64_t seq = 0;     ///< tie-break for deterministic ordering
+  int sender = -1;           ///< matched sender world rank
+  int tag = 0;
+  Category ctx = Category::Other;
+  bool matched = false;
+  bool visited = false;
+};
+
+/// Unshadowed attribution span interval, for local-work attribution.
+struct LocalInterval {
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  Category cat = Category::Other;
+};
+
+WaitState classify(const WaitEvent& w) {
+  if (w.ctx == Category::PipeBubble) return WaitState::PipelineBubble;
+  if (w.matched && w.send_time_s < w.begin_s) return WaitState::NicOccupancy;
+  if (w.tag < 0) return WaitState::CollectiveSkew;
+  return WaitState::LateSender;
+}
+
+void add_wait(WaitBreakdown& b, WaitState s, double d) {
+  switch (s) {
+    case WaitState::LateSender: b.late_sender_s += d; break;
+    case WaitState::LateReceiver: b.late_receiver_s += d; break;
+    case WaitState::CollectiveSkew: b.collective_skew_s += d; break;
+    case WaitState::NicOccupancy: b.nic_s += d; break;
+    case WaitState::PipelineBubble: b.bubble_s += d; break;
+    case WaitState::None: break;
+  }
+}
+
+}  // namespace
+
+double Analysis::exposed_comm_fraction() const {
+  if (path_length_s <= 0.0) return 0.0;
+  const double comm = local_by_cat_s[static_cast<int>(Category::Comm)] +
+                      waits.late_sender_s + waits.late_receiver_s +
+                      waits.collective_skew_s + waits.nic_s;
+  return comm / path_length_s;
+}
+
+double Analysis::compute_fraction() const {
+  if (path_length_s <= 0.0) return 0.0;
+  return local_by_cat_s[static_cast<int>(Category::Compute)] / path_length_s;
+}
+
+Analysis analyze(const std::vector<Span>& spans) {
+  Analysis out;
+
+  // ---- pass 1: message matching --------------------------------------------
+  // Key = (comm id, sender world, receiver world, tag).  Spans arrive in
+  // (rank, shard, seq) order, i.e. per-rank program order, and the mailbox
+  // matches FIFO per key, so the k-th send and the k-th recv of a key are
+  // wire partners.
+  struct KeyOps {
+    std::vector<std::size_t> sends;  // indices into `spans`
+    std::vector<std::size_t> recvs;
+  };
+  std::map<std::tuple<std::uint64_t, int, int, int>, KeyOps> keys;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    if (s.rank < 0 || s.instant) continue;
+    ++out.spans_seen;
+    if (s.edge == EdgeKind::Send) {
+      keys[{s.detail, s.rank, s.peer, s.tag}].sends.push_back(i);
+    } else if (s.edge == EdgeKind::Recv) {
+      keys[{s.detail, s.peer, s.rank, s.tag}].recvs.push_back(i);
+    }
+  }
+
+  // recv span index -> matched send span index (or npos).
+  constexpr std::size_t kUnmatched = static_cast<std::size_t>(-1);
+  std::map<std::size_t, std::size_t> match;
+  for (const auto& [key, ops] : keys) {
+    for (std::size_t k = 0; k < ops.recvs.size(); ++k) {
+      match[ops.recvs[k]] = k < ops.sends.size() ? ops.sends[k] : kUnmatched;
+    }
+  }
+
+  // ---- pass 2: per-rank wait events and local attribution intervals --------
+  std::map<int, std::vector<WaitEvent>> waits_by_rank;
+  std::map<int, std::vector<LocalInterval>> local_by_rank;
+  double end_time = 0.0;
+  int end_rank = -1;
+  bool any = false;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    if (s.rank < 0 || s.instant) continue;
+    // The run ends where the last span ends (ties: lowest rank, which the
+    // (rank, seq) iteration order gives for free via strict >).
+    if (!any || s.sim_end_s > end_time) {
+      end_time = s.sim_end_s;
+      end_rank = s.rank;
+      any = true;
+    }
+    if (s.edge == EdgeKind::Recv && s.sim_duration_s() > 0.0) {
+      WaitEvent w;
+      w.begin_s = s.sim_begin_s;
+      w.end_s = s.sim_end_s;
+      w.seq = s.seq;
+      w.tag = s.tag;
+      w.ctx = s.ctx;
+      const std::size_t si = match.at(i);
+      if (si != kUnmatched) {
+        w.matched = true;
+        w.sender = spans[si].rank;
+        w.send_time_s = spans[si].sim_begin_s;
+        ++out.edges_matched;
+      } else {
+        ++out.recvs_unmatched;
+      }
+      waits_by_rank[s.rank].push_back(w);
+    } else if (s.edge == EdgeKind::Recv) {
+      // Zero-duration recv: message was already in and cost nothing — still
+      // counts as a matched edge for diagnostics.
+      if (match.at(i) != kUnmatched) ++out.edges_matched;
+      else ++out.recvs_unmatched;
+    }
+    if (!s.shadowed && is_attribution(s.cat) && s.sim_duration_s() > 0.0) {
+      local_by_rank[s.rank].push_back({s.sim_begin_s, s.sim_end_s, s.cat});
+    }
+  }
+  for (auto& [r, ws] : waits_by_rank) {
+    std::stable_sort(ws.begin(), ws.end(),
+                     [](const WaitEvent& a, const WaitEvent& b) {
+                       if (a.end_s != b.end_s) return a.end_s < b.end_s;
+                       if (a.begin_s != b.begin_s) return a.begin_s < b.begin_s;
+                       return a.seq < b.seq;
+                     });
+  }
+  for (auto& [r, ivs] : local_by_rank) {
+    std::stable_sort(ivs.begin(), ivs.end(),
+                     [](const LocalInterval& a, const LocalInterval& b) {
+                       return a.begin_s < b.begin_s;
+                     });
+  }
+  if (!any) return out;  // empty timeline
+  out.end_time_s = end_time;
+  out.end_rank = end_rank;
+
+  // ---- pass 3: backward walk ----------------------------------------------
+  std::map<int, RankShare> shares;
+  auto share = [&](int r) -> RankShare& {
+    RankShare& sh = shares[r];
+    sh.rank = r;
+    return sh;
+  };
+
+  // Attribute local-work segment [a, b] on rank r by sweeping the rank's
+  // (non-overlapping) unshadowed attribution intervals.
+  auto attribute_local = [&](int r, double a, double b) {
+    const double len = b - a;
+    if (len <= 0.0) return;
+    out.local_total_s += len;
+    share(r).local_s += len;
+    double covered = 0.0;
+    auto it = local_by_rank.find(r);
+    if (it != local_by_rank.end()) {
+      const auto& ivs = it->second;
+      // First interval that could overlap [a, b): binary search on begin,
+      // then back up over a straddler (intervals are non-overlapping, so at
+      // most a few steps).
+      std::size_t idx = static_cast<std::size_t>(
+          std::lower_bound(ivs.begin(), ivs.end(), a,
+                           [](const LocalInterval& iv, double t) {
+                             return iv.begin_s < t;
+                           }) -
+          ivs.begin());
+      while (idx > 0 && ivs[idx - 1].end_s > a) --idx;
+      double pos = a;
+      for (; idx < ivs.size() && ivs[idx].begin_s < b; ++idx) {
+        const double lo = std::max(pos, ivs[idx].begin_s);
+        const double hi = std::min(b, ivs[idx].end_s);
+        if (hi > lo) {
+          out.local_by_cat_s[static_cast<int>(ivs[idx].cat)] += hi - lo;
+          covered += hi - lo;
+          pos = hi;
+        }
+        if (pos >= b) break;
+      }
+    }
+    out.local_uncovered_s += len - covered;
+  };
+
+  std::vector<PathSegment> rev;  // built backward, reversed at the end
+  int r = end_rank;
+  double t = end_time;
+  // Each iteration either consumes one wait event or terminates, so the
+  // walk is bounded; the +8 covers the terminal local segment.
+  std::size_t guard = 0;
+  std::size_t max_iter = 8;
+  for (const auto& [rr, ws] : waits_by_rank) max_iter += ws.size();
+  while (t > 0.0 && guard++ < max_iter) {
+    WaitEvent* w = nullptr;
+    auto it = waits_by_rank.find(r);
+    if (it != waits_by_rank.end()) {
+      auto& ws = it->second;
+      // Latest unvisited wait that completed by the frontier.
+      auto ub = std::upper_bound(ws.begin(), ws.end(), t,
+                                 [](double tt, const WaitEvent& e) {
+                                   return tt < e.end_s;
+                                 });
+      while (ub != ws.begin()) {
+        --ub;
+        if (!ub->visited) {
+          w = &*ub;
+          break;
+        }
+      }
+    }
+    if (w == nullptr) {
+      // No earlier wait gates this rank: everything back to t=0 is local.
+      attribute_local(r, 0.0, t);
+      rev.push_back({0.0, t, r, -1, WaitState::None});
+      t = 0.0;
+      break;
+    }
+    w->visited = true;
+    if (w->end_s < t) {
+      attribute_local(r, w->end_s, t);
+      rev.push_back({w->end_s, t, r, -1, WaitState::None});
+    }
+    const WaitState state = classify(w == nullptr ? WaitEvent{} : *w);
+    double jump;
+    int next_rank;
+    if (w->matched) {
+      jump = std::min(std::max(w->send_time_s, 0.0), w->end_s);
+      next_rank = w->sender;
+    } else {
+      // No recorded send: stay on this rank and continue before the wait.
+      jump = w->begin_s;
+      next_rank = r;
+    }
+    if (w->end_s > jump) {
+      add_wait(out.waits, state, w->end_s - jump);
+      share(r).wait_s += w->end_s - jump;
+      rev.push_back({jump, w->end_s, r, w->matched ? w->sender : -1, state});
+      ++out.waits_on_path;
+    }
+    r = next_rank;
+    t = jump;
+  }
+
+  std::reverse(rev.begin(), rev.end());
+  out.segments = std::move(rev);
+  out.blocked_s = out.waits.total();
+  out.path_length_s = 0.0;
+  for (const PathSegment& s : out.segments) {
+    out.path_length_s += s.duration_s();
+  }
+  out.ranks.reserve(shares.size());
+  for (const auto& [rr, sh] : shares) out.ranks.push_back(sh);
+  return out;
+}
+
+Analysis from_tracer() {
+  return analyze(Tracer::instance().snapshot());
+}
+
+// ---- JSON export -------------------------------------------------------------
+
+namespace {
+
+void kv_f(std::string& out, const char* key, double v, bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "\"%s\":%.9f%s", key, v, comma ? "," : "");
+  out.append(buf);
+}
+
+void kv_u(std::string& out, const char* key, std::uint64_t v,
+          bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "\"%s\":%llu%s", key,
+                static_cast<unsigned long long>(v), comma ? "," : "");
+  out.append(buf);
+}
+
+}  // namespace
+
+std::string Analysis::to_json(bool with_segments) const {
+  std::string j;
+  j.reserve(1024 + (with_segments ? segments.size() * 96 : 0));
+  j.append("{");
+  kv_f(j, "path_length_s", path_length_s);
+  kv_f(j, "end_time_s", end_time_s);
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "\"end_rank\":%d,", end_rank);
+  j.append(buf);
+  kv_f(j, "blocked_s", blocked_s);
+  j.append("\"local\":{");
+  kv_f(j, "comm_s", local_by_cat_s[static_cast<int>(Category::Comm)]);
+  kv_f(j, "compute_s", local_by_cat_s[static_cast<int>(Category::Compute)]);
+  kv_f(j, "io_s", local_by_cat_s[static_cast<int>(Category::Io)]);
+  kv_f(j, "fault_s", local_by_cat_s[static_cast<int>(Category::Fault)]);
+  kv_f(j, "bubble_s", local_by_cat_s[static_cast<int>(Category::PipeBubble)]);
+  kv_f(j, "rebalance_s",
+       local_by_cat_s[static_cast<int>(Category::Rebalance)]);
+  kv_f(j, "other_s", local_uncovered_s);
+  kv_f(j, "total_s", local_total_s, /*comma=*/false);
+  j.append("},\"waits\":{");
+  kv_f(j, "late_sender_s", waits.late_sender_s);
+  kv_f(j, "late_receiver_s", waits.late_receiver_s);
+  kv_f(j, "collective_skew_s", waits.collective_skew_s);
+  kv_f(j, "nic_occupancy_s", waits.nic_s);
+  kv_f(j, "pipeline_bubble_s", waits.bubble_s);
+  kv_f(j, "total_s", waits.total(), /*comma=*/false);
+  j.append("},");
+  kv_f(j, "exposed_comm_fraction", exposed_comm_fraction());
+  kv_f(j, "compute_fraction", compute_fraction());
+  j.append("\"per_rank\":[");
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (i > 0) j.append(",");
+    std::snprintf(buf, sizeof buf, "{\"rank\":%d,", ranks[i].rank);
+    j.append(buf);
+    kv_f(j, "local_s", ranks[i].local_s);
+    kv_f(j, "wait_s", ranks[i].wait_s, /*comma=*/false);
+    j.append("}");
+  }
+  j.append("],\"diag\":{");
+  kv_u(j, "spans", spans_seen);
+  kv_u(j, "edges_matched", edges_matched);
+  kv_u(j, "recvs_unmatched", recvs_unmatched);
+  kv_u(j, "waits_on_path", waits_on_path);
+  kv_u(j, "segments", static_cast<std::uint64_t>(segments.size()),
+       /*comma=*/false);
+  j.append("}");
+  if (with_segments) {
+    j.append(",\"segments\":[");
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      const PathSegment& s = segments[i];
+      if (i > 0) j.append(",");
+      std::snprintf(buf, sizeof buf, "{\"rank\":%d,\"from\":%d,", s.rank,
+                    s.from_rank);
+      j.append(buf);
+      j.append("\"wait\":\"");
+      j.append(to_string(s.wait));
+      j.append("\",");
+      kv_f(j, "begin_s", s.begin_s);
+      kv_f(j, "end_s", s.end_s, /*comma=*/false);
+      j.append("}");
+    }
+    j.append("]");
+  }
+  j.append("}");
+  return j;
+}
+
+}  // namespace msa::obs::critpath

@@ -1,0 +1,167 @@
+#include "obs/flight.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "obs/critpath.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace msa::obs::flight {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out.append("\\\""); break;
+      case '\\': out.append("\\\\"); break;
+      case '\n': out.append("\\n"); break;
+      case '\r': out.append("\\r"); break;
+      case '\t': out.append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+void append_span(std::string& out, const Span& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"sim_begin_s\":%.9f,"
+                "\"sim_end_s\":%.9f,\"bytes\":%llu,\"detail\":%llu,"
+                "\"peer\":%d,\"tag\":%d,\"edge\":%d,\"instant\":%s,"
+                "\"shadowed\":%s}",
+                s.name, to_string(s.cat), s.sim_begin_s, s.sim_end_s,
+                static_cast<unsigned long long>(s.bytes),
+                static_cast<unsigned long long>(s.detail), s.peer, s.tag,
+                static_cast<int>(s.edge), s.instant ? "true" : "false",
+                s.shadowed ? "true" : "false");
+  out.append(buf);
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder* inst = new FlightRecorder();  // leaked singleton
+  return *inst;
+}
+
+void FlightRecorder::arm(std::string path, std::size_t tail_spans) {
+  path_ = std::move(path);
+  if (tail_spans > 0) tail_spans_ = tail_spans;
+}
+
+void FlightRecorder::disarm() { path_.clear(); }
+
+void FlightRecorder::configure_from_env() {
+  const char* out = std::getenv("MSA_FLIGHT_OUT");
+  path_ = out != nullptr ? out : "";
+  tail_spans_ = 256;
+  if (const char* tail = std::getenv("MSA_FLIGHT_TAIL")) {
+    const long v = std::strtol(tail, nullptr, 10);
+    if (v > 0) tail_spans_ = static_cast<std::size_t>(v);
+  }
+}
+
+std::string FlightRecorder::dump_json(
+    const std::string& reason, const std::vector<std::pair<int, int>>& killed,
+    const std::vector<std::pair<int, std::string>>& errors) const {
+  const std::vector<Span> spans = Tracer::instance().snapshot();
+
+  // Snapshot order is (rank, shard, seq) = per-rank program order, so the
+  // tail of each rank's slice is the last thing it did before dying.
+  std::map<int, std::vector<const Span*>> by_rank;
+  for (const Span& s : spans) by_rank[s.rank].push_back(&s);
+
+  std::string j;
+  j.reserve(4096 + spans.size());
+  j.append("{\"reason\":\"");
+  append_escaped(j, reason);
+  j.append("\",");
+
+  char buf[128];
+  j.append("\"killed\":[");
+  for (std::size_t i = 0; i < killed.size(); ++i) {
+    if (i > 0) j.append(",");
+    std::snprintf(buf, sizeof buf, "{\"rank\":%d,\"step\":%d}",
+                  killed[i].first, killed[i].second);
+    j.append(buf);
+  }
+  j.append("],\"errors\":[");
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (i > 0) j.append(",");
+    std::snprintf(buf, sizeof buf, "{\"rank\":%d,\"what\":\"",
+                  errors[i].first);
+    j.append(buf);
+    append_escaped(j, errors[i].second);
+    j.append("\"}");
+  }
+  j.append("],");
+
+  std::snprintf(buf, sizeof buf, "\"dropped_spans\":%llu,\"tail_spans\":%llu,",
+                static_cast<unsigned long long>(
+                    Tracer::instance().dropped_count()),
+                static_cast<unsigned long long>(tail_spans_));
+  j.append(buf);
+
+  j.append("\"ranks\":[");
+  bool first = true;
+  for (const auto& [rank, rs] : by_rank) {
+    if (rank < 0) continue;  // host threads carry no rank timeline
+    if (!first) j.append(",");
+    first = false;
+    std::snprintf(buf, sizeof buf, "{\"rank\":%d,\"spans_retained\":%llu,",
+                  rank, static_cast<unsigned long long>(rs.size()));
+    j.append(buf);
+    const std::size_t begin = rs.size() > tail_spans_ ? rs.size() - tail_spans_
+                                                      : 0;
+    j.append("\"tail\":[");
+    for (std::size_t i = begin; i < rs.size(); ++i) {
+      if (i > begin) j.append(",");
+      append_span(j, *rs[i]);
+    }
+    j.append("]}");
+  }
+  j.append("],");
+
+  j.append("\"metrics\":");
+  j.append(Registry::instance().to_json());
+  j.append(",\"critpath\":");
+  j.append(critpath::analyze(spans).to_json());
+  j.append("}");
+  return j;
+}
+
+bool FlightRecorder::on_failure(
+    const std::string& reason, const std::vector<std::pair<int, int>>& killed,
+    const std::vector<std::pair<int, std::string>>& errors) {
+  if (!armed()) return false;
+  const std::string body = dump_json(reason, killed, errors);
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[flight] cannot open %s\n", tmp.c_str());
+    return false;
+  }
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok || std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::fprintf(stderr, "[flight] failed writing %s\n", path_.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  ++dumps_;
+  return true;
+}
+
+}  // namespace msa::obs::flight

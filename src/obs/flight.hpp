@@ -1,0 +1,70 @@
+// Post-mortem flight recorder: when a run dies (rank failures, injected
+// kills, aggregate errors), dump everything needed to debug it after the
+// fact to a single JSON file — the last-N retained spans of every rank, the
+// full metric registry, the liveness outcome, and the critical-path
+// analysis of the recorded window.
+//
+// The recorder is passive until armed (arm() or the MSA_FLIGHT_OUT env
+// var); Runtime::run invokes it after joining every rank thread, so the
+// tracer is quiescent and the snapshot is the deterministic (rank, shard,
+// seq) order.  The dump is written atomically (tmp file + rename) so a
+// crash mid-dump can never leave a truncated file that parses as a
+// post-mortem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace msa::obs::flight {
+
+/// Process-wide recorder singleton.  Thread-compatible: arm/disarm/dump are
+/// called from the driver thread only (Runtime::run after joins).
+class FlightRecorder {
+ public:
+  static FlightRecorder& instance();
+
+  /// Arm the recorder: the next failure dumps to @p path.  @p tail_spans
+  /// caps the per-rank span tail in the dump (0 = keep the default).
+  void arm(std::string path, std::size_t tail_spans = 0);
+  void disarm();
+
+  /// Re-read MSA_FLIGHT_OUT (dump path; unset = disarmed) and
+  /// MSA_FLIGHT_TAIL (per-rank span tail, default 256).  Called once at
+  /// construction; exposed for tests.
+  void configure_from_env();
+
+  [[nodiscard]] bool armed() const { return !path_.empty(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Dumps written since process start (tests assert this advances).
+  [[nodiscard]] std::uint64_t dumps_written() const { return dumps_; }
+
+  /// Build the post-mortem JSON for a failed run.  @p reason is a short
+  /// machine-readable cause ("rank_killed", "rank_errors"); @p killed is
+  /// Runtime::killed_ranks(); @p errors carries (rank, what) per escaped
+  /// exception.  Pure function of tracer/registry state — tests call it
+  /// directly.
+  [[nodiscard]] std::string dump_json(
+      const std::string& reason,
+      const std::vector<std::pair<int, int>>& killed,
+      const std::vector<std::pair<int, std::string>>& errors) const;
+
+  /// If armed, write dump_json() to path() atomically.  Returns true when a
+  /// dump was written.  Never throws: a post-mortem must not mask the
+  /// original failure (I/O errors are reported on stderr).
+  bool on_failure(const std::string& reason,
+                  const std::vector<std::pair<int, int>>& killed,
+                  const std::vector<std::pair<int, std::string>>& errors);
+
+ private:
+  FlightRecorder() { configure_from_env(); }
+
+  std::string path_;
+  std::size_t tail_spans_ = 256;
+  std::uint64_t dumps_ = 0;
+};
+
+}  // namespace msa::obs::flight

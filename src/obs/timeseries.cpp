@@ -1,0 +1,93 @@
+#include "obs/timeseries.hpp"
+
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace msa::obs {
+
+namespace {
+
+bool has_prefix(const std::string& name, const std::string& prefix) {
+  return prefix.empty() || name.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+void TimeSeries::sample(double sim_time_s, const std::string& label) {
+  Registry::Snapshot snap = Registry::instance().snapshot();
+  Row row;
+  row.t_s = sim_time_s;
+  row.label = label;
+  for (auto& [name, v] : snap.counters) {
+    if (has_prefix(name, prefix_)) row.snap.counters.emplace(name, v);
+  }
+  for (auto& [name, v] : snap.gauges) {
+    if (has_prefix(name, prefix_)) row.snap.gauges.emplace(name, v);
+  }
+  for (auto& [name, h] : snap.histograms) {
+    if (has_prefix(name, prefix_)) row.snap.histograms.emplace(name, h);
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TimeSeries::to_jsonl() const {
+  std::string out;
+  out.reserve(rows_.size() * 256);
+  char buf[160];
+  for (const Row& row : rows_) {
+    std::snprintf(buf, sizeof buf, "{\"t_s\":%.9f,\"label\":\"%s\"", row.t_s,
+                  row.label.c_str());
+    out.append(buf);
+    out.append(",\"counters\":{");
+    bool first = true;
+    for (const auto& [name, v] : row.snap.counters) {
+      std::snprintf(buf, sizeof buf, "%s\"%s\":%llu", first ? "" : ",",
+                    name.c_str(), static_cast<unsigned long long>(v));
+      out.append(buf);
+      first = false;
+    }
+    out.append("},\"gauges\":{");
+    first = true;
+    for (const auto& [name, v] : row.snap.gauges) {
+      std::snprintf(buf, sizeof buf, "%s\"%s\":%.9f", first ? "" : ",",
+                    name.c_str(), v);
+      out.append(buf);
+      first = false;
+    }
+    out.append("},\"hists\":{");
+    first = true;
+    for (const auto& [name, h] : row.snap.histograms) {
+      const std::uint64_t count =
+          std::accumulate(h.counts.begin(), h.counts.end(),
+                          static_cast<std::uint64_t>(0));
+      std::snprintf(buf, sizeof buf,
+                    "%s\"%s\":{\"count\":%llu,\"p50\":%.9f,\"p95\":%.9f,"
+                    "\"p99\":%.9f}",
+                    first ? "" : ",", name.c_str(),
+                    static_cast<unsigned long long>(count),
+                    histogram_quantile(h.bounds, h.counts, 0.50),
+                    histogram_quantile(h.bounds, h.counts, 0.95),
+                    histogram_quantile(h.bounds, h.counts, 0.99));
+      out.append(buf);
+      first = false;
+    }
+    out.append("}}\n");
+  }
+  return out;
+}
+
+void TimeSeries::write_jsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("timeseries: cannot open " + path);
+  }
+  const std::string body = to_jsonl();
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) throw std::runtime_error("timeseries: failed writing " + path);
+}
+
+}  // namespace msa::obs

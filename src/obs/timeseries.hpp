@@ -1,0 +1,59 @@
+// Time-series telemetry: windowed snapshots of the metric registry on the
+// simulated clock, exported as JSONL (one row per window) so p99/health
+// trajectories can be plotted straight from a bench run.
+//
+// A TimeSeries is owned by whoever drives the windows (the serve router,
+// the health monitor, a bench main) and sampled at deterministic points in
+// the workload — window boundaries, batch counts — never on wall-clock
+// timers, so two replays of the same run produce byte-identical JSONL.
+// The prefix filter keeps rows small and, more importantly, deterministic
+// in multi-subsystem runs: a serve series ("serve.") is unaffected by what
+// the comm layer counts in the background, as long as the sampling thread
+// owns the filtered metrics at the sample point.
+//
+// Histograms are summarised per row (count + p50/p95/p99) rather than
+// dumped bucket-by-bucket; the final registry still has the full buckets.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace msa::obs {
+
+/// Append-only series of registry snapshots.  Not thread-safe: sample from
+/// one thread (the window owner).
+class TimeSeries {
+ public:
+  /// @p prefix keeps only metrics whose name starts with it ("" = all).
+  explicit TimeSeries(std::string prefix = "") : prefix_(std::move(prefix)) {}
+
+  /// Snapshot the registry (filtered) as the row for sim time @p sim_time_s.
+  /// @p label tags the row (e.g. "window", "degraded"); may be empty.
+  void sample(double sim_time_s, const std::string& label = "");
+
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+  [[nodiscard]] const std::string& prefix() const { return prefix_; }
+
+  /// One JSON object per line, in sample order.  Deterministic.
+  [[nodiscard]] std::string to_jsonl() const;
+
+  /// Write to_jsonl() to @p path (throws std::runtime_error on I/O failure).
+  void write_jsonl(const std::string& path) const;
+
+  void clear() { rows_.clear(); }
+
+ private:
+  struct Row {
+    double t_s = 0.0;
+    std::string label;
+    Registry::Snapshot snap;  // already prefix-filtered
+  };
+
+  std::string prefix_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace msa::obs

@@ -9,6 +9,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace msa::obs {
 
 const char* to_string(Category cat) {
@@ -36,6 +38,17 @@ thread_local int t_bound_rank = -1;
 thread_local const simnet::SimClock* t_bound_clock = nullptr;
 
 }  // namespace
+
+namespace detail {
+
+void note_dropped() {
+  // Sharded atomic add; the one-time registration is a magic static.
+  static Counter& dropped =
+      Registry::instance().counter("obs.trace.dropped_spans");
+  dropped.add(1);
+}
+
+}  // namespace detail
 
 struct Tracer::Impl {
   std::atomic<bool> enabled{true};
@@ -106,6 +119,9 @@ void Tracer::configure_from_env() {
   } else {
     set_enabled(true);  // always-on by default
   }
+  // Unset (or invalid) restores the default, mirroring MSA_TRACE above — a
+  // re-read never leaves a stale value from a previous configuration behind.
+  impl_->capacity = kDefaultCapacity;
   if (const char* env = std::getenv("MSA_TRACE_SPANS")) {
     const long v = std::strtol(env, nullptr, 10);
     if (v >= 1) impl_->capacity = static_cast<std::size_t>(v);
@@ -118,7 +134,14 @@ void Tracer::clear() {
     buf->ring.clear();
     buf->head = 0;
     buf->recorded = 0;
+    buf->dropped = 0;
     buf->next_seq = 0;
+    // Re-apply the configured capacity so a configure_from_env() between
+    // runs takes effect on pooled buffers too (the ring is empty here).
+    buf->capacity = impl_->capacity;
+    if (buf->ring.capacity() < impl_->capacity) {
+      buf->ring.reserve(impl_->capacity);
+    }
   }
 }
 
@@ -133,6 +156,13 @@ std::uint64_t Tracer::recorded_count() const {
   std::lock_guard lock(impl_->mutex);
   std::uint64_t n = 0;
   for (const auto& buf : impl_->buffers) n += buf->recorded;
+  return n;
+}
+
+std::uint64_t Tracer::dropped_count() const {
+  std::lock_guard lock(impl_->mutex);
+  std::uint64_t n = 0;
+  for (const auto& buf : impl_->buffers) n += buf->dropped;
   return n;
 }
 
@@ -213,12 +243,18 @@ void append_event(std::string& out, const Span& s, bool first) {
                   ts_us, dur_us, pid, static_cast<unsigned>(s.shard));
   }
   out.append(buf);
+  const char* edge = s.edge == EdgeKind::Send   ? "send"
+                     : s.edge == EdgeKind::Recv ? "recv"
+                                                : "none";
   std::snprintf(buf, sizeof buf,
                 "\"args\":{\"bytes\":%llu,\"flops\":%llu,\"detail\":%llu,"
+                "\"peer\":%d,\"tag\":%d,\"edge\":\"%s\",\"ctx\":\"%s\","
                 "\"real_us\":%.3f,\"sim_begin_s\":%.9f,\"shadowed\":%s}}",
                 static_cast<unsigned long long>(s.bytes),
                 static_cast<unsigned long long>(s.flops),
                 static_cast<unsigned long long>(s.detail),
+                static_cast<int>(s.peer), static_cast<int>(s.tag), edge,
+                to_string(s.ctx),
                 static_cast<double>(s.real_end_ns - s.real_begin_ns) * 1e-3,
                 s.sim_begin_s, s.shadowed ? "true" : "false");
   out.append(buf);
@@ -239,9 +275,17 @@ void append_process_name(std::string& out, int pid, const std::string& name,
 
 std::string Tracer::chrome_trace_json() const {
   const std::vector<Span> spans = snapshot();
+  const std::uint64_t dropped = dropped_count();
   std::string out;
-  out.reserve(256 + spans.size() * 220);
-  out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+  out.reserve(256 + spans.size() * 260);
+  char hdr[160];
+  std::snprintf(hdr, sizeof hdr,
+                "{\"displayTimeUnit\":\"ms\",\"otherData\":{"
+                "\"dropped_spans\":%llu,\"retained_spans\":%llu},"
+                "\"traceEvents\":[\n",
+                static_cast<unsigned long long>(dropped),
+                static_cast<unsigned long long>(spans.size()));
+  out.append(hdr);
   bool first = true;
   std::vector<int> ranks_seen;
   bool host_seen = false;
@@ -316,8 +360,9 @@ void ScopedSpan::open(Category cat, const char* name, int rank,
   detail_ = detail;
   rank_ = rank;
   cat_ = cat;
-  shadowed_ = buf_->open_attribution > 0;
-  if (is_attribution(cat)) ++buf_->open_attribution;
+  shadowed_ = !buf_->attr_stack.empty();
+  ctx_ = buf_->open_ctx();
+  if (is_attribution(cat)) buf_->attr_stack.push_back(cat);
 }
 
 ScopedSpan::ScopedSpan(Category cat, const char* name, std::uint64_t bytes,
@@ -335,7 +380,7 @@ ScopedSpan::ScopedSpan(Category cat, const char* name, int rank,
 
 ScopedSpan::~ScopedSpan() {
   if (buf_ == nullptr) return;
-  if (is_attribution(cat_)) --buf_->open_attribution;
+  if (is_attribution(cat_)) buf_->attr_stack.pop_back();
   Span s;
   s.sim_begin_s = sim_begin_;
   s.sim_end_s = sim_ != nullptr ? sim_->now() : 0.0;
@@ -346,8 +391,12 @@ ScopedSpan::~ScopedSpan() {
   s.detail = detail_;
   s.seq = buf_->next_seq++;
   s.rank = rank_;
+  s.peer = peer_;
+  s.tag = tag_;
   s.shard = buf_->shard;
   s.cat = cat_;
+  s.edge = edge_;
+  s.ctx = ctx_;
   s.shadowed = shadowed_;
   std::strncpy(s.name, name_, Span::kNameCapacity);
   buf_->push(s);
@@ -371,8 +420,9 @@ void record_instant(Category cat, const char* name, int rank,
   s.rank = rank;
   s.shard = buf->shard;
   s.cat = cat;
+  s.ctx = buf->open_ctx();
   s.instant = true;
-  s.shadowed = buf->open_attribution > 0;
+  s.shadowed = !buf->attr_stack.empty();
   std::strncpy(s.name, name, Span::kNameCapacity);
   buf->push(s);
 }
@@ -394,7 +444,8 @@ void instant(Category cat, const char* name, int rank,
 
 void record_interval(Category cat, const char* name, int rank,
                      double sim_begin_s, double sim_end_s, std::uint64_t bytes,
-                     std::uint64_t detail) {
+                     std::uint64_t detail, std::int32_t peer,
+                     std::int32_t tag) {
   if (!trace_enabled()) return;
   Tracer& tracer = Tracer::instance();
   detail::TraceBuffer* buf = tracer.thread_buffer();
@@ -407,9 +458,12 @@ void record_interval(Category cat, const char* name, int rank,
   s.detail = detail;
   s.seq = buf->next_seq++;
   s.rank = rank;
+  s.peer = peer;
+  s.tag = tag;
   s.shard = buf->shard;
   s.cat = cat;
-  s.shadowed = buf->open_attribution > 0;
+  s.ctx = buf->open_ctx();
+  s.shadowed = !buf->attr_stack.empty();
   std::strncpy(s.name, name, Span::kNameCapacity);
   buf->push(s);
 }

@@ -74,6 +74,15 @@ inline constexpr int kCategoryCount = 11;
          cat == Category::PipeBubble || cat == Category::Rebalance;
 }
 
+/// Wire-edge role of a span: Send/Recv spans carry (detail = comm id, peer,
+/// tag) so obs::critpath can match message endpoints purely from recorded
+/// data.  None means the peer/tag fields are informational (or unset).
+enum class EdgeKind : std::uint8_t {
+  None = 0,
+  Send = 1,  ///< the span's owner put bytes on the wire toward @ref Span::peer
+  Recv = 2,  ///< the span's owner matched a message from @ref Span::peer
+};
+
 /// One recorded interval (or instant marker, when instant is set).
 struct Span {
   static constexpr std::size_t kNameCapacity = 23;  // + NUL terminator
@@ -87,8 +96,14 @@ struct Span {
   std::uint64_t detail = 0; ///< site-specific id (e.g. communicator id)
   std::uint64_t seq = 0;    ///< per-shard record sequence (export ordering)
   std::int32_t rank = -1;   ///< world rank, -1 = unbound host thread
+  std::int32_t peer = -1;   ///< wire peer world rank (dest of send / src of
+                            ///< recv), -1 = no peer recorded
+  std::int32_t tag = 0;     ///< message tag (negative = collective-internal)
   std::uint16_t shard = 0;  ///< owning thread's buffer index
   Category cat = Category::Other;
+  EdgeKind edge = EdgeKind::None;
+  Category ctx = Category::Other;  ///< innermost open attribution category at
+                                   ///< open time (valid when shadowed)
   bool instant = false;
   bool shadowed = false;  ///< an attribution-category ancestor was open
   char name[kNameCapacity + 1] = {0};
@@ -100,6 +115,10 @@ struct Span {
 
 namespace detail {
 
+/// Bumps the process-wide "obs.trace.dropped_spans" registry counter (one
+/// sharded add; defined in trace.cpp so this header stays metrics-free).
+void note_dropped();
+
 /// Per-thread span ring.  Written only by the owning thread; read by
 /// snapshot/export when quiescent.  Buffers are pooled: a thread that exits
 /// returns its buffer for the next thread, so memory stays bounded across
@@ -109,16 +128,25 @@ struct TraceBuffer {
   std::size_t capacity = 0;
   std::size_t head = 0;        // next overwrite position once full
   std::uint64_t recorded = 0;  // spans ever recorded (>= ring.size())
+  std::uint64_t dropped = 0;   // spans lost to ring overwrites
   std::uint64_t next_seq = 0;
-  int open_attribution = 0;  // attribution-category spans open on this thread
+  std::vector<Category> attr_stack;  // open attribution spans (innermost last)
   std::uint16_t shard = 0;
+
+  [[nodiscard]] Category open_ctx() const {
+    return attr_stack.empty() ? Category::Other : attr_stack.back();
+  }
 
   void push(const Span& s) {
     if (ring.size() < capacity) {
       ring.push_back(s);
-    } else if (capacity > 0) {
-      ring[head] = s;
-      head = (head + 1) % capacity;
+    } else {
+      if (capacity > 0) {
+        ring[head] = s;
+        head = (head + 1) % capacity;
+      }
+      ++dropped;
+      note_dropped();
     }
     ++recorded;
   }
@@ -149,6 +177,11 @@ class Tracer {
 
   /// Total spans ever recorded (counts ring overwrites).  Quiescent only.
   [[nodiscard]] std::uint64_t recorded_count() const;
+
+  /// Spans lost to ring overwrites since the last clear().  Nonzero means
+  /// the retained timeline has holes (message matching in obs::critpath is
+  /// unreliable); raise MSA_TRACE_SPANS.  Quiescent only.
+  [[nodiscard]] std::uint64_t dropped_count() const;
 
   /// All retained spans in deterministic (rank, shard, seq) order.
   [[nodiscard]] std::vector<Span> snapshot() const;
@@ -232,6 +265,15 @@ class ScopedSpan {
     if (buf_ != nullptr) bytes_ += bytes;
   }
 
+  /// Attach wire-edge metadata discovered mid-span (e.g. the source a recv
+  /// actually matched).  @p peer is a world rank; @p tag the message tag.
+  void set_edge(EdgeKind kind, int peer, int tag) {
+    if (buf_ == nullptr) return;
+    edge_ = kind;
+    peer_ = peer;
+    tag_ = tag;
+  }
+
  private:
   void open(Category cat, const char* name, int rank,
             const simnet::SimClock* sim, std::uint64_t bytes,
@@ -246,7 +288,11 @@ class ScopedSpan {
   std::uint64_t flops_ = 0;
   std::uint64_t detail_ = 0;
   std::int32_t rank_ = -1;
+  std::int32_t peer_ = -1;
+  std::int32_t tag_ = 0;
   Category cat_ = Category::Other;
+  EdgeKind edge_ = EdgeKind::None;
+  Category ctx_ = Category::Other;
   bool shadowed_ = false;
 };
 
@@ -262,25 +308,36 @@ void instant(Category cat, const char* name, int rank,
 /// Record a span with explicit simulated begin/end (real times are stamped
 /// as "now" for both ends).  The comm progress engine uses this to emit the
 /// hidden and exposed portions of a drained in-flight operation after the
-/// fact, once the overlap window is known.
+/// fact, once the overlap window is known.  @p peer/@p tag are informational
+/// (EdgeKind::None — e.g. the serve router tags phases with the replica's
+/// head rank); message matching only consumes Send/Recv ScopedSpan edges.
 void record_interval(Category cat, const char* name, int rank,
                      double sim_begin_s, double sim_end_s,
-                     std::uint64_t bytes = 0, std::uint64_t detail = 0);
+                     std::uint64_t bytes = 0, std::uint64_t detail = 0,
+                     std::int32_t peer = -1, std::int32_t tag = 0);
 
 /// Marks everything recorded in its scope as shadowed (as if an attribution
-/// span were open), without recording a span itself.  The progress engine
-/// wraps each deferred-op replay in one: the sends/recvs inside the replayed
-/// collective must not bill to comm a second time — the engine emits the
-/// authoritative hidden/exposed intervals via record_interval afterwards.
+/// span of category @p ctx were open), without recording a span itself.  The
+/// progress engine wraps each deferred-op replay in one: the sends/recvs
+/// inside the replayed collective must not bill to comm a second time — the
+/// engine emits the authoritative hidden/exposed intervals via
+/// record_interval afterwards.  (The shadowed spans still carry their edge
+/// metadata, which is how critpath sees through overlapped collectives.)
 class ShadowScope {
  public:
-  ShadowScope() {
+  /// @p fallback is the context recorded on spans inside the scope when no
+  /// attribution span is already open; an open one (e.g. a PipeBubble wait
+  /// around a drain) keeps its context so wait classification sees through
+  /// the replay.
+  explicit ShadowScope(Category fallback = Category::Comm) {
     if (!trace_enabled()) return;
     buf_ = Tracer::instance().thread_buffer();
-    ++buf_->open_attribution;
+    buf_->attr_stack.push_back(buf_->attr_stack.empty()
+                                   ? fallback
+                                   : buf_->attr_stack.back());
   }
   ~ShadowScope() {
-    if (buf_ != nullptr) --buf_->open_attribution;
+    if (buf_ != nullptr) buf_->attr_stack.pop_back();
   }
   ShadowScope(const ShadowScope&) = delete;
   ShadowScope& operator=(const ShadowScope&) = delete;

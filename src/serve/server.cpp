@@ -4,11 +4,13 @@
 #include <array>
 #include <bit>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "comm/failure.hpp"
 #include "core/hash.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace msa::serve {
@@ -142,6 +144,10 @@ ServeStats Server::run() {
     rs.slowdown_ewma = m.ewma;
     rs.score = m.score;
     stats_.replicas.push_back(std::move(rs));
+  }
+  publish_gauges();
+  if (options_.timeseries != nullptr) {
+    options_.timeseries->sample(world_.sim_now(), "serve_final");
   }
   return stats_;
 }
@@ -289,19 +295,51 @@ void Server::drain_one(int replica) {
     hist_->observe(rec.latency_s);
     if (options_.record_spans) {
       const int rank = world_.world_rank();
+      // The compute/reply legs carry the replica head rank as informational
+      // peer metadata (EdgeKind::None — not a wire edge), so a timeline can
+      // be grouped by which replica served each request.
+      const int head = replicas_.reply_rank(replica);
       obs::record_interval(obs::Category::Serve, "serve_queue", rank,
                            q.arrival_s, q.admit_s, 0, q.id);
       obs::record_interval(obs::Category::Serve, "serve_batch", rank,
                            q.admit_s, ob.dispatch_s, 0, q.id);
       obs::record_interval(obs::Category::Serve, "serve_compute", rank,
-                           ob.dispatch_s, sent_s, 0, q.id);
+                           ob.dispatch_s, sent_s, 0, q.id, head);
       obs::record_interval(obs::Category::Serve, "serve_reply", rank, sent_s,
-                           reply_s, reply_bytes, q.id);
+                           reply_s, reply_bytes, q.id, head);
     }
     if (q.redispatches > 0) ++stats_.redispatched;
     ++stats_.completed;
     stats_.makespan_s = std::max(stats_.makespan_s, reply_s);
     stats_.records.push_back(std::move(rec));
+  }
+
+  ++drained_batches_;
+  if (options_.timeseries != nullptr && options_.timeseries_every > 0 &&
+      drained_batches_ % static_cast<std::uint64_t>(
+                             options_.timeseries_every) ==
+          0) {
+    publish_gauges();
+    options_.timeseries->sample(world_.sim_now(), "serve_window");
+  }
+}
+
+void Server::publish_gauges() {
+  auto& reg = obs::Registry::instance();
+  reg.gauge("serve.completed").set(static_cast<double>(stats_.completed));
+  reg.gauge("serve.redispatched")
+      .set(static_cast<double>(stats_.redispatched));
+  reg.gauge("serve.replicas_failed")
+      .set(static_cast<double>(replicas_failed_));
+  reg.gauge("serve.makespan_s").set(stats_.makespan_s);
+  reg.gauge("serve.p50_s").set(hist_->quantile(0.50));
+  reg.gauge("serve.p95_s").set(hist_->quantile(0.95));
+  reg.gauge("serve.p99_s").set(hist_->quantile(0.99));
+  for (int r = 0; r < replicas_.count(); ++r) {
+    const auto& m = meters_[static_cast<std::size_t>(r)];
+    char name[48];
+    std::snprintf(name, sizeof name, "serve.replica.%d.score", r);
+    reg.gauge(name).set(m.score);
   }
 }
 

@@ -73,6 +73,7 @@
 
 namespace msa::obs {
 class Histogram;
+class TimeSeries;
 }
 
 namespace msa::serve {
@@ -107,6 +108,13 @@ struct ServeOptions {
   /// Keep per-request logits in the records (tests compare them against a
   /// local forward; big sweeps leave this off).
   bool keep_predictions = false;
+  /// Optional telemetry sink: the router publishes serve.* gauges and
+  /// samples it every @p timeseries_every drained batches (0 = never) and
+  /// once after the final drain.  Batch drains are deterministic points in
+  /// the serve event loop, so the series replays byte-identically.  Not
+  /// owned.
+  obs::TimeSeries* timeseries = nullptr;
+  int timeseries_every = 0;
 };
 
 /// Canonical bucket grid for the serving latency histogram — one shared
@@ -198,6 +206,9 @@ class Server {
   void on_replica_dead(int replica);
   void update_health(int replica, double compute_wm, double nominal_wm);
   void refresh_flags();
+  /// Publish serve.* gauges from the running stats (router only — single
+  /// writer, deterministic values).
+  void publish_gauges();
   /// Alive replica with outstanding work whose next reply is predicted
   /// soonest (tie: lowest index) — the non-round-robin drain victim.
   [[nodiscard]] int next_reply_replica() const;
@@ -215,6 +226,7 @@ class Server {
   int rr_next_ = 0;
   std::uint64_t replicas_failed_ = 0;
   std::uint64_t digest_ = 0;
+  std::uint64_t drained_batches_ = 0;
   ServeStats stats_;
 };
 
